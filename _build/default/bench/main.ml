@@ -1,0 +1,171 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper's evaluation
+   (Section III motivation + Tables II/III, Figs. 2-7, Table V) plus the
+   ablations DESIGN.md calls out, printing paper-shaped rows with the
+   paper's reported numbers alongside for comparison.
+
+   Part 2 runs Bechamel micro-benchmarks — one Test.make per reproduced
+   table/figure kernel — and prints the OLS time estimates. *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------- part 1 *)
+
+let reproduce_all () =
+  Experiments.Exp_common.section "PART 1: table/figure reproduction";
+  Experiments.Exp_motivation.print (Experiments.Exp_motivation.run ());
+  Experiments.Exp_fig2.print (Experiments.Exp_fig2.run ());
+  Experiments.Exp_fig3.print (Experiments.Exp_fig3.run ());
+  Experiments.Exp_fig4.print (Experiments.Exp_fig4.run ());
+  Experiments.Exp_fig5.print (Experiments.Exp_fig5.run ());
+  Experiments.Exp_fig6.print (Experiments.Exp_fig6.run ());
+  Experiments.Exp_fig7.print (Experiments.Exp_fig7.run ());
+  Experiments.Exp_table5.print (Experiments.Exp_table5.run ());
+  Experiments.Exp_ablations.print (Experiments.Exp_ablations.run ());
+  Experiments.Exp_sensitivity.print (Experiments.Exp_sensitivity.run ());
+  Experiments.Exp_tasks.print (Experiments.Exp_tasks.run ());
+  Experiments.Exp_pareto.print (Experiments.Exp_pareto.run ());
+  Experiments.Exp_3d.print (Experiments.Exp_3d.run ())
+
+(* ------------------------------------------------------------- part 2 *)
+
+(* One Bechamel test per reproduced table/figure, exercising the kernel
+   that experiment leans on. *)
+let tests () =
+  let pm = Power.Power_model.default in
+  let model3 =
+    Thermal.Hotspot.core_level
+      (Thermal.Floorplan.grid ~rows:1 ~cols:3 ~core_width:4e-3 ~core_height:4e-3)
+  in
+  let model9 =
+    Thermal.Hotspot.core_level
+      (Thermal.Floorplan.grid ~rows:3 ~cols:3 ~core_width:4e-3 ~core_height:4e-3)
+  in
+  let p3 = Workload.Configs.platform ~cores:3 ~levels:2 ~t_max:65. in
+  let p6_4 = Workload.Configs.platform ~cores:6 ~levels:4 ~t_max:65. in
+  let p9 = Workload.Configs.platform ~cores:9 ~levels:2 ~t_max:55. in
+  let rng = Random.State.make [| 11 |] in
+  let sched9 =
+    Workload.Random_sched.step_up rng ~n_cores:9 ~period:9.836 ~max_intervals:5
+      ~levels:(Power.Vf.table_iv 5)
+  in
+  let profile9 = Sched.Peak.profile model9 pm sched9 in
+  let sched2 =
+    Sched.Schedule.two_mode ~period:0.1 ~low:[| 0.6; 0.6 |] ~high:[| 1.3; 1.3 |]
+      ~high_ratio:[| 0.5; 0.5 |]
+  in
+  let model2 =
+    Thermal.Hotspot.core_level
+      (Thermal.Floorplan.grid ~rows:1 ~cols:2 ~core_width:4e-3 ~core_height:4e-3)
+  in
+  let a9 = Thermal.Model.a_matrix model9 in
+  [
+    (* Tables II/III: the ideal solve on the 3x1 platform. *)
+    Test.make ~name:"table2-3/motivation-ideal"
+      (Staged.stage (fun () -> ignore (Core.Ideal.solve p3)));
+    (* Fig. 2: dense peak scan of an arbitrary 2-core schedule. *)
+    Test.make ~name:"fig2/peak-scan-2core"
+      (Staged.stage (fun () ->
+           ignore (Sched.Peak.of_any model2 pm ~samples_per_segment:32 sched2)));
+    (* Fig. 3: one phase-grid peak evaluation (the sweep's inner loop). *)
+    Test.make ~name:"fig3/phase-grid-point"
+      (Staged.stage (fun () ->
+           let s =
+             Workload.Random_sched.phase_grid ~n_cores:3 ~period:6. ~v_low:0.6
+               ~v_high:1.3 ~offsets:[| 3.; 1.2; 4.2 |]
+           in
+           ignore (Sched.Peak.of_any model3 pm ~samples_per_segment:24 s)));
+    (* Fig. 4: the (I-K)^{-1} stable-status solve on 9 cores. *)
+    Test.make ~name:"fig4-5/matex-stable-9core"
+      (Staged.stage (fun () -> ignore (Thermal.Matex.stable_start model9 profile9)));
+    (* Fig. 5: one m-oscillation peak evaluation. *)
+    Test.make ~name:"fig5/oscillate-peak"
+      (Staged.stage (fun () ->
+           ignore
+             (Sched.Peak.of_step_up model9 pm (Sched.Oscillate.oscillate 10 sched9))));
+    (* Figs. 6/7 + Table V: the policies themselves. *)
+    Test.make ~name:"fig6-7/lns-9core"
+      (Staged.stage (fun () -> ignore (Core.Lns.solve p9)));
+    Test.make ~name:"fig6-7/exs-6core-4lv"
+      (Staged.stage (fun () -> ignore (Core.Exs.solve p6_4)));
+    Test.make ~name:"fig6-7/ao-3core"
+      (Staged.stage (fun () -> ignore (Core.Ao.solve p3)));
+    (* Numeric kernels under everything above. *)
+    Test.make ~name:"kernel/propagator-9x9"
+      (Staged.stage (fun () -> ignore (Thermal.Model.propagator model9 0.01)));
+    Test.make ~name:"kernel/expm-9x9"
+      (Staged.stage (fun () -> ignore (Linalg.Expm.expm_scaled a9 0.01)));
+    Test.make ~name:"kernel/sym-eig-9x9"
+      (Staged.stage (fun () ->
+           let sym =
+             Linalg.Mat.init 9 9 (fun i j ->
+                 Linalg.Mat.get a9 i j +. Linalg.Mat.get a9 j i)
+           in
+           ignore (Linalg.Sym_eig.decompose sym)));
+    Test.make ~name:"kernel/steady-state-9core"
+      (Staged.stage (fun () ->
+           ignore (Thermal.Model.steady_core_temps model9 (Array.make 9 15.))));
+    (* Extension kernels. *)
+    (let grid = Thermal.Grid_model.build ~subdivisions:3 (Thermal.Floorplan.grid ~rows:1 ~cols:3 ~core_width:4e-3 ~core_height:4e-3) in
+     let psi = Thermal.Grid_model.expand_powers grid (Array.make 3 15.) in
+     let profile = [ { Thermal.Matex.duration = 0.05; psi } ] in
+     Test.make ~name:"ext/grid-27cell-stable"
+       (Staged.stage (fun () ->
+            ignore (Thermal.Matex.stable_start grid.Thermal.Grid_model.model profile))));
+    (let profile3 = Sched.Peak.profile model3 pm (Sched.Schedule.two_mode ~period:0.1 ~low:[| 0.6; 0.6; 0.6 |] ~high:[| 1.3; 1.3; 1.3 |] ~high_ratio:[| 0.4; 0.5; 0.6 |]) in
+     Test.make ~name:"ext/peak-refined-3core"
+       (Staged.stage (fun () ->
+            ignore (Thermal.Matex.peak_refined model3 ~samples_per_segment:16 profile3))));
+    (let p3d = Workload.Configs.platform ~cores:3 ~levels:5 ~t_max:60. in
+     Test.make ~name:"ext/demand-3core"
+       (Staged.stage (fun () ->
+            ignore (Core.Demand.solve p3d ~demands:[| 1.0; 0.9; 0.8 |]))));
+    (let p3g = Workload.Configs.platform ~cores:3 ~levels:5 ~t_max:65. in
+     Test.make ~name:"ext/governor-1s"
+       (Staged.stage (fun () ->
+            ignore
+              (Runtime.Governor.simulate p3g
+                 (Runtime.Governor.Threshold { guard = 2. })
+                 ~duration:1. ()))));
+  ]
+
+let run_bechamel () =
+  Experiments.Exp_common.section "PART 2: Bechamel micro-benchmarks (time per run, OLS)";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.3) () in
+  let grouped = Test.make_grouped ~name:"fosc" (tests ()) in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols_result acc ->
+        let ns =
+          match Analyze.OLS.estimates ols_result with
+          | Some (est :: _) -> est
+          | Some [] | None -> nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let t = Util.Table.create [ "benchmark"; "time/run" ] in
+  List.iter
+    (fun (name, ns) ->
+      let pretty =
+        if Float.is_nan ns then "n/a"
+        else if ns > 1e9 then Printf.sprintf "%.3f s" (ns /. 1e9)
+        else if ns > 1e6 then Printf.sprintf "%.3f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%.3f us" (ns /. 1e3)
+        else Printf.sprintf "%.0f ns" ns
+      in
+      Util.Table.add_row t [ name; pretty ])
+    rows;
+  Util.Table.print t
+
+let () =
+  reproduce_all ();
+  run_bechamel ();
+  print_newline ()

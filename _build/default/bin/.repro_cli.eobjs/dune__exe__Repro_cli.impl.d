@@ -1,0 +1,1 @@
+bin/repro_cli.ml: Arg Cmd Cmdliner Experiments Filename List Printf Sys Term Util Workload

@@ -1,0 +1,1 @@
+bin/thermsim.ml: Arg Array Cmd Cmdliner Format Fun Linalg Power Printf Random Sched Stdlib String Term Thermal Util Workload

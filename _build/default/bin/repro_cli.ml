@@ -1,0 +1,305 @@
+(* fosc-experiments: regenerate any table or figure of the paper from the
+   command line, optionally dumping CSV series next to the printed rows.
+
+     fosc-experiments motivation
+     fosc-experiments fig3 --step 0.3 --csv-dir out/
+     fosc-experiments all *)
+
+open Cmdliner
+
+let svg_dir_arg =
+  let doc = "Also render the experiment's figure as SVG into $(docv)." in
+  Arg.(value & opt (some string) None & info [ "svg-dir" ] ~docv:"DIR" ~doc)
+
+let csv_dir_arg =
+  let doc = "Also write the experiment's data series as CSV files into $(docv)." in
+  Arg.(value & opt (some string) None & info [ "csv-dir" ] ~docv:"DIR" ~doc)
+
+let ensure_dir = function
+  | None -> None
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      Some dir
+
+let in_dir dir file = Filename.concat dir file
+
+let run_motivation csv_dir =
+  ignore (ensure_dir csv_dir);
+  Experiments.Exp_motivation.print (Experiments.Exp_motivation.run ())
+
+let run_fig2 csv_dir =
+  ignore (ensure_dir csv_dir);
+  Experiments.Exp_fig2.print (Experiments.Exp_fig2.run ())
+
+let run_fig3 step csv_dir svg_dir =
+  let r = Experiments.Exp_fig3.run ~step () in
+  Experiments.Exp_fig3.print r;
+  (match ensure_dir csv_dir with
+  | Some dir -> Experiments.Exp_fig3.to_csv (in_dir dir "fig3_peak_surface.csv") r
+  | None -> ());
+  match ensure_dir svg_dir with
+  | Some dir ->
+      let svg =
+        Util.Svg_plot.heatmap ~title:"Fig. 3: peak temperature vs phase offsets"
+          ~x_label:"x2 (s)" ~y_label:"x3 (s)" r.Experiments.Exp_fig3.peaks
+      in
+      Util.Svg_plot.write (in_dir dir "fig3.svg") svg
+  | None -> ()
+
+let run_fig4 seed csv_dir =
+  let r = Experiments.Exp_fig4.run ~seed () in
+  Experiments.Exp_fig4.print r;
+  match ensure_dir csv_dir with
+  | Some dir ->
+      Experiments.Exp_fig4.to_csv
+        ~warmup_path:(in_dir dir "fig4_warmup.csv")
+        ~stable_path:(in_dir dir "fig4_stable.csv")
+        r
+  | None -> ()
+
+let run_fig5 seed m_max csv_dir svg_dir =
+  let r = Experiments.Exp_fig5.run ~seed ~m_max () in
+  Experiments.Exp_fig5.print r;
+  (match ensure_dir csv_dir with
+  | Some dir -> Experiments.Exp_fig5.to_csv (in_dir dir "fig5_peak_vs_m.csv") r
+  | None -> ());
+  match ensure_dir svg_dir with
+  | Some dir ->
+      let svg =
+        Util.Svg_plot.line_chart ~title:"Fig. 5: peak temperature vs m (9 cores)"
+          ~x_label:"m" ~y_label:"peak temperature (C)"
+          [
+            {
+              Util.Svg_plot.label = "peak";
+              points =
+                List.map
+                  (fun (m, p) -> (float_of_int m, p))
+                  r.Experiments.Exp_fig5.series;
+            };
+          ]
+      in
+      Util.Svg_plot.write (in_dir dir "fig5.svg") svg
+  | None -> ()
+
+let policy_series rows ~x_of =
+  let series name project =
+    {
+      Util.Svg_plot.label = name;
+      points = List.map (fun r -> (x_of r, project r)) rows;
+    }
+  in
+  [
+    series "LNS" (fun (r : Experiments.Exp_common.policy_row) -> r.lns);
+    series "EXS" (fun (r : Experiments.Exp_common.policy_row) -> r.exs);
+    series "AO" (fun (r : Experiments.Exp_common.policy_row) -> r.ao);
+    series "PCO" (fun (r : Experiments.Exp_common.policy_row) -> r.pco);
+  ]
+
+let run_fig6 t_max csv_dir svg_dir =
+  let r = Experiments.Exp_fig6.run ~t_max () in
+  Experiments.Exp_fig6.print r;
+  (match ensure_dir csv_dir with
+  | Some dir -> Experiments.Exp_fig6.to_csv (in_dir dir "fig6_throughput.csv") r
+  | None -> ());
+  match ensure_dir svg_dir with
+  | Some dir ->
+      (* One panel per core count, throughput vs level count. *)
+      List.iter
+        (fun cores ->
+          let rows =
+            List.filter
+              (fun (row : Experiments.Exp_common.policy_row) -> row.cores = cores)
+              r.Experiments.Exp_fig6.rows
+          in
+          let svg =
+            Util.Svg_plot.line_chart
+              ~title:(Printf.sprintf "Fig. 6: throughput vs levels (%d cores)" cores)
+              ~x_label:"voltage levels" ~y_label:"throughput"
+              (policy_series rows ~x_of:(fun row -> float_of_int row.levels))
+          in
+          Util.Svg_plot.write (in_dir dir (Printf.sprintf "fig6_%dcores.svg" cores)) svg)
+        Workload.Configs.core_counts
+  | None -> ()
+
+let run_fig7 csv_dir svg_dir =
+  let r = Experiments.Exp_fig7.run () in
+  Experiments.Exp_fig7.print r;
+  (match ensure_dir csv_dir with
+  | Some dir -> Experiments.Exp_fig7.to_csv (in_dir dir "fig7_throughput_vs_tmax.csv") r
+  | None -> ());
+  match ensure_dir svg_dir with
+  | Some dir ->
+      List.iter
+        (fun cores ->
+          let rows =
+            List.filter
+              (fun (row : Experiments.Exp_common.policy_row) -> row.cores = cores)
+              r.Experiments.Exp_fig7.rows
+          in
+          let svg =
+            Util.Svg_plot.line_chart
+              ~title:(Printf.sprintf "Fig. 7: throughput vs T_max (%d cores)" cores)
+              ~x_label:"T_max (C)" ~y_label:"throughput"
+              (policy_series rows ~x_of:(fun row -> row.t_max))
+          in
+          Util.Svg_plot.write (in_dir dir (Printf.sprintf "fig7_%dcores.svg" cores)) svg)
+        Workload.Configs.core_counts
+  | None -> ()
+
+let run_table5 csv_dir =
+  let r = Experiments.Exp_table5.run () in
+  Experiments.Exp_table5.print r;
+  match ensure_dir csv_dir with
+  | Some dir -> Experiments.Exp_table5.to_csv (in_dir dir "table5_times.csv") r
+  | None -> ()
+
+let run_ablations csv_dir =
+  ignore (ensure_dir csv_dir);
+  Experiments.Exp_ablations.print (Experiments.Exp_ablations.run ())
+
+let run_sensitivity csv_dir =
+  let r = Experiments.Exp_sensitivity.run () in
+  Experiments.Exp_sensitivity.print r;
+  match ensure_dir csv_dir with
+  | Some dir -> Experiments.Exp_sensitivity.to_csv (in_dir dir "sensitivity_theorem1.csv") r
+  | None -> ()
+
+let run_tasks csv_dir =
+  let r = Experiments.Exp_tasks.run () in
+  Experiments.Exp_tasks.print r;
+  match ensure_dir csv_dir with
+  | Some dir -> Experiments.Exp_tasks.to_csv (in_dir dir "tasks_capacity.csv") r
+  | None -> ()
+
+let run_pareto csv_dir svg_dir =
+  let r = Experiments.Exp_pareto.run () in
+  Experiments.Exp_pareto.print r;
+  (match ensure_dir csv_dir with
+  | Some dir -> Experiments.Exp_pareto.to_csv (in_dir dir "pareto_frontier.csv") r
+  | None -> ());
+  match ensure_dir svg_dir with
+  | Some dir -> Util.Svg_plot.write (in_dir dir "pareto.svg") (Experiments.Exp_pareto.to_svg r)
+  | None -> ()
+
+let run_3d csv_dir =
+  let r = Experiments.Exp_3d.run () in
+  Experiments.Exp_3d.print r;
+  match ensure_dir csv_dir with
+  | Some dir -> Experiments.Exp_3d.to_csv (in_dir dir "stacking3d.csv") r
+  | None -> ()
+
+let run_everything step seed m_max t_max csv_dir svg_dir =
+  run_motivation csv_dir;
+  run_fig2 csv_dir;
+  run_fig3 step csv_dir svg_dir;
+  run_fig4 seed csv_dir;
+  run_fig5 seed m_max csv_dir svg_dir;
+  run_fig6 t_max csv_dir svg_dir;
+  run_fig7 csv_dir svg_dir;
+  run_table5 csv_dir;
+  run_ablations csv_dir;
+  run_sensitivity csv_dir;
+  run_tasks csv_dir;
+  run_pareto csv_dir svg_dir;
+  run_3d csv_dir
+
+let step_arg =
+  let doc = "Sweep resolution in seconds for the Fig. 3 phase grid." in
+  Arg.(value & opt float 0.6 & info [ "step" ] ~docv:"SECONDS" ~doc)
+
+let seed_arg =
+  let doc = "Random seed for the generated schedules." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let m_max_arg =
+  let doc = "Largest oscillation count for the Fig. 5 sweep." in
+  Arg.(value & opt int 50 & info [ "m-max" ] ~docv:"M" ~doc)
+
+let t_max_arg =
+  let doc = "Peak-temperature threshold (degrees C) for the Fig. 6 sweep." in
+  Arg.(value & opt float 55. & info [ "t-max" ] ~docv:"CELSIUS" ~doc)
+
+let () =
+  let motivation =
+    Cmd.v
+      (Cmd.info "motivation" ~doc:"Section III example, Tables II/III")
+      Term.(const run_motivation $ csv_dir_arg)
+  in
+  let fig2 =
+    Cmd.v
+      (Cmd.info "fig2" ~doc:"Fig. 2: single-core oscillation counterexample")
+      Term.(const run_fig2 $ csv_dir_arg)
+  in
+  let fig3 =
+    Cmd.v
+      (Cmd.info "fig3" ~doc:"Fig. 3: step-up bound over phase-shifted schedules")
+      Term.(const run_fig3 $ step_arg $ csv_dir_arg $ svg_dir_arg)
+  in
+  let fig4 =
+    Cmd.v
+      (Cmd.info "fig4" ~doc:"Fig. 4: 6-core step-up temperature trace")
+      Term.(const run_fig4 $ seed_arg $ csv_dir_arg)
+  in
+  let fig5 =
+    Cmd.v
+      (Cmd.info "fig5" ~doc:"Fig. 5: 9-core peak vs oscillation count")
+      Term.(const run_fig5 $ seed_arg $ m_max_arg $ csv_dir_arg $ svg_dir_arg)
+  in
+  let fig6 =
+    Cmd.v
+      (Cmd.info "fig6" ~doc:"Fig. 6: throughput across cores x levels")
+      Term.(const run_fig6 $ t_max_arg $ csv_dir_arg $ svg_dir_arg)
+  in
+  let fig7 =
+    Cmd.v
+      (Cmd.info "fig7" ~doc:"Fig. 7: throughput vs temperature threshold")
+      Term.(const run_fig7 $ csv_dir_arg $ svg_dir_arg)
+  in
+  let table5 =
+    Cmd.v
+      (Cmd.info "table5" ~doc:"Table V: computation-time comparison")
+      Term.(const run_table5 $ csv_dir_arg)
+  in
+  let ablations =
+    Cmd.v
+      (Cmd.info "ablations" ~doc:"Design-choice ablations (DESIGN.md)")
+      Term.(const run_ablations $ csv_dir_arg)
+  in
+  let sensitivity =
+    Cmd.v
+      (Cmd.info "sensitivity" ~doc:"Theorem-1 exceedance vs coupling strength")
+      Term.(const run_sensitivity $ csv_dir_arg)
+  in
+  let tasks =
+    Cmd.v
+      (Cmd.info "tasks" ~doc:"Task-level thermal capacity by partitioning strategy")
+      Term.(const run_tasks $ csv_dir_arg)
+  in
+  let pareto =
+    Cmd.v
+      (Cmd.info "pareto" ~doc:"Throughput/energy frontier under AO")
+      Term.(const run_pareto $ csv_dir_arg $ svg_dir_arg)
+  in
+  let stacking3d =
+    Cmd.v
+      (Cmd.info "stacking3d" ~doc:"Planar vs 3D-stacked platform comparison")
+      Term.(const run_3d $ csv_dir_arg)
+  in
+  let all =
+    Cmd.v
+      (Cmd.info "all" ~doc:"Every experiment in paper order")
+      Term.(
+        const run_everything $ step_arg $ seed_arg $ m_max_arg $ t_max_arg
+        $ csv_dir_arg $ svg_dir_arg)
+  in
+  let info =
+    Cmd.info "fosc-experiments" ~version:"1.0.0"
+      ~doc:
+        "Reproduce the tables and figures of 'Performance Maximization via \
+         Frequency Oscillation on Temperature Constrained Multi-core Processors' \
+         (ICPP 2016)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ motivation; fig2; fig3; fig4; fig5; fig6; fig7; table5; ablations; sensitivity; tasks; pareto; stacking3d; all ]))

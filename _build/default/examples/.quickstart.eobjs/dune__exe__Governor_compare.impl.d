@@ -1,0 +1,1 @@
+examples/governor_compare.ml: Array Core List Power Printf Runtime Workload

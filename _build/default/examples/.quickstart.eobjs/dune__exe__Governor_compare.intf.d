@@ -1,0 +1,1 @@
+examples/governor_compare.mli:

@@ -1,0 +1,1 @@
+examples/interop.ml: Array Core Filename Float Linalg List Power Printf Random Runtime Sched String Sys Thermal Util Workload

@@ -1,0 +1,1 @@
+examples/motivation.ml: Array Core Printf Sched String Workload

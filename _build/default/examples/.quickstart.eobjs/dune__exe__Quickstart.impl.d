@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Core Filename Format Power Printf Sched String Thermal Util

@@ -1,0 +1,1 @@
+examples/realtime.ml: Array Core Format List Printf String Tasks Workload

@@ -1,0 +1,1 @@
+examples/stacked3d.ml: Array Core Power Printf Thermal

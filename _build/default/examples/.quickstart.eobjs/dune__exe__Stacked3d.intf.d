@@ -1,0 +1,1 @@
+examples/stacked3d.mli:

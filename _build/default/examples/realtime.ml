@@ -1,0 +1,71 @@
+(* Thermally-feasible scheduling of a periodic real-time task set.
+
+     dune exec examples/realtime.exe
+
+   The paper maximizes abstract throughput; a real-time adopter instead
+   has a TASK SET and asks: can this workload run on this chip without
+   crossing T_max?  The tasks library answers it with the paper's own
+   machinery:
+
+   1. partition tasks onto cores (first-fit decreasing by utilization);
+   2. each core's total utilization becomes a net-speed demand;
+   3. Core.Demand builds the coolest two-mode m-oscillating schedule
+      delivering those demands (Theorems 3/4/5) and checks T_max;
+   4. a binary search on workload scaling finds the platform's thermal
+      capacity for this task mix. *)
+
+let () =
+  let platform = Workload.Configs.platform ~cores:3 ~levels:5 ~t_max:60. in
+  let task name wcet period = Tasks.Task.make ~name ~wcet ~period in
+  let taskset =
+    [
+      task "video_decode" 6.0e-3 16.7e-3;
+      task "audio_mix" 1.2e-3 5.0e-3;
+      task "sensor_fusion" 2.5e-3 10.0e-3;
+      task "network_rx" 0.8e-3 4.0e-3;
+      task "control_loop" 1.5e-3 2.5e-3;
+      task "ui_render" 8.0e-3 33.3e-3;
+      task "logging" 0.5e-3 20.0e-3;
+      task "crypto" 3.0e-3 12.0e-3;
+    ]
+  in
+  Printf.printf "task set (%d tasks, total utilization %.3f):\n" (List.length taskset)
+    (List.fold_left (fun u t -> u +. Tasks.Task.utilization t) 0. taskset);
+  List.iter (fun t -> Format.printf "  %a@." Tasks.Task.pp t) taskset;
+
+  match Tasks.Feasibility.schedule_tasks platform taskset with
+  | None -> print_endline "partitioning failed: some task exceeds a core's capacity"
+  | Some verdict ->
+      Printf.printf "\nper-core utilization demands: [%s]\n"
+        (String.concat "; "
+           (Array.to_list
+              (Array.map (Printf.sprintf "%.3f") verdict.Tasks.Feasibility.demands)));
+      let r = verdict.Tasks.Feasibility.result in
+      Printf.printf "delivered net speeds:         [%s]\n"
+        (String.concat "; "
+           (Array.to_list (Array.map (Printf.sprintf "%.3f") r.Core.Demand.delivered)));
+      Printf.printf "schedule (m = %d of %d): peak %.2f C, margin %.2f C -> %s\n"
+        r.Core.Demand.m r.Core.Demand.m_max r.Core.Demand.peak r.Core.Demand.margin
+        (if verdict.Tasks.Feasibility.schedulable then "SCHEDULABLE" else "NOT schedulable");
+
+      let factor = Tasks.Feasibility.capacity_factor platform taskset in
+      let factor_ffd =
+        Tasks.Feasibility.capacity_factor ~strategy:`First_fit platform taskset
+      in
+      Printf.printf
+        "\nthermal capacity: the workload can grow %.2fx before T_max = %.0f C binds\n"
+        factor platform.Core.Platform.t_max;
+      Printf.printf
+        "  (first-fit packing concentrates heat and only reaches %.2fx)\n"
+        factor_ffd;
+      (* Sanity: just above the capacity it must fail. *)
+      let above =
+        Tasks.Feasibility.schedule_tasks platform
+          (List.map (Tasks.Task.scale (factor *. 1.05)) taskset)
+      in
+      (match above with
+      | Some v ->
+          Printf.printf "at %.2fx: peak %.2f C -> %s\n" (factor *. 1.05)
+            v.Tasks.Feasibility.result.Core.Demand.peak
+            (if v.Tasks.Feasibility.schedulable then "schedulable" else "not schedulable")
+      | None -> Printf.printf "at %.2fx: packing fails\n" (factor *. 1.05))

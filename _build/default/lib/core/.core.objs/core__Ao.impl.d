@@ -1,0 +1,1 @@
+lib/core/ao.ml: Array Float Ideal Logs Platform Power Sched Stdlib Tpt

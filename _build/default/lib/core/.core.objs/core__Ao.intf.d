@@ -1,0 +1,1 @@
+lib/core/ao.mli: Ideal Platform Sched Tpt

@@ -1,0 +1,1 @@
+lib/core/exs.ml: Array Linalg Platform Power Sched Thermal

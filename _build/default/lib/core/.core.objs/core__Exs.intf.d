@@ -1,0 +1,1 @@
+lib/core/exs.mli: Platform

@@ -1,0 +1,1 @@
+lib/core/lns.ml: Array Ideal Platform Power Sched

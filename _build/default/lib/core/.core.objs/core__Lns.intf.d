@@ -1,0 +1,1 @@
+lib/core/lns.mli: Platform

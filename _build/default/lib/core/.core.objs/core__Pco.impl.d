@@ -1,0 +1,1 @@
+lib/core/pco.ml: Ao Array Platform Sched Tpt

@@ -1,0 +1,1 @@
+lib/core/pco.mli: Ao Platform Sched Tpt

@@ -1,0 +1,1 @@
+lib/core/sprint.ml: Ao Array Float Platform Power Thermal

@@ -1,0 +1,1 @@
+lib/core/sprint.mli: Ao Platform

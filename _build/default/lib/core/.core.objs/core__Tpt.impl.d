@@ -1,0 +1,1 @@
+lib/core/tpt.ml: Array Float Linalg Platform Printf Sched

@@ -1,0 +1,1 @@
+lib/core/tpt.mli: Platform Sched

@@ -1,0 +1,1 @@
+lib/core/tsp.ml: Array Float Platform Power Sched Thermal

@@ -1,0 +1,1 @@
+lib/core/tsp.mli: Platform

@@ -1,0 +1,205 @@
+type result = {
+  voltages : float array;
+  throughput : float;
+  peak : float;
+  evaluated : int;
+  feasible : bool;
+}
+
+let mean a = Array.fold_left ( +. ) 0. a /. float_of_int (Array.length a)
+
+(* Shared odometer enumeration: [visit digits] is called for every
+   assignment; [on_tick i old_digit new_digit] reports each single-digit
+   change so the caller can update state incrementally. *)
+let enumerate ~n ~l ~on_tick ~visit =
+  let digits = Array.make n 0 in
+  let continue = ref true in
+  let count = ref 0 in
+  while !continue do
+    incr count;
+    visit digits;
+    (* Advance the odometer, reporting every digit change. *)
+    let rec carry i =
+      if i >= n then continue := false
+      else if digits.(i) + 1 < l then begin
+        on_tick i digits.(i) (digits.(i) + 1);
+        digits.(i) <- digits.(i) + 1
+      end
+      else begin
+        on_tick i digits.(i) 0;
+        digits.(i) <- 0;
+        carry (i + 1)
+      end
+    in
+    carry 0
+  done;
+  !count
+
+let best_result (p : Platform.t) best_digits best_score levels evaluated =
+  match best_digits with
+  | Some digits ->
+      let voltages = Array.map (fun d -> levels.(d)) digits in
+      {
+        voltages;
+        throughput = mean voltages;
+        peak = Sched.Peak.steady_constant p.model p.power voltages;
+        evaluated;
+        feasible = true;
+      }
+  | None ->
+      ignore best_score;
+      {
+        voltages = Array.make (Platform.n_cores p) levels.(0);
+        throughput = 0.;
+        peak = infinity;
+        evaluated;
+        feasible = false;
+      }
+
+let solve (p : Platform.t) =
+  let n = Platform.n_cores p in
+  let levels = Power.Vf.levels p.levels in
+  let l = Array.length levels in
+  let psi_of_level = Array.map (Power.Power_model.psi p.power) levels in
+  (* Steady core temps are affine in the power vector:
+     T = offset + sum_j column_j * psi_j.  Factorize once. *)
+  let offset = Thermal.Model.steady_core_temps p.model (Array.make n 0.) in
+  let column j =
+    let unit = Array.make n 0. in
+    unit.(j) <- 1.;
+    let with_unit = Thermal.Model.steady_core_temps p.model unit in
+    Array.init n (fun i -> with_unit.(i) -. offset.(i))
+  in
+  let columns = Array.init n column in
+  let temps = Array.copy offset in
+  for j = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      temps.(i) <- temps.(i) +. (columns.(j).(i) *. psi_of_level.(0))
+    done
+  done;
+  let best_score = ref neg_infinity in
+  let best_digits = ref None in
+  let on_tick j d_old d_new =
+    let dpsi = psi_of_level.(d_new) -. psi_of_level.(d_old) in
+    for i = 0 to n - 1 do
+      temps.(i) <- temps.(i) +. (columns.(j).(i) *. dpsi)
+    done
+  in
+  let visit digits =
+    let hottest = ref neg_infinity in
+    for i = 0 to n - 1 do
+      if temps.(i) > !hottest then hottest := temps.(i)
+    done;
+    if !hottest <= p.t_max +. 1e-9 then begin
+      let score = ref 0. in
+      for i = 0 to n - 1 do
+        score := !score +. levels.(digits.(i))
+      done;
+      if !score > !best_score then begin
+        best_score := !score;
+        best_digits := Some (Array.copy digits)
+      end
+    end
+  in
+  let evaluated = enumerate ~n ~l ~on_tick ~visit in
+  best_result p !best_digits !best_score levels evaluated
+
+let solve_naive (p : Platform.t) =
+  let n = Platform.n_cores p in
+  let levels = Power.Vf.levels p.levels in
+  let l = Array.length levels in
+  let best_score = ref neg_infinity in
+  let best_digits = ref None in
+  (* Algorithm 1 verbatim: a fresh T^inf = -A^{-1} B factorization per
+     combination (line 7), with no incremental reuse. *)
+  let a = Thermal.Model.a_matrix p.model in
+  let visit digits =
+    let voltages = Array.map (fun d -> levels.(d)) digits in
+    let psi = Power.Power_model.psi_vector p.power voltages in
+    let b = Thermal.Model.input_of_core_powers p.model psi in
+    let theta = Linalg.Vec.scale (-1.) (Linalg.Lu.solve a b) in
+    let peak = Thermal.Model.max_core_temp p.model theta in
+    if peak <= p.t_max +. 1e-9 then begin
+      let score = Array.fold_left ( +. ) 0. voltages in
+      if score > !best_score then begin
+        best_score := score;
+        best_digits := Some (Array.copy digits)
+      end
+    end
+  in
+  let evaluated = enumerate ~n ~l ~on_tick:(fun _ _ _ -> ()) ~visit in
+  best_result p !best_digits !best_score levels evaluated
+
+let solve_pruned (p : Platform.t) =
+  let n = Platform.n_cores p in
+  let levels = Power.Vf.levels p.levels in
+  let l = Array.length levels in
+  let psi_of_level = Array.map (Power.Power_model.psi p.power) levels in
+  let offset = Thermal.Model.steady_core_temps p.model (Array.make n 0.) in
+  let column j =
+    let unit = Array.make n 0. in
+    unit.(j) <- 1.;
+    let with_unit = Thermal.Model.steady_core_temps p.model unit in
+    Array.init n (fun i -> with_unit.(i) -. offset.(i))
+  in
+  let columns = Array.init n column in
+  (* temps = steady core temps for the current partial assignment with
+     every unassigned core preloaded at the LOWEST level (the subtree's
+     temperature lower bound, by monotonicity). *)
+  let temps = Array.copy offset in
+  for j = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      temps.(i) <- temps.(i) +. (columns.(j).(i) *. psi_of_level.(0))
+    done
+  done;
+  let digits = Array.make n 0 in
+  let best_score = ref neg_infinity in
+  let best_digits = ref None in
+  let visited = ref 0 in
+  let bump j d_old d_new =
+    let dpsi = psi_of_level.(d_new) -. psi_of_level.(d_old) in
+    for i = 0 to n - 1 do
+      temps.(i) <- temps.(i) +. (columns.(j).(i) *. dpsi)
+    done
+  in
+  let hottest () =
+    let h = ref neg_infinity in
+    for i = 0 to n - 1 do
+      if temps.(i) > !h then h := temps.(i)
+    done;
+    !h
+  in
+  (* Assign core j; cores 0..j-1 hold their digits, cores j..n-1 sit at
+     level 0.  [score] is the partial voltage sum of cores 0..j-1. *)
+  let v_top = levels.(l - 1) in
+  let rec assign j score =
+    incr visited;
+    if hottest () > p.t_max +. 1e-9 then
+      (* Even with the rest at minimum this subtree violates: prune. *)
+      ()
+    else if j = n then begin
+      let total = score in
+      if total > !best_score then begin
+        best_score := total;
+        best_digits := Some (Array.copy digits)
+      end
+    end
+    else if score +. (float_of_int (n - j) *. v_top) <= !best_score +. 1e-12 then
+      (* Bound: cannot beat the incumbent even at full speed. *)
+      ()
+    else
+      (* Try levels high-to-low so good incumbents appear early and the
+         score bound bites. *)
+      for d = l - 1 downto 0 do
+        bump j digits.(j) d;
+        digits.(j) <- d;
+        assign (j + 1) (score +. levels.(d))
+      done;
+    (* Restore core j to level 0 for the caller. *)
+    if j < n then begin
+      bump j digits.(j) 0;
+      digits.(j) <- 0
+    end
+  in
+  assign 0 0.;
+  best_result p !best_digits !best_score levels !visited

@@ -1,0 +1,39 @@
+(** EXS — the exhaustive-search baseline (Algorithm 1).
+
+    Enumerates every assignment of one discrete level per core, checks
+    the steady-state peak temperature against [T_max] and keeps the
+    feasible assignment with the largest total frequency.  The search
+    space is [levels^cores], which is what makes EXS explode in Table V.
+
+    Two evaluators are provided: {!solve} pre-factorizes the steady-state
+    map once and updates core temperatures incrementally as the
+    enumeration odometer ticks (the optimization DESIGN.md's ablation
+    quantifies), while {!solve_naive} re-solves [T^inf = -A^{-1}B] from
+    scratch for every combination, exactly as Algorithm 1 is written. *)
+
+type result = {
+  voltages : float array;  (** Best feasible assignment (lowest levels when
+                                nothing feasible exists). *)
+  throughput : float;  (** Mean voltage of the best assignment, 0 if none. *)
+  peak : float;  (** Steady peak of the best assignment, [infinity] if none. *)
+  evaluated : int;  (** Combinations examined. *)
+  feasible : bool;  (** Whether any assignment met the constraint. *)
+}
+
+(** [solve platform] runs the incremental exhaustive search. *)
+val solve : Platform.t -> result
+
+(** [solve_naive platform] runs the textbook version (one dense linear
+    solve per combination).  Same result, slower — kept for the
+    ablation benchmark. *)
+val solve_naive : Platform.t -> result
+
+(** [solve_pruned platform] runs a branch-and-bound enumeration instead
+    of the flat odometer: cores are assigned one at a time
+    (highest-level-first), and a subtree is cut when (a) the steady
+    temperature with every remaining core at the LOWEST level already
+    violates [t_max] — monotonicity makes the whole subtree infeasible —
+    or (b) the best possible remaining score cannot beat the incumbent.
+    Same result as {!solve}; [evaluated] counts visited search nodes,
+    typically a small fraction of [levels^cores]. *)
+val solve_pruned : Platform.t -> result

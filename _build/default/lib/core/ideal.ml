@@ -1,0 +1,67 @@
+type result = {
+  voltages : float array;
+  psi : float array;
+  throughput : float;
+  clamped : bool array;
+}
+
+let mean a = Array.fold_left ( +. ) 0. a /. float_of_int (Array.length a)
+
+let solve ?(refine = true) (p : Platform.t) =
+  let n = Platform.n_cores p in
+  let v_lo = Power.Vf.lowest p.levels and v_hi = Power.Vf.highest p.levels in
+  let clamp v = Float.min v_hi (Float.max v_lo v) in
+  let constraints =
+    Array.make n (Thermal.Model.Pinned_temperature p.t_max)
+  in
+  let psi, _ = Thermal.Model.solve_mixed p.model constraints in
+  let voltages = Array.map (fun w -> clamp (Power.Power_model.voltage_for_psi p.power w)) psi in
+  let clamped =
+    Array.mapi
+      (fun i v ->
+        let unclamped = Power.Power_model.voltage_for_psi p.power psi.(i) in
+        Float.abs (v -. unclamped) > 1e-12)
+      voltages
+  in
+  let voltages, psi =
+    if not refine then (voltages, psi)
+    else begin
+      (* Re-solve with clamped cores as fixed power sources until the
+         clamp set stabilizes (at most n rounds: the set only grows). *)
+      let voltages = Array.copy voltages and psi = Array.copy psi in
+      let is_clamped = Array.copy clamped in
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        let constraints =
+          Array.init n (fun i ->
+              if is_clamped.(i) then
+                Thermal.Model.Known_power (Power.Power_model.psi p.power voltages.(i))
+              else Thermal.Model.Pinned_temperature p.t_max)
+        in
+        let psi', temps = Thermal.Model.solve_mixed p.model constraints in
+        (* A pinned core whose refined voltage clamps joins the clamp set;
+           a clamped-at-max core stays (its temp is below t_max by
+           construction of clamping high targets down). *)
+        Array.iteri
+          (fun i w ->
+            if not is_clamped.(i) then begin
+              let v = Power.Power_model.voltage_for_psi p.power w in
+              if v > v_hi +. 1e-12 || v < v_lo -. 1e-12 then begin
+                voltages.(i) <- clamp v;
+                psi.(i) <- Power.Power_model.psi p.power voltages.(i);
+                is_clamped.(i) <- true;
+                changed := true
+              end
+              else begin
+                voltages.(i) <- v;
+                psi.(i) <- w
+              end
+            end)
+          psi';
+        ignore temps
+      done;
+      (voltages, psi)
+    end
+  in
+  { voltages; psi; throughput = mean voltages; clamped }

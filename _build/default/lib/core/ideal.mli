@@ -1,0 +1,22 @@
+(** The ideal continuous speed assignment (first step of Section V).
+
+    Pins every core's steady-state temperature at [T_max], solves the
+    steady thermal equations for the per-core power budget and inverts
+    the power model: [v_i = cbrt((P_i - alpha - beta T_max) / gamma)].
+    Voltages are clamped into the platform's level range; with
+    [refine = true] (the default) cores that clamp are re-cast as
+    fixed-power sources and the remaining cores re-solved, so the
+    headroom a clamped core leaves is redistributed — an improvement the
+    paper's one-shot formula forgoes (kept available as an ablation via
+    [refine = false]). *)
+
+type result = {
+  voltages : float array;  (** Per-core ideal (continuous) voltage, V. *)
+  psi : float array;  (** The power budget behind each voltage, W. *)
+  throughput : float;  (** Mean voltage = Eq. (5) for a constant schedule. *)
+  clamped : bool array;  (** Which cores hit the voltage range limits. *)
+}
+
+(** [solve ?refine platform] computes the ideal assignment.  [refine]
+    defaults to [true]. *)
+val solve : ?refine:bool -> Platform.t -> result

@@ -1,0 +1,10 @@
+type result = { voltages : float array; throughput : float; peak : float }
+
+let solve (p : Platform.t) =
+  let ideal = Ideal.solve p in
+  let voltages = Array.map (Power.Vf.round_down p.levels) ideal.Ideal.voltages in
+  let peak = Sched.Peak.steady_constant p.model p.power voltages in
+  let throughput =
+    Array.fold_left ( +. ) 0. voltages /. float_of_int (Array.length voltages)
+  in
+  { voltages; throughput; peak }

@@ -1,0 +1,19 @@
+(** LNS — the lower-neighbouring-speed baseline (Section III).
+
+    Each core's ideal continuous voltage is rounded *down* to the nearest
+    available discrete level and run constantly.  Rounding down can only
+    lower every steady temperature, so the result inherits the ideal
+    assignment's feasibility; it is pessimistic exactly when the level
+    grid is coarse — the effect the paper's motivation example
+    quantifies. *)
+
+type result = {
+  voltages : float array;  (** Chosen discrete level per core. *)
+  throughput : float;  (** Mean voltage. *)
+  peak : float;  (** Steady-state peak temperature, degrees C. *)
+}
+
+(** [solve platform] runs LNS.  The returned [peak] is always at most
+    the steady peak of the ideal assignment (hence at most [t_max] when
+    the platform is feasible). *)
+val solve : Platform.t -> result

@@ -1,0 +1,58 @@
+type result = {
+  config : Tpt.config;
+  schedule : Sched.Schedule.t;
+  m : int;
+  throughput : float;
+  peak : float;
+  ao : Ao.result;
+  fill_steps : int;
+}
+
+let scan_peak (p : Platform.t) c =
+  Sched.Peak.of_any p.model p.power ~samples_per_segment:16 (Tpt.schedule_of_config c)
+
+let solve ?base_period ?m_cap ?t_unit ?(offsets_per_core = 8) ?(rounds = 1)
+    (p : Platform.t) =
+  if offsets_per_core < 1 then invalid_arg "Pco.solve: offsets_per_core < 1";
+  if rounds < 1 then invalid_arg "Pco.solve: rounds < 1";
+  let ao = Ao.solve ?base_period ?m_cap ?t_unit p in
+  let n = Platform.n_cores p in
+  let config = ref ao.Ao.config in
+  (* Greedy per-core phase search: core 0 stays put (only relative phase
+     matters); each following core tries a grid of shifts and keeps the
+     one minimizing the dense-scan peak.  Later rounds revisit every
+     core against the others' chosen offsets. *)
+  let period = !config.Tpt.period in
+  for _round = 1 to rounds do
+  for i = 1 to n - 1 do
+    let best_offset = ref !config.Tpt.offset.(i) in
+    let best_peak = ref (scan_peak p !config) in
+    for k = 1 to offsets_per_core - 1 do
+      let offset = period *. float_of_int k /. float_of_int offsets_per_core in
+      let candidate_offsets = Array.copy !config.Tpt.offset in
+      candidate_offsets.(i) <- offset;
+      let candidate = { !config with Tpt.offset = candidate_offsets } in
+      let peak = scan_peak p candidate in
+      if peak < !best_peak -. 1e-12 then begin
+        best_peak := peak;
+        best_offset := offset
+      end
+    done;
+    let offsets = Array.copy !config.Tpt.offset in
+    offsets.(i) <- !best_offset;
+    config := { !config with Tpt.offset = offsets }
+  done
+  done;
+  (* De-phasing can only have lowered the peak; convert the headroom back
+     into throughput. *)
+  let filled, fill_steps = Tpt.fill_headroom p ?t_unit !config in
+  let schedule = Tpt.schedule_of_config filled in
+  {
+    config = filled;
+    schedule;
+    m = ao.Ao.m;
+    throughput = Tpt.throughput p filled;
+    peak = scan_peak p filled;
+    ao;
+    fill_steps;
+  }

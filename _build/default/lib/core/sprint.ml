@@ -1,0 +1,31 @@
+type plan = {
+  burst_voltages : float array;
+  burst_duration : float;
+  burst_work : float;
+  steady : Ao.result;
+  sprint_gain : float;
+}
+
+let plan ?(margin = 0.5) (p : Platform.t) =
+  if margin < 0. then invalid_arg "Sprint.plan: negative margin";
+  let n = Platform.n_cores p in
+  let v_top = Power.Vf.highest p.levels in
+  let burst_voltages = Array.make n v_top in
+  let psi = Power.Power_model.psi_vector p.power burst_voltages in
+  let profile = [ { Thermal.Matex.duration = 1.0; psi } ] in
+  let burst_duration =
+    match
+      Thermal.Matex.time_to_threshold p.model ~max_periods:10_000
+        ~threshold:(p.t_max -. margin) profile
+    with
+    | Some t -> t
+    | None -> infinity
+  in
+  let steady = Ao.solve p in
+  let burst_work, sprint_gain =
+    if Float.is_finite burst_duration then
+      let work = v_top *. burst_duration in
+      (work, work -. (steady.Ao.throughput *. burst_duration))
+    else (infinity, 0.)
+  in
+  { burst_voltages; burst_duration; burst_work; steady; sprint_gain }

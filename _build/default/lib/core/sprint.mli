@@ -1,0 +1,34 @@
+(** Computational sprinting on top of the paper's machinery.
+
+    A chip that has been idle sits at the ambient temperature — far
+    below [T_max] — so it can briefly run hotter-than-sustainable
+    ("sprint") before throttling to a thermally sustainable schedule.
+    The transient analysis makes the safe burst length exact: it is the
+    {!Thermal.Matex.time_to_threshold} of the burst assignment from the
+    idle state.  The plan is
+
+    - burst: every core at the highest mode for [burst_duration];
+    - then: hand over to AO's sustainable oscillating schedule.
+
+    Because AO's schedule holds its stable peak at [T_max], the handover
+    is safe: the chip enters it at most at [T_max] and the schedule's
+    stable status is the hottest trajectory it ever reaches (up to the
+    documented coupling tolerance, which the dense verification in AO
+    already covers). *)
+
+type plan = {
+  burst_voltages : float array;  (** All-top-mode assignment. *)
+  burst_duration : float;
+      (** Seconds from ambient until [T_max] is reached; [infinity] when
+          the burst assignment is sustainable forever. *)
+  burst_work : float;  (** Work per core done during the burst. *)
+  steady : Ao.result;  (** The sustainable schedule sprinted into. *)
+  sprint_gain : float;
+      (** Extra work per core vs running the steady schedule during the
+          burst window — what sprinting buys; 0 for infinite bursts. *)
+}
+
+(** [plan ?margin platform] computes the sprint plan.  [margin] (default
+    0.5 C) backs the burst threshold off [t_max] to absorb the handover
+    transient. *)
+val plan : ?margin:float -> Platform.t -> plan

@@ -1,0 +1,151 @@
+type config = {
+  period : float;
+  v_low : float array;
+  v_high : float array;
+  high_time : float array;
+  offset : float array;
+}
+
+let validate c =
+  let n = Array.length c.v_low in
+  if c.period <= 0. then invalid_arg "Tpt: non-positive period";
+  if Array.length c.v_high <> n || Array.length c.high_time <> n
+     || Array.length c.offset <> n
+  then invalid_arg "Tpt: array arity mismatch";
+  Array.iteri
+    (fun i vl ->
+      if vl > c.v_high.(i) +. 1e-12 then
+        invalid_arg (Printf.sprintf "Tpt: core %d has v_low > v_high" i);
+      if c.high_time.(i) < -1e-12 || c.high_time.(i) > c.period +. 1e-12 then
+        invalid_arg (Printf.sprintf "Tpt: core %d high_time outside [0, period]" i))
+    c.v_low
+
+let is_aligned c = Array.for_all (fun o -> Float.abs o < 1e-12) c.offset
+
+let schedule_of_config c =
+  validate c;
+  let n = Array.length c.v_low in
+  let ratio = Array.init n (fun i -> Float.max 0. (Float.min 1. (c.high_time.(i) /. c.period))) in
+  let base =
+    Sched.Schedule.two_mode ~period:c.period ~low:c.v_low ~high:c.v_high
+      ~high_ratio:ratio
+  in
+  let s = ref base in
+  Array.iteri (fun i o -> if Float.abs o > 1e-12 then s := Sched.Schedule.shift !s i o) c.offset;
+  !s
+
+let peak (p : Platform.t) ?(dense = false) c =
+  let s = schedule_of_config c in
+  if is_aligned c && not dense then Sched.Peak.of_step_up p.model p.power s
+  else Sched.Peak.of_any p.model p.power ~samples_per_segment:16 s
+
+(* Stable-status end-of-period core temperatures (the quantity the TPT
+   index differentiates).  For shifted configs we fall back to the peak
+   itself as the scalar being reduced. *)
+let hot_metric (p : Platform.t) c =
+  let s = schedule_of_config c in
+  Sched.Peak.stable_end_core_temps p.model p.power s
+
+(* A core can give up high time as long as ANY remains — the final
+   exchange may be smaller than t_unit (with_high_time clamps at 0), so
+   the loop can always drive a violating schedule all the way down to
+   all-low rather than stranding a sub-quantum residue above T_max. *)
+let adjustable c i _t_unit =
+  c.high_time.(i) > 1e-12 && c.v_high.(i) -. c.v_low.(i) > 1e-12
+
+let raisable c i t_unit =
+  c.period -. c.high_time.(i) >= t_unit -. 1e-12 && c.v_high.(i) -. c.v_low.(i) > 1e-12
+
+let with_high_time c i dt =
+  let high_time = Array.copy c.high_time in
+  high_time.(i) <- Float.max 0. (Float.min c.period (high_time.(i) +. dt));
+  { c with high_time }
+
+let adjust_to_constraint (p : Platform.t) ?t_unit ?(dense = false) c =
+  validate c;
+  let t_unit = match t_unit with Some u -> u | None -> c.period /. 100. in
+  if t_unit <= 0. then invalid_arg "Tpt.adjust_to_constraint: non-positive t_unit";
+  let n = Array.length c.v_low in
+  let rec loop c steps =
+    let temps = hot_metric p c in
+    let current_peak = peak p ~dense c in
+    if current_peak <= p.t_max +. 1e-9 then (c, steps)
+    else begin
+      let hottest = Linalg.Vec.argmax temps in
+      (* TPT index: peak reduction at the hottest core per unit of
+         throughput given up on core j. *)
+      let best = ref None in
+      for j = 0 to n - 1 do
+        if adjustable c j t_unit then begin
+          let candidate = with_high_time c j (-.t_unit) in
+          let dt = temps.(hottest) -. (hot_metric p candidate).(hottest) in
+          let tpt = dt /. ((c.v_high.(j) -. c.v_low.(j)) *. t_unit) in
+          match !best with
+          | Some (_, _, best_tpt) when best_tpt >= tpt -> ()
+          | _ -> best := Some (j, candidate, tpt)
+        end
+      done;
+      match !best with
+      | None -> (c, steps) (* nothing left to trade; caller checks peak *)
+      | Some (_, candidate, _) -> loop candidate (steps + 1)
+    end
+  in
+  loop c 0
+
+let scale_high_times c s =
+  { c with high_time = Array.map (fun h -> h *. s) c.high_time }
+
+let adjust_by_bisection (p : Platform.t) ?(tol = 1e-3) c =
+  validate c;
+  if peak p c <= p.t_max +. 1e-9 then (c, 1)
+  else begin
+    let evals = ref 1 in
+    let feasible s =
+      incr evals;
+      peak p (scale_high_times c s) <= p.t_max +. 1e-9
+    in
+    if not (feasible 0.) then (scale_high_times c 0., !evals)
+    else begin
+      let lo = ref 0. and hi = ref 1. in
+      while !hi -. !lo > tol do
+        let mid = (!lo +. !hi) /. 2. in
+        if feasible mid then lo := mid else hi := mid
+      done;
+      (scale_high_times c !lo, !evals)
+    end
+  end
+
+let fill_headroom (p : Platform.t) ?t_unit c =
+  validate c;
+  let t_unit = match t_unit with Some u -> u | None -> c.period /. 100. in
+  if t_unit <= 0. then invalid_arg "Tpt.fill_headroom: non-positive t_unit";
+  let n = Array.length c.v_low in
+  let rec loop c steps =
+    if peak p c > p.t_max -. 1e-9 then (c, steps)
+    else begin
+      (* Among raisable cores, pick the largest throughput gain per degree
+         of headroom consumed, among those that stay feasible. *)
+      let best = ref None in
+      for j = 0 to n - 1 do
+        if raisable c j t_unit then begin
+          let candidate = with_high_time c j t_unit in
+          let candidate_peak = peak p candidate in
+          if candidate_peak <= p.t_max +. 1e-9 then begin
+            let gain = (c.v_high.(j) -. c.v_low.(j)) *. t_unit in
+            let cost = Float.max 1e-12 (candidate_peak -. peak p c) in
+            let index = gain /. cost in
+            match !best with
+            | Some (_, _, best_index) when best_index >= index -> ()
+            | _ -> best := Some (j, candidate, index)
+          end
+        end
+      done;
+      match !best with
+      | None -> (c, steps)
+      | Some (_, candidate, _) -> loop candidate (steps + 1)
+    end
+  in
+  loop c 0
+
+let throughput (p : Platform.t) c =
+  Sched.Throughput.with_overhead ~tau:p.tau (schedule_of_config c)

@@ -1,0 +1,66 @@
+(** The temperature-performance-tradeoff ratio adjustment of Algorithm 2
+    (lines 14-21), factored out so AO and PCO share it.
+
+    A two-mode oscillation is summarized by a {!config}: for every core,
+    the low and high voltages, how much of the (mini-)period the high
+    mode occupies, and an optional phase offset (0 for AO's step-up form;
+    PCO's spatial search sets it).  The adjustment loop moves high-mode
+    time to low-mode time, one [t_unit] at a time, on the core with the
+    best temperature-reduction-per-throughput-loss index
+    [TPT_j = dT_hottest / ((v_H_j - v_L_j) t_unit)], until the peak
+    temperature meets the constraint.  {!fill_headroom} runs the same
+    exchange in reverse while the constraint has slack. *)
+
+type config = {
+  period : float;  (** The (mini-)period, seconds. *)
+  v_low : float array;
+  v_high : float array;
+  high_time : float array;  (** Seconds of high mode per period, per core. *)
+  offset : float array;  (** Phase shift per core, seconds (0 = step-up). *)
+}
+
+(** [validate c] raises [Invalid_argument] on non-positive period,
+    mismatched arities, [v_low > v_high], or [high_time] outside
+    [0, period]. *)
+val validate : config -> unit
+
+(** [schedule_of_config c] materializes the schedule: each core runs low
+    then high (step-up order), then is rotated by its offset. *)
+val schedule_of_config : config -> Sched.Schedule.t
+
+(** [peak platform ?dense c] evaluates the stable-status peak
+    temperature: end-of-period when every offset is 0 (step-up,
+    Theorem 1) and [dense] is [false], a dense scan otherwise.  The
+    dense evaluator exists because Theorem 1 is only approximate under
+    strong inter-core coupling (see EXPERIMENTS.md): AO runs its search
+    with the cheap evaluator and re-verifies the final answer
+    densely. *)
+val peak : Platform.t -> ?dense:bool -> config -> float
+
+(** [adjust_to_constraint platform ?t_unit c] is the Algorithm 2 loop:
+    returns the adjusted config and the number of [t_unit] exchanges.
+    [t_unit] defaults to [c.period / 100].  Gives up (returning the
+    all-low config) if every core reaches zero high time while still
+    violating — callers should have checked {!Platform.feasible}. *)
+val adjust_to_constraint :
+  Platform.t -> ?t_unit:float -> ?dense:bool -> config -> config * int
+
+(** [adjust_by_bisection platform ?tol c] is the fast alternative to the
+    greedy loop: scale every core's high time by a common factor
+    [s in [0, 1]] and bisect on the largest feasible [s].  The peak is
+    monotone in [s] (more high time = more heat everywhere), so
+    bisection is sound; unlike the greedy TPT loop it cannot shift work
+    *between* cores, so it can concede slightly more throughput — the
+    ablation quantifies the trade.  Returns the adjusted config and the
+    number of peak evaluations. *)
+val adjust_by_bisection : Platform.t -> ?tol:float -> config -> config * int
+
+(** [fill_headroom platform ?t_unit c] converts low time back to high
+    time while the peak stays below [t_max], greedily choosing the core
+    with the best throughput-gain-per-degree index; stops when no single
+    exchange fits.  Returns the new config and exchange count. *)
+val fill_headroom : Platform.t -> ?t_unit:float -> config -> config * int
+
+(** [throughput platform c] is the net chip-wide throughput of the
+    config's schedule, charging the platform's [tau] per transition. *)
+val throughput : Platform.t -> config -> float

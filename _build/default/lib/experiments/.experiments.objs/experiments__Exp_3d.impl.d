@@ -1,0 +1,1 @@
+lib/experiments/exp_3d.ml: Core Exp_common Linalg List Power Printf Util Workload

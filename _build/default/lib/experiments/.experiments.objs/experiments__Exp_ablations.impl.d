@@ -1,0 +1,1 @@
+lib/experiments/exp_ablations.ml: Array Core Exp_common Float List Power Printf Sched String Util Workload

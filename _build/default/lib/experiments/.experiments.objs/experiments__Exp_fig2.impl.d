@@ -1,0 +1,1 @@
+lib/experiments/exp_fig2.ml: Exp_common Power Printf Sched Thermal

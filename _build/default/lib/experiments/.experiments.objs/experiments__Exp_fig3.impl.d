@@ -1,0 +1,1 @@
+lib/experiments/exp_fig3.ml: Exp_common Float List Power Printf Sched Thermal Util Workload

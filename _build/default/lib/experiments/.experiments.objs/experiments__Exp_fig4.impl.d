@@ -1,0 +1,1 @@
+lib/experiments/exp_fig4.ml: Array Exp_common Float Format Linalg List Power Printf Random Sched Stdlib Thermal Util Workload

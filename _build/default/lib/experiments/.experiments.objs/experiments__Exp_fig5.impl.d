@@ -1,0 +1,1 @@
+lib/experiments/exp_fig5.ml: Exp_common List Power Printf Random Sched Thermal Util Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig6.ml: Array Exp_common List Printf Util Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig7.ml: Exp_common List Printf Util Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_motivation.ml: Array Core Exp_common List Printf String Util Workload

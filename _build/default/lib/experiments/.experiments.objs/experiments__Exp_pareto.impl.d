@@ -1,0 +1,1 @@
+lib/experiments/exp_pareto.ml: Core Exp_common List Printf Sched Util Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_sensitivity.ml: Array Exp_common Float List Power Printf Random Sched Thermal Util Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_table5.ml: Core Exp_common Float List Printf Util Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_tasks.ml: Exp_common List Printf Stdlib Tasks Util Workload

@@ -1,0 +1,28 @@
+(** 3D-stacking study (the paper's motivating technology, beyond its own
+    evaluation).
+
+    Compares the same core count laid out planar (2D) versus stacked
+    (two layers): stacking lengthens the heat-removal path of the upper
+    die, cuts every policy's throughput, increases the spread between
+    the ideal per-layer speeds — and widens AO's advantage over the
+    constant-speed policies, because oscillation exploits exactly the
+    headroom heterogeneity that hurts single-speed assignments. *)
+
+type row = {
+  label : string;
+  cores : int;
+  lns : float;
+  exs : float;
+  ao : float;
+  ideal_spread : float;
+      (** Max - min ideal per-core voltage: the thermal heterogeneity. *)
+}
+
+type result = { t_max : float; rows : row list }
+
+(** [run ?t_max ()] (default 60 C, 5-level set) compares 2x2 planar,
+    2x4 planar and 2x(2x2) stacked platforms. *)
+val run : ?t_max:float -> unit -> result
+
+val print : result -> unit
+val to_csv : string -> result -> unit

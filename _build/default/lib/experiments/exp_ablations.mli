@@ -1,0 +1,45 @@
+(** Ablation studies on the design choices DESIGN.md calls out.
+
+    1. m-oscillation: AO with m forced to 1 vs the full m sweep — how
+       much of AO's margin comes from oscillating at all.
+    2. Neighbouring modes (Theorem 4): AO built on the widest mode pair
+       instead of the neighbours — peak temperature of the
+       equal-throughput schedule before ratio adjustment.
+    3. EXS incremental evaluation vs Algorithm-1-verbatim refactorization.
+    4. Ideal-solve refinement: redistribute the headroom clamped cores
+       leave (our extension) vs the paper's one-shot formula.
+    5. TSP power budgeting (the paper's reference [9]) vs EXS and AO on
+       the 9-core platform: uniform worst-case budgeting is pessimistic
+       exactly as the paper argues. *)
+
+type result = {
+  three_mode_peak : float;
+      (** Equal-work three-mode schedule peak (0.6/0.9/1.3 V). *)
+  two_mode_peak : float;  (** Equal-work neighbouring pair (0.8/1.0 V). *)
+  ambient_sweep : (float * float) list;
+      (** AO throughput across ambient temperatures 25..45 C. *)
+  ao_m1_throughput : float;
+  ao_full_throughput : float;
+  ao_full_m : int;
+  neighbour_peak : float;
+      (** Pre-adjustment peak with neighbouring modes (3x1, 65 C). *)
+  wide_peak : float;  (** Same workload with the widest pair. *)
+  exs_incremental_time : float;  (** 6 cores, 4 levels. *)
+  exs_naive_time : float;
+  exs_pruned_nodes : int;
+      (** Branch-and-bound search nodes on 9 cores x 5 levels. *)
+  exs_flat_nodes : int;  (** Flat enumeration size of the same space. *)
+  refine_gain : float;
+      (** Ideal throughput with refinement minus without (3x1, 70 C —
+          a platform where only the edge cores clamp). *)
+  bisect_throughput : float;  (** AO with bisection adjustment (6x1, 60 C). *)
+  bisect_time : float;
+  greedy_throughput : float;  (** AO with the paper's greedy TPT loop. *)
+  greedy_time : float;
+  tsp_throughput : float;  (** TSP on the 9-core, 5-level, 55 C platform. *)
+  tsp_exs_throughput : float;  (** EXS on the same platform. *)
+  tsp_ao_throughput : float;  (** AO on the same platform. *)
+}
+
+val run : unit -> result
+val print : result -> unit

@@ -1,0 +1,46 @@
+type policy_row = {
+  cores : int;
+  levels : int;
+  t_max : float;
+  lns : float;
+  exs : float;
+  ao : float;
+  pco : float;
+  lns_time : float;
+  exs_time : float;
+  ao_time : float;
+  pco_time : float;
+  exs_evaluated : int;
+}
+
+let run_policies ?(with_pco = true) ~cores ~levels ~t_max () =
+  let p = Workload.Configs.platform ~cores ~levels ~t_max in
+  let lns, lns_time = Util.Timer.time_it (fun () -> Core.Lns.solve p) in
+  let exs, exs_time = Util.Timer.time_it (fun () -> Core.Exs.solve p) in
+  let ao, ao_time = Util.Timer.time_it (fun () -> Core.Ao.solve p) in
+  let pco_thr, pco_time =
+    if with_pco then
+      let r, t = Util.Timer.time_it (fun () -> Core.Pco.solve p) in
+      (r.Core.Pco.throughput, t)
+    else (ao.Core.Ao.throughput, ao_time)
+  in
+  {
+    cores;
+    levels;
+    t_max;
+    lns = lns.Core.Lns.throughput;
+    exs = exs.Core.Exs.throughput;
+    ao = ao.Core.Ao.throughput;
+    pco = pco_thr;
+    lns_time;
+    exs_time;
+    ao_time;
+    pco_time;
+    exs_evaluated = exs.Core.Exs.evaluated;
+  }
+
+let improvement a b = if b <= 0. then 0. else (a -. b) /. b *. 100.
+
+let section title =
+  let rule = String.make 72 '=' in
+  Printf.printf "\n%s\n== %s\n%s\n" rule title rule

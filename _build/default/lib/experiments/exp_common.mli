@@ -1,0 +1,32 @@
+(** Shared plumbing for the experiment reproductions: run all four
+    policies on one platform and collect throughputs, peaks and wall
+    times. *)
+
+type policy_row = {
+  cores : int;
+  levels : int;
+  t_max : float;
+  lns : float;  (** LNS throughput. *)
+  exs : float;  (** EXS throughput. *)
+  ao : float;  (** AO throughput (net of transition stalls). *)
+  pco : float;  (** PCO throughput. *)
+  lns_time : float;  (** Wall-clock seconds. *)
+  exs_time : float;
+  ao_time : float;
+  pco_time : float;
+  exs_evaluated : int;  (** Combinations EXS enumerated. *)
+}
+
+(** [run_policies ?with_pco ~cores ~levels ~t_max ()] builds the paper's
+    standard platform and times all policies on it.  With
+    [with_pco = false] (for the biggest sweeps) the PCO columns copy
+    AO's. *)
+val run_policies :
+  ?with_pco:bool -> cores:int -> levels:int -> t_max:float -> unit -> policy_row
+
+(** [improvement a b] is [(a - b) / b * 100.], the percentage by which
+    [a] exceeds [b] (0 when [b] is not positive). *)
+val improvement : float -> float -> float
+
+(** [section title] prints the banner used between experiment outputs. *)
+val section : string -> unit

@@ -1,0 +1,16 @@
+(** Fig. 2: oscillating one core alone does not necessarily reduce the
+    peak temperature on a multi-core.
+
+    Two cores, 100 ms period, complementary half-period 1.3 V / 0.6 V
+    schedules.  The paper measures 53.3 C for the base schedule and
+    54.6 C after doubling only core 1's oscillation frequency; doubling
+    both cores' (the 2-Oscillating schedule) lowers the peak. *)
+
+type result = {
+  base_peak : float;
+  single_core_doubled_peak : float;  (** Paper: goes UP. *)
+  both_doubled_peak : float;  (** Theorem 5: goes down. *)
+}
+
+val run : unit -> result
+val print : result -> unit

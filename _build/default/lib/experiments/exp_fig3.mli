@@ -1,0 +1,28 @@
+(** Fig. 3: the step-up schedule bounds the peak temperature over the
+    whole family of phase-shifted schedules.
+
+    3x1 platform, 6 s period, every core 50% at 1.3 V and 50% at 0.6 V;
+    core 1's high interval starts at 3 s; cores 2 and 3's starting
+    offsets x2, x3 sweep the period.  The paper reports a maximum of
+    84.13 C at x2 = x3 = 3 s (the step-up alignment) and a minimum of
+    71.22 C at (0.6, 4.2) s. *)
+
+type result = {
+  step : float;  (** Sweep step, seconds. *)
+  peaks : (float * float * float) list;  (** (x2, x3, peak C). *)
+  max_peak : float;
+  max_at : float * float;
+  min_peak : float;
+  min_at : float * float;
+  step_up_bound : float;
+      (** End-of-period peak of the aligned (step-up) schedule. *)
+}
+
+(** [run ?step ()] sweeps with the given resolution (default 0.6 s,
+    11x11 grid — the paper uses 0.1 s). *)
+val run : ?step:float -> unit -> result
+
+val print : result -> unit
+
+(** [to_csv path r] dumps the full (x2, x3, peak) surface. *)
+val to_csv : string -> result -> unit

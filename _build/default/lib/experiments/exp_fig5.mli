@@ -1,0 +1,17 @@
+(** Fig. 5: the peak temperature of an m-Oscillating schedule decreases
+    monotonically with m (Theorem 5) on a 9-core (3x3) platform.
+
+    The paper oscillates a random step-up schedule with period 9.836 s
+    and up to 5 intervals per core, for m = 1..50. *)
+
+type result = {
+  schedule : Sched.Schedule.t;
+  series : (int * float) list;  (** (m, peak C). *)
+  monotone : bool;  (** Non-increasing within the coupling tolerance. *)
+}
+
+(** [run ?seed ?m_max ()] (defaults: seed 7, m up to 50). *)
+val run : ?seed:int -> ?m_max:int -> unit -> result
+
+val print : result -> unit
+val to_csv : string -> result -> unit

@@ -1,0 +1,68 @@
+type result = {
+  rows : Exp_common.policy_row list;
+  avg_improvement_over_exs : (int * float) list;
+}
+
+let run ?(t_max = 55.) ?(with_pco = true) () =
+  let configs =
+    List.concat_map
+      (fun cores -> List.map (fun levels -> (cores, levels)) Workload.Configs.level_counts)
+      Workload.Configs.core_counts
+  in
+  let rows =
+    Util.Parallel.map
+      (fun (cores, levels) -> Exp_common.run_policies ~with_pco ~cores ~levels ~t_max ())
+      configs
+  in
+  let avg_improvement_over_exs =
+    List.map
+      (fun levels ->
+        let imps =
+          List.filter_map
+            (fun (r : Exp_common.policy_row) ->
+              if r.levels = levels && r.exs > 0. then
+                Some (Exp_common.improvement r.ao r.exs)
+              else None)
+            rows
+        in
+        ( levels,
+          if imps = [] then 0. else Util.Stats.mean (Array.of_list imps) ))
+      Workload.Configs.level_counts
+  in
+  { rows; avg_improvement_over_exs }
+
+let table_of_rows rows =
+  let t =
+    Util.Table.create [ "cores"; "levels"; "LNS"; "EXS"; "AO"; "PCO"; "AO vs EXS %" ]
+  in
+  List.iter
+    (fun (r : Exp_common.policy_row) ->
+      Util.Table.add_row t
+        [
+          string_of_int r.cores;
+          string_of_int r.levels;
+          Printf.sprintf "%.4f" r.lns;
+          Printf.sprintf "%.4f" r.exs;
+          Printf.sprintf "%.4f" r.ao;
+          Printf.sprintf "%.4f" r.pco;
+          Printf.sprintf "%+.1f" (Exp_common.improvement r.ao r.exs);
+        ])
+    rows;
+  t
+
+let print r =
+  Exp_common.section "Fig. 6 - throughput vs cores x voltage levels (T_max = 55 C)";
+  Util.Table.print (table_of_rows r.rows);
+  Printf.printf "\naverage AO improvement over EXS by level count:\n";
+  List.iter
+    (fun (levels, imp) -> Printf.printf "  %d levels: %+.1f%%\n" levels imp)
+    r.avg_improvement_over_exs;
+  Printf.printf "  (paper: +55.2%% at 2 levels shrinking to +24.8%% at 5 levels)\n"
+
+let to_csv path r =
+  Util.Csv.write path
+    ~header:[ "cores"; "levels"; "lns"; "exs"; "ao"; "pco" ]
+    (List.map
+       (fun (r : Exp_common.policy_row) ->
+         [ float_of_int r.cores; float_of_int r.levels; r.lns; r.exs; r.ao; r.pco ])
+       r.rows)

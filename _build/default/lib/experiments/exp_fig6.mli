@@ -1,0 +1,21 @@
+(** Fig. 6: throughput of LNS / EXS / AO / PCO across core counts
+    {2, 3, 6, 9} and Table IV level sets {2, 3, 4, 5}, at
+    [T_max = 55 C].
+
+    Paper shape: AO and PCO always at or above EXS and LNS; the fewer
+    the levels, the larger AO/PCO's improvement (55.2% average over EXS
+    at 2 levels, 24.8% at 5); AO and PCO nearly coincide. *)
+
+type result = {
+  rows : Exp_common.policy_row list;
+  avg_improvement_over_exs : (int * float) list;
+      (** Per level count: mean % AO improvement over EXS across core
+          counts (configurations where EXS found nothing feasible are
+          skipped). *)
+}
+
+(** [run ?t_max ?with_pco ()] (defaults: 55 C, PCO on). *)
+val run : ?t_max:float -> ?with_pco:bool -> unit -> result
+
+val print : result -> unit
+val to_csv : string -> result -> unit

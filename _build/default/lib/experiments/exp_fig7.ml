@@ -1,0 +1,57 @@
+type result = { rows : Exp_common.policy_row list }
+
+let run ?(with_pco = true) () =
+  let configs =
+    List.concat_map
+      (fun cores -> List.map (fun t_max -> (cores, t_max)) Workload.Configs.t_max_sweep)
+      Workload.Configs.core_counts
+  in
+  let rows =
+    Util.Parallel.map
+      (fun (cores, t_max) -> Exp_common.run_policies ~with_pco ~cores ~levels:2 ~t_max ())
+      configs
+  in
+  { rows }
+
+let print r =
+  Exp_common.section "Fig. 7 - throughput vs T_max (2 voltage levels)";
+  let t = Util.Table.create [ "cores"; "T_max"; "LNS"; "EXS"; "AO"; "PCO" ] in
+  List.iter
+    (fun (row : Exp_common.policy_row) ->
+      Util.Table.add_row t
+        [
+          string_of_int row.cores;
+          Printf.sprintf "%.0f" row.t_max;
+          Printf.sprintf "%.4f" row.lns;
+          Printf.sprintf "%.4f" row.exs;
+          Printf.sprintf "%.4f" row.ao;
+          Printf.sprintf "%.4f" row.pco;
+        ])
+    r.rows;
+  Util.Table.print t;
+  (* Monotonicity summary per policy. *)
+  let monotone project =
+    List.for_all
+      (fun cores ->
+        let series =
+          List.filter (fun (x : Exp_common.policy_row) -> x.cores = cores) r.rows
+        in
+        let rec check = function
+          | a :: (b :: _ as rest) -> project b >= project a -. 1e-9 && check rest
+          | [ _ ] | [] -> true
+        in
+        check series)
+      Workload.Configs.core_counts
+  in
+  Printf.printf "\nthroughput monotone in T_max:  LNS %b  EXS %b  AO %b\n"
+    (monotone (fun (x : Exp_common.policy_row) -> x.lns))
+    (monotone (fun (x : Exp_common.policy_row) -> x.exs))
+    (monotone (fun (x : Exp_common.policy_row) -> x.ao))
+
+let to_csv path r =
+  Util.Csv.write path
+    ~header:[ "cores"; "t_max"; "lns"; "exs"; "ao"; "pco" ]
+    (List.map
+       (fun (row : Exp_common.policy_row) ->
+         [ float_of_int row.cores; row.t_max; row.lns; row.exs; row.ao; row.pco ])
+       r.rows)

@@ -1,0 +1,15 @@
+(** Fig. 7: throughput vs temperature threshold.
+
+    Core counts {2, 3, 6, 9}, the 2-level set {0.6, 1.3} V, and
+    [T_max] swept over 50..65 C in 5 C steps.  Paper shape: every
+    policy's throughput grows with the threshold; AO/PCO lead; once the
+    threshold is generous enough for all-cores-at-max, the policies
+    converge. *)
+
+type result = { rows : Exp_common.policy_row list }
+
+(** [run ?with_pco ()] sweeps all (cores, t_max) pairs. *)
+val run : ?with_pco:bool -> unit -> result
+
+val print : result -> unit
+val to_csv : string -> result -> unit

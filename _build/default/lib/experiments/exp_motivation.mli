@@ -1,0 +1,25 @@
+(** Section III motivation example, Tables II and III.
+
+    3x1 platform, [T_max = 65 C], two modes {0.6, 1.3} V.  Reproduces:
+    the ideal continuous voltages (paper: [1.2085; 1.1748; 1.2085],
+    performance 1.1972), LNS (0.6), EXS (0.83), the throughput-preserving
+    high-mode ratios of Table II, the peak temperature of that naive
+    two-speed schedule (paper: 79.69 C, violating), and Table III's
+    constraint-meeting ratios and throughputs for periods 20/10/5 ms. *)
+
+type result = {
+  ideal_voltages : float array;
+  ideal_throughput : float;
+  lns_throughput : float;
+  exs_voltages : float array;
+  exs_throughput : float;
+  table2_ratios : float array;  (** Throughput-preserving high ratios. *)
+  naive_peak : float;  (** Peak of the unadjusted two-speed schedule. *)
+  table3 : (float * float array * float) list;
+      (** Per period (seconds): adjusted high ratios and throughput. *)
+}
+
+val run : unit -> result
+
+(** [print r] renders the paper-shaped tables to stdout. *)
+val print : result -> unit

@@ -1,0 +1,31 @@
+(** Throughput / energy-efficiency trade-off (extension beyond the
+    paper).
+
+    The paper maximizes throughput at a fixed [T_max]; sweeping the
+    threshold traces the achievable frontier.  For each [T_max], AO's
+    schedule is costed with the exact energy accounting of
+    {!Sched.Energy}: hotter budgets buy throughput at cubically growing
+    dynamic power plus temperature-fed leakage, so energy-per-work rises
+    along the frontier — the classic dark-silicon trade the related work
+    (Bansal et al. [33]) studies. *)
+
+type point = {
+  t_max : float;
+  throughput : float;  (** AO net throughput. *)
+  energy_per_work : float;  (** J per unit work, stable status. *)
+  avg_power : float;  (** Chip watts, stable status. *)
+  peak : float;
+}
+
+type result = { cores : int; points : point list }
+
+(** [run ?cores ()] (default 3) sweeps [T_max] from 45 to 70 C in 2.5 C
+    steps on the 5-level platform. *)
+val run : ?cores:int -> unit -> result
+
+val print : result -> unit
+val to_csv : string -> result -> unit
+
+(** [to_svg r] renders the frontier (throughput on x, energy-per-work on
+    y, one point per threshold). *)
+val to_svg : result -> string

@@ -1,0 +1,26 @@
+(** Sensitivity study behind EXPERIMENTS.md's reproduction finding 1:
+    how far can a step-up schedule's true stable-status peak exceed its
+    period-end temperature (Theorem 1's claim) as the inter-core
+    coupling strengthens?
+
+    For each lateral-conductance scale, a batch of random step-up
+    schedules is evaluated with both the end-of-period formula and the
+    refined dense scan; the worst exceedance is reported.  At scale 0
+    (no coupling: independent cores) Theorem 1 is exact; the violation
+    grows with the coupling. *)
+
+type point = {
+  lateral_scale : float;
+  worst_violation : float;  (** max over schedules of scan - end, C. *)
+  mean_violation : float;
+}
+
+type result = { points : point list; schedules_per_point : int }
+
+(** [run ?schedules ?seed ()] sweeps lateral scales
+    {0, 0.5, 1, 2, 4} with [schedules] random step-up schedules each
+    (default 40). *)
+val run : ?schedules:int -> ?seed:int -> unit -> result
+
+val print : result -> unit
+val to_csv : string -> result -> unit

@@ -1,0 +1,21 @@
+(** Task-level capacity study (extension beyond the paper).
+
+    For each platform, a fixed periodic task mix is scaled until the
+    thermal feasibility pipeline (partition -> per-core demands ->
+    {!Core.Demand}) rejects it.  Compares heat-aware (worst-fit,
+    load-balancing) against first-fit packing: balancing load spreads
+    heat, so it sustains a larger workload before [T_max] binds. *)
+
+type row = {
+  cores : int;
+  worst_fit_capacity : float;  (** Max workload scale, worst-fit packing. *)
+  first_fit_capacity : float;
+}
+
+type result = { t_max : float; rows : row list }
+
+(** [run ?t_max ()] (default 60 C) sweeps the paper's core counts. *)
+val run : ?t_max:float -> unit -> result
+
+val print : result -> unit
+val to_csv : string -> result -> unit

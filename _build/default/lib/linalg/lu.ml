@@ -1,0 +1,98 @@
+type factorization = {
+  n : int;
+  lu : Mat.t; (* packed L (unit diagonal, below) and U (on/above diagonal) *)
+  perm : int array; (* row permutation: source row of output row i *)
+  sign : float; (* parity of the permutation, for determinants *)
+}
+
+exception Singular of int
+
+let factorize a =
+  if not (Mat.is_square a) then invalid_arg "Lu.factorize: matrix not square";
+  let n = a.Mat.rows in
+  let lu = Mat.copy a in
+  let perm = Array.init n (fun i -> i) in
+  let sign = ref 1. in
+  for k = 0 to n - 1 do
+    (* Pivot search in column k. *)
+    let pivot_row = ref k in
+    let pivot_mag = ref (Float.abs (Mat.get lu k k)) in
+    for i = k + 1 to n - 1 do
+      let m = Float.abs (Mat.get lu i k) in
+      if m > !pivot_mag then begin
+        pivot_mag := m;
+        pivot_row := i
+      end
+    done;
+    if !pivot_mag < 1e-300 then raise (Singular k);
+    if !pivot_row <> k then begin
+      for j = 0 to n - 1 do
+        let tmp = Mat.get lu k j in
+        Mat.set lu k j (Mat.get lu !pivot_row j);
+        Mat.set lu !pivot_row j tmp
+      done;
+      let tmp = perm.(k) in
+      perm.(k) <- perm.(!pivot_row);
+      perm.(!pivot_row) <- tmp;
+      sign := -. !sign
+    end;
+    let pivot = Mat.get lu k k in
+    for i = k + 1 to n - 1 do
+      let factor = Mat.get lu i k /. pivot in
+      Mat.set lu i k factor;
+      if factor <> 0. then
+        for j = k + 1 to n - 1 do
+          Mat.set lu i j (Mat.get lu i j -. (factor *. Mat.get lu k j))
+        done
+    done
+  done;
+  { n; lu; perm; sign = !sign }
+
+let solve_vec f b =
+  if Array.length b <> f.n then
+    invalid_arg
+      (Printf.sprintf "Lu.solve_vec: rhs has length %d, expected %d" (Array.length b) f.n);
+  let n = f.n in
+  let x = Array.init n (fun i -> b.(f.perm.(i))) in
+  (* Forward substitution with unit-diagonal L. *)
+  for i = 1 to n - 1 do
+    let acc = ref x.(i) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (Mat.get f.lu i j *. x.(j))
+    done;
+    x.(i) <- !acc
+  done;
+  (* Back substitution with U. *)
+  for i = n - 1 downto 0 do
+    let acc = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (Mat.get f.lu i j *. x.(j))
+    done;
+    x.(i) <- !acc /. Mat.get f.lu i i
+  done;
+  x
+
+let solve_mat f b =
+  if b.Mat.rows <> f.n then
+    invalid_arg
+      (Printf.sprintf "Lu.solve_mat: rhs has %d rows, expected %d" b.Mat.rows f.n);
+  let x = Mat.zeros f.n b.Mat.cols in
+  for j = 0 to b.Mat.cols - 1 do
+    let xj = solve_vec f (Mat.col b j) in
+    for i = 0 to f.n - 1 do
+      Mat.set x i j xj.(i)
+    done
+  done;
+  x
+
+let solve a b = solve_vec (factorize a) b
+let inverse a = solve_mat (factorize a) (Mat.identity a.Mat.rows)
+
+let det_of f =
+  let acc = ref f.sign in
+  for i = 0 to f.n - 1 do
+    acc := !acc *. Mat.get f.lu i i
+  done;
+  !acc
+
+let det a = match factorize a with f -> det_of f | exception Singular _ -> 0.

@@ -1,0 +1,37 @@
+(** LU decomposition with partial pivoting, and the linear solves built on
+    it.
+
+    The thermal code needs [A^{-1}B] (steady states), [(I - K)^{-1}]
+    (periodic stable status) and determinant signs (sanity checks).  All of
+    these route through a single factorization so repeated solves against
+    the same matrix are cheap. *)
+
+type factorization
+(** An opaque [P A = L U] factorization of a square matrix. *)
+
+exception Singular of int
+(** Raised (with the offending pivot column) when the matrix is singular
+    to working precision. *)
+
+(** [factorize a] computes the partial-pivoting LU factorization of the
+    square matrix [a].  Raises {!Singular} when a pivot underflows.  [a]
+    is not modified. *)
+val factorize : Mat.t -> factorization
+
+(** [solve_vec f b] solves [A x = b] for the factorized [A]. *)
+val solve_vec : factorization -> Vec.t -> Vec.t
+
+(** [solve_mat f b] solves [A X = B] column by column. *)
+val solve_mat : factorization -> Mat.t -> Mat.t
+
+(** [solve a b] is [solve_vec (factorize a) b]. *)
+val solve : Mat.t -> Vec.t -> Vec.t
+
+(** [inverse a] is [A^{-1}].  Raises {!Singular} if [a] is singular. *)
+val inverse : Mat.t -> Mat.t
+
+(** [det a] is the determinant, computed from the factorization. *)
+val det : Mat.t -> float
+
+(** [det_of f] is the determinant read off an existing factorization. *)
+val det_of : factorization -> float

@@ -1,0 +1,159 @@
+type t = { rows : int; cols : int; data : float array }
+
+let create rows cols x = { rows; cols; data = Array.make (rows * cols) x }
+let zeros rows cols = create rows cols 0.
+
+let init rows cols f =
+  { rows; cols; data = Array.init (rows * cols) (fun k -> f (k / cols) (k mod cols)) }
+
+let identity n = init n n (fun i j -> if i = j then 1. else 0.)
+
+let diag v =
+  let n = Array.length v in
+  init n n (fun i j -> if i = j then v.(i) else 0.)
+
+let is_square m = m.rows = m.cols
+
+let require_square name m =
+  if not (is_square m) then
+    invalid_arg (Printf.sprintf "Mat.%s: matrix is %dx%d, not square" name m.rows m.cols)
+
+let diagonal m =
+  require_square "diagonal" m;
+  Array.init m.rows (fun i -> m.data.((i * m.cols) + i))
+
+let of_rows rows =
+  let r = Array.length rows in
+  if r = 0 then invalid_arg "Mat.of_rows: no rows";
+  let c = Array.length rows.(0) in
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> c then
+        invalid_arg (Printf.sprintf "Mat.of_rows: row %d has length %d, expected %d" i (Array.length row) c))
+    rows;
+  init r c (fun i j -> rows.(i).(j))
+
+let to_rows m = Array.init m.rows (fun i -> Array.sub m.data (i * m.cols) m.cols)
+let copy m = { m with data = Array.copy m.data }
+let dims m = (m.rows, m.cols)
+let get m i j = m.data.((i * m.cols) + j)
+let set m i j x = m.data.((i * m.cols) + j) <- x
+let row m i = Array.sub m.data (i * m.cols) m.cols
+let col m j = Array.init m.rows (fun i -> m.data.((i * m.cols) + j))
+let transpose m = init m.cols m.rows (fun i j -> get m j i)
+
+let check_same name a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg
+      (Printf.sprintf "Mat.%s: dimension mismatch (%dx%d vs %dx%d)" name a.rows a.cols b.rows b.cols)
+
+let add a b =
+  check_same "add" a b;
+  { a with data = Array.map2 ( +. ) a.data b.data }
+
+let sub a b =
+  check_same "sub" a b;
+  { a with data = Array.map2 ( -. ) a.data b.data }
+
+let scale s a = { a with data = Array.map (fun x -> s *. x) a.data }
+
+let matmul a b =
+  if a.cols <> b.rows then
+    invalid_arg
+      (Printf.sprintf "Mat.matmul: inner dimensions differ (%dx%d times %dx%d)" a.rows a.cols b.rows b.cols);
+  let c = zeros a.rows b.cols in
+  (* ikj loop order keeps the inner loop contiguous in both b and c. *)
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let aik = a.data.((i * a.cols) + k) in
+      if aik <> 0. then
+        for j = 0 to b.cols - 1 do
+          c.data.((i * c.cols) + j) <-
+            c.data.((i * c.cols) + j) +. (aik *. b.data.((k * b.cols) + j))
+        done
+    done
+  done;
+  c
+
+let matvec a x =
+  if a.cols <> Array.length x then
+    invalid_arg
+      (Printf.sprintf "Mat.matvec: %dx%d matrix applied to length-%d vector" a.rows a.cols (Array.length x));
+  Array.init a.rows (fun i ->
+      let acc = ref 0. in
+      for j = 0 to a.cols - 1 do
+        acc := !acc +. (a.data.((i * a.cols) + j) *. x.(j))
+      done;
+      !acc)
+
+let vecmat x a =
+  if a.rows <> Array.length x then
+    invalid_arg
+      (Printf.sprintf "Mat.vecmat: length-%d vector applied to %dx%d matrix" (Array.length x) a.rows a.cols);
+  Array.init a.cols (fun j ->
+      let acc = ref 0. in
+      for i = 0 to a.rows - 1 do
+        acc := !acc +. (x.(i) *. a.data.((i * a.cols) + j))
+      done;
+      !acc)
+
+let add_scaled_identity s a =
+  require_square "add_scaled_identity" a;
+  let r = copy a in
+  for i = 0 to a.rows - 1 do
+    r.data.((i * a.cols) + i) <- r.data.((i * a.cols) + i) +. s
+  done;
+  r
+
+let trace m =
+  require_square "trace" m;
+  let acc = ref 0. in
+  for i = 0 to m.rows - 1 do
+    acc := !acc +. m.data.((i * m.cols) + i)
+  done;
+  !acc
+
+let norm_inf m =
+  let best = ref 0. in
+  for i = 0 to m.rows - 1 do
+    let s = ref 0. in
+    for j = 0 to m.cols - 1 do
+      s := !s +. Float.abs m.data.((i * m.cols) + j)
+    done;
+    best := Float.max !best !s
+  done;
+  !best
+
+let norm_fro m = sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0. m.data)
+
+let is_symmetric ?(tol = 1e-9) m =
+  is_square m
+  &&
+  let scale_ref = Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 1. m.data in
+  let ok = ref true in
+  for i = 0 to m.rows - 1 do
+    for j = i + 1 to m.cols - 1 do
+      if Float.abs (get m i j -. get m j i) > tol *. scale_ref then ok := false
+    done
+  done;
+  !ok
+
+let map f m = { m with data = Array.map f m.data }
+
+let approx_equal ?(tol = 1e-9) a b =
+  a.rows = b.rows && a.cols = b.cols
+  &&
+  let ok = ref true in
+  Array.iteri (fun k x -> if Float.abs (x -. b.data.(k)) > tol then ok := false) a.data;
+  !ok
+
+let pp fmt m =
+  for i = 0 to m.rows - 1 do
+    Format.fprintf fmt "[";
+    for j = 0 to m.cols - 1 do
+      if j > 0 then Format.fprintf fmt "  ";
+      Format.fprintf fmt "%12.6g" (get m i j)
+    done;
+    Format.fprintf fmt "]";
+    if i < m.rows - 1 then Format.pp_print_newline fmt ()
+  done

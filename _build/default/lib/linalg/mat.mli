@@ -1,0 +1,102 @@
+(** Dense row-major matrices of floats.
+
+    This is the workhorse representation for the thermal coefficient
+    matrices [A], [B], the exponentials [e^{At}] and the stable-status
+    operators [(I - K)^{-1}].  Dimensions are checked on every binary
+    operation; mismatches raise [Invalid_argument]. *)
+
+type t = { rows : int; cols : int; data : float array }
+(** Row-major storage: element [(i, j)] lives at [data.(i * cols + j)]. *)
+
+(** [create r c x] is an [r x c] matrix filled with [x]. *)
+val create : int -> int -> float -> t
+
+(** [zeros r c] is an all-zero [r x c] matrix. *)
+val zeros : int -> int -> t
+
+(** [identity n] is the [n x n] identity. *)
+val identity : int -> t
+
+(** [init r c f] is the matrix with [f i j] at position [(i, j)]. *)
+val init : int -> int -> (int -> int -> float) -> t
+
+(** [diag v] is the square matrix with [v] on the diagonal. *)
+val diag : Vec.t -> t
+
+(** [diagonal m] extracts the diagonal of a square matrix. *)
+val diagonal : t -> Vec.t
+
+(** [of_rows rows] builds a matrix from row vectors (all equal length). *)
+val of_rows : float array array -> t
+
+(** [to_rows m] is the inverse of {!of_rows}. *)
+val to_rows : t -> float array array
+
+(** [copy m] is a deep copy. *)
+val copy : t -> t
+
+(** [dims m] is [(rows, cols)]. *)
+val dims : t -> int * int
+
+(** [get m i j] reads element [(i, j)]. *)
+val get : t -> int -> int -> float
+
+(** [set m i j x] writes element [(i, j)] in place. *)
+val set : t -> int -> int -> float -> unit
+
+(** [row m i] is a fresh copy of row [i]. *)
+val row : t -> int -> Vec.t
+
+(** [col m j] is a fresh copy of column [j]. *)
+val col : t -> int -> Vec.t
+
+(** [transpose m] is the transpose. *)
+val transpose : t -> t
+
+(** [add a b] is the element-wise sum. *)
+val add : t -> t -> t
+
+(** [sub a b] is the element-wise difference. *)
+val sub : t -> t -> t
+
+(** [scale s a] multiplies every element by [s]. *)
+val scale : float -> t -> t
+
+(** [matmul a b] is the matrix product; [a.cols] must equal [b.rows]. *)
+val matmul : t -> t -> t
+
+(** [matvec a x] is the matrix-vector product. *)
+val matvec : t -> Vec.t -> Vec.t
+
+(** [vecmat x a] is the row-vector-matrix product [x^T A]. *)
+val vecmat : Vec.t -> t -> Vec.t
+
+(** [add_scaled_identity s a] is [a + s*I] for square [a]. *)
+val add_scaled_identity : float -> t -> t
+
+(** [trace m] is the sum of diagonal elements of a square matrix. *)
+val trace : t -> float
+
+(** [norm_inf m] is the max row-sum norm. *)
+val norm_inf : t -> float
+
+(** [norm_fro m] is the Frobenius norm. *)
+val norm_fro : t -> float
+
+(** [is_square m] tests squareness. *)
+val is_square : t -> bool
+
+(** [is_symmetric ?tol m] tests symmetry up to [tol] (default [1e-9],
+    relative to the largest element magnitude). *)
+val is_symmetric : ?tol:float -> t -> bool
+
+(** [map f m] applies [f] element-wise. *)
+val map : (float -> float) -> t -> t
+
+(** [approx_equal ?tol a b] compares element-wise within [tol]
+    (default [1e-9]). *)
+val approx_equal : ?tol:float -> t -> t -> bool
+
+(** [pp] prints one row per line with aligned 6-significant-digit
+    entries. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,88 @@
+type t = { eigenvalues : Vec.t; eigenvectors : Mat.t }
+
+let off_diagonal_norm a =
+  let n = a.Mat.rows in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        let x = Mat.get a i j in
+        acc := !acc +. (x *. x)
+      end
+    done
+  done;
+  sqrt !acc
+
+(* One Jacobi rotation zeroing a.(p).(q), accumulating into v. *)
+let rotate a v p q =
+  let apq = Mat.get a p q in
+  if Float.abs apq > 0. then begin
+    let app = Mat.get a p p and aqq = Mat.get a q q in
+    let theta = (aqq -. app) /. (2. *. apq) in
+    (* Stable tangent of the rotation angle. *)
+    let t =
+      let sign = if theta >= 0. then 1. else -1. in
+      sign /. (Float.abs theta +. sqrt ((theta *. theta) +. 1.))
+    in
+    let c = 1. /. sqrt ((t *. t) +. 1.) in
+    let s = t *. c in
+    let tau = s /. (1. +. c) in
+    let n = a.Mat.rows in
+    Mat.set a p p (app -. (t *. apq));
+    Mat.set a q q (aqq +. (t *. apq));
+    Mat.set a p q 0.;
+    Mat.set a q p 0.;
+    for i = 0 to n - 1 do
+      if i <> p && i <> q then begin
+        let aip = Mat.get a i p and aiq = Mat.get a i q in
+        Mat.set a i p (aip -. (s *. (aiq +. (tau *. aip))));
+        Mat.set a p i (Mat.get a i p);
+        Mat.set a i q (aiq +. (s *. (aip -. (tau *. aiq))));
+        Mat.set a q i (Mat.get a i q)
+      end
+    done;
+    for i = 0 to n - 1 do
+      let vip = Mat.get v i p and viq = Mat.get v i q in
+      Mat.set v i p (vip -. (s *. (viq +. (tau *. vip))));
+      Mat.set v i q (viq +. (s *. (vip -. (tau *. viq))))
+    done
+  end
+
+let decompose ?(tol = 1e-14) ?(max_sweeps = 64) a0 =
+  if not (Mat.is_square a0) then invalid_arg "Sym_eig.decompose: matrix not square";
+  if not (Mat.is_symmetric ~tol:1e-8 a0) then
+    invalid_arg "Sym_eig.decompose: matrix not symmetric";
+  let n = a0.Mat.rows in
+  let a = Mat.copy a0 in
+  let v = Mat.identity n in
+  let threshold = tol *. Float.max (Mat.norm_fro a0) 1e-300 in
+  let sweeps = ref 0 in
+  while off_diagonal_norm a > threshold && !sweeps < max_sweeps do
+    incr sweeps;
+    for p = 0 to n - 2 do
+      for q = p + 1 to n - 1 do
+        rotate a v p q
+      done
+    done
+  done;
+  if off_diagonal_norm a > threshold then
+    failwith
+      (Printf.sprintf "Sym_eig.decompose: no convergence after %d sweeps (off-norm %g)"
+         max_sweeps (off_diagonal_norm a));
+  (* Sort eigenpairs ascending. *)
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> Float.compare (Mat.get a i i) (Mat.get a j j)) order;
+  let eigenvalues = Array.map (fun i -> Mat.get a i i) order in
+  let eigenvectors = Mat.init n n (fun i j -> Mat.get v i order.(j)) in
+  { eigenvalues; eigenvectors }
+
+let reconstruct d =
+  let n = Array.length d.eigenvalues in
+  let vl = Mat.matmul d.eigenvectors (Mat.diag d.eigenvalues) in
+  Mat.matmul vl (Mat.init n n (fun i j -> Mat.get d.eigenvectors j i))
+
+let apply_function d f =
+  let n = Array.length d.eigenvalues in
+  let fl = Array.map f d.eigenvalues in
+  let vl = Mat.matmul d.eigenvectors (Mat.diag fl) in
+  Mat.matmul vl (Mat.init n n (fun i j -> Mat.get d.eigenvectors j i))

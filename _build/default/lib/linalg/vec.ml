@@ -1,0 +1,99 @@
+type t = float array
+
+let create n x = Array.make n x
+let zeros n = create n 0.
+let ones n = create n 1.
+let init = Array.init
+let copy = Array.copy
+let dim = Array.length
+
+let check_dims name x y =
+  if Array.length x <> Array.length y then
+    invalid_arg
+      (Printf.sprintf "Vec.%s: dimension mismatch (%d vs %d)" name
+         (Array.length x) (Array.length y))
+
+let add x y =
+  check_dims "add" x y;
+  Array.init (Array.length x) (fun i -> x.(i) +. y.(i))
+
+let sub x y =
+  check_dims "sub" x y;
+  Array.init (Array.length x) (fun i -> x.(i) -. y.(i))
+
+let scale a x = Array.map (fun xi -> a *. xi) x
+
+let mul x y =
+  check_dims "mul" x y;
+  Array.init (Array.length x) (fun i -> x.(i) *. y.(i))
+
+let axpy a x y =
+  check_dims "axpy" x y;
+  Array.init (Array.length x) (fun i -> (a *. x.(i)) +. y.(i))
+
+let dot x y =
+  check_dims "dot" x y;
+  let acc = ref 0. in
+  for i = 0 to Array.length x - 1 do
+    acc := !acc +. (x.(i) *. y.(i))
+  done;
+  !acc
+
+let sum v = Array.fold_left ( +. ) 0. v
+
+let mean v =
+  if Array.length v = 0 then invalid_arg "Vec.mean: empty vector";
+  sum v /. float_of_int (Array.length v)
+
+let max v =
+  if Array.length v = 0 then invalid_arg "Vec.max: empty vector";
+  Array.fold_left Float.max v.(0) v
+
+let min v =
+  if Array.length v = 0 then invalid_arg "Vec.min: empty vector";
+  Array.fold_left Float.min v.(0) v
+
+let argmax v =
+  if Array.length v = 0 then invalid_arg "Vec.argmax: empty vector";
+  let best = ref 0 in
+  for i = 1 to Array.length v - 1 do
+    if v.(i) > v.(!best) then best := i
+  done;
+  !best
+
+let norm2 v = sqrt (dot v v)
+
+let norm_inf v = Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0. v
+
+let dist_inf x y =
+  check_dims "dist_inf" x y;
+  let acc = ref 0. in
+  for i = 0 to Array.length x - 1 do
+    acc := Float.max !acc (Float.abs (x.(i) -. y.(i)))
+  done;
+  !acc
+
+let map = Array.map
+let map2 = Array.map2
+let for_all = Array.for_all
+
+let leq x y =
+  check_dims "leq" x y;
+  let ok = ref true in
+  for i = 0 to Array.length x - 1 do
+    if x.(i) > y.(i) then ok := false
+  done;
+  !ok
+
+let approx_equal ?(tol = 1e-9) x y = dist_inf x y <= tol
+let of_list = Array.of_list
+let to_list = Array.to_list
+
+let pp fmt v =
+  Format.fprintf fmt "[";
+  Array.iteri
+    (fun i x ->
+      if i > 0 then Format.fprintf fmt "; ";
+      Format.fprintf fmt "%.6g" x)
+    v;
+  Format.fprintf fmt "]"

@@ -1,0 +1,95 @@
+(** Dense vectors of floats.
+
+    A vector is a plain [float array]; this module provides the arithmetic
+    and reduction operations used throughout the thermal and scheduling
+    code.  All binary operations require operands of equal length and raise
+    [Invalid_argument] otherwise. *)
+
+type t = float array
+
+(** [create n x] is a fresh vector of length [n] filled with [x]. *)
+val create : int -> float -> t
+
+(** [zeros n] is a fresh vector of [n] zeros. *)
+val zeros : int -> t
+
+(** [ones n] is a fresh vector of [n] ones. *)
+val ones : int -> t
+
+(** [init n f] is [| f 0; ...; f (n-1) |]. *)
+val init : int -> (int -> float) -> t
+
+(** [copy v] is a fresh copy of [v]. *)
+val copy : t -> t
+
+(** [dim v] is the length of [v]. *)
+val dim : t -> int
+
+(** [add x y] is the element-wise sum. *)
+val add : t -> t -> t
+
+(** [sub x y] is the element-wise difference. *)
+val sub : t -> t -> t
+
+(** [scale a x] multiplies every element of [x] by [a]. *)
+val scale : float -> t -> t
+
+(** [mul x y] is the element-wise (Hadamard) product. *)
+val mul : t -> t -> t
+
+(** [axpy a x y] is [a*x + y] without mutating either operand. *)
+val axpy : float -> t -> t -> t
+
+(** [dot x y] is the inner product. *)
+val dot : t -> t -> float
+
+(** [sum v] is the sum of all elements. *)
+val sum : t -> float
+
+(** [mean v] is the arithmetic mean; raises [Invalid_argument] on an
+    empty vector. *)
+val mean : t -> float
+
+(** [max v] is the largest element; raises on empty input. *)
+val max : t -> float
+
+(** [min v] is the smallest element; raises on empty input. *)
+val min : t -> float
+
+(** [argmax v] is the index of the largest element (first on ties). *)
+val argmax : t -> int
+
+(** [norm2 v] is the Euclidean norm. *)
+val norm2 : t -> float
+
+(** [norm_inf v] is the max-absolute-value norm. *)
+val norm_inf : t -> float
+
+(** [dist_inf x y] is [norm_inf (sub x y)]. *)
+val dist_inf : t -> t -> float
+
+(** [map f v] applies [f] element-wise. *)
+val map : (float -> float) -> t -> t
+
+(** [map2 f x y] applies [f] to paired elements. *)
+val map2 : (float -> float -> float) -> t -> t -> t
+
+(** [for_all p v] tests whether every element satisfies [p]. *)
+val for_all : (float -> bool) -> t -> bool
+
+(** [leq x y] is true when [x.(i) <= y.(i)] for every [i] — the
+    element-wise matrix ordering the paper uses for temperature vectors. *)
+val leq : t -> t -> bool
+
+(** [approx_equal ?tol x y] is true when the operands differ by at most
+    [tol] (default [1e-9]) in the infinity norm. *)
+val approx_equal : ?tol:float -> t -> t -> bool
+
+(** [of_list l] converts a list. *)
+val of_list : float list -> t
+
+(** [to_list v] converts to a list. *)
+val to_list : t -> float list
+
+(** [pp] prints as [[x0; x1; ...]] with 6 significant digits. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/odeint/linear_exact.ml: Linalg

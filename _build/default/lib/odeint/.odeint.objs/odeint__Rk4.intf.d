@@ -1,0 +1,1 @@
+lib/odeint/rk4.mli: Linalg

@@ -1,0 +1,1 @@
+lib/odeint/rkf45.ml: Array Float Linalg List

@@ -1,0 +1,1 @@
+lib/odeint/rkf45.mli: Linalg Rk4

@@ -1,0 +1,39 @@
+module Vec = Linalg.Vec
+
+type derivative = float -> Vec.t -> Vec.t
+
+let step f t y h =
+  let k1 = f t y in
+  let k2 = f (t +. (h /. 2.)) (Vec.axpy (h /. 2.) k1 y) in
+  let k3 = f (t +. (h /. 2.)) (Vec.axpy (h /. 2.) k2 y) in
+  let k4 = f (t +. h) (Vec.axpy h k3 y) in
+  let incr =
+    Vec.map2 (fun a b -> a +. b)
+      (Vec.add k1 k4)
+      (Vec.scale 2. (Vec.add k2 k3))
+  in
+  Vec.axpy (h /. 6.) incr y
+
+let check_interval name ~t0 ~t1 ~dt =
+  if t1 < t0 then invalid_arg (Printf.sprintf "Rk4.%s: t1 < t0" name);
+  if dt <= 0. then invalid_arg (Printf.sprintf "Rk4.%s: dt <= 0" name)
+
+let integrate f ~t0 ~t1 ~dt y0 =
+  check_interval "integrate" ~t0 ~t1 ~dt;
+  let rec go t y =
+    if t >= t1 -. 1e-15 then y
+    else
+      let h = Float.min dt (t1 -. t) in
+      go (t +. h) (step f t y h)
+  in
+  go t0 y0
+
+let trajectory f ~t0 ~t1 ~dt y0 =
+  check_interval "trajectory" ~t0 ~t1 ~dt;
+  let rec go t y acc =
+    if t >= t1 -. 1e-15 then List.rev ((t, y) :: acc)
+    else
+      let h = Float.min dt (t1 -. t) in
+      go (t +. h) (step f t y h) ((t, y) :: acc)
+  in
+  go t0 y0 []

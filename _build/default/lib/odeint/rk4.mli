@@ -1,0 +1,28 @@
+(** Classic fixed-step fourth-order Runge-Kutta integration.
+
+    Used to cross-validate the closed-form matrix-exponential thermal
+    solutions: both must produce the same trajectories for the linear
+    system [dT/dt = A T + b]. *)
+
+type derivative = float -> Linalg.Vec.t -> Linalg.Vec.t
+(** [f t y] is the time derivative of the state [y] at time [t]. *)
+
+(** [step f t y h] advances the state one RK4 step of size [h]. *)
+val step : derivative -> float -> Linalg.Vec.t -> float -> Linalg.Vec.t
+
+(** [integrate f ~t0 ~t1 ~dt y0] integrates from [t0] to [t1] with step
+    [dt] (the final step is shortened to land exactly on [t1]) and returns
+    the final state.  Raises [Invalid_argument] if [t1 < t0] or
+    [dt <= 0]. *)
+val integrate :
+  derivative -> t0:float -> t1:float -> dt:float -> Linalg.Vec.t -> Linalg.Vec.t
+
+(** [trajectory f ~t0 ~t1 ~dt y0] is like {!integrate} but returns all
+    [(t, y)] samples including both endpoints. *)
+val trajectory :
+  derivative ->
+  t0:float ->
+  t1:float ->
+  dt:float ->
+  Linalg.Vec.t ->
+  (float * Linalg.Vec.t) list

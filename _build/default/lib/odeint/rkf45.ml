@@ -1,0 +1,103 @@
+module Vec = Linalg.Vec
+
+type stats = { steps : int; rejected : int }
+
+(* Fehlberg tableau. *)
+let a2 = 1. /. 4.
+
+let a3 = 3. /. 8.
+and b31 = 3. /. 32.
+and b32 = 9. /. 32.
+
+let a4 = 12. /. 13.
+and b41 = 1932. /. 2197.
+and b42 = -7200. /. 2197.
+and b43 = 7296. /. 2197.
+
+let a5 = 1.
+and b51 = 439. /. 216.
+and b52 = -8.
+and b53 = 3680. /. 513.
+and b54 = -845. /. 4104.
+
+let a6 = 1. /. 2.
+and b61 = -8. /. 27.
+and b62 = 2.
+and b63 = -3544. /. 2565.
+and b64 = 1859. /. 4104.
+and b65 = -11. /. 40.
+
+(* 5th-order solution weights. *)
+let c1 = 16. /. 135.
+and c3 = 6656. /. 12825.
+and c4 = 28561. /. 56430.
+and c5 = -9. /. 50.
+and c6 = 2. /. 55.
+
+(* Error weights = 5th-order minus 4th-order weights. *)
+let e1 = c1 -. (25. /. 216.)
+and e3 = c3 -. (1408. /. 2565.)
+and e4 = c4 -. (2197. /. 4104.)
+and e5 = c5 -. (-1. /. 5.)
+and e6 = c6
+
+let combine y terms =
+  let n = Array.length y in
+  Array.init n (fun i ->
+      List.fold_left (fun acc (w, (k : Vec.t)) -> acc +. (w *. k.(i))) y.(i) terms)
+
+let attempt f t y h =
+  let k1 = f t y in
+  let k2 = f (t +. (a2 *. h)) (combine y [ (h *. a2, k1) ]) in
+  let k3 = f (t +. (a3 *. h)) (combine y [ (h *. b31, k1); (h *. b32, k2) ]) in
+  let k4 =
+    f (t +. (a4 *. h)) (combine y [ (h *. b41, k1); (h *. b42, k2); (h *. b43, k3) ])
+  in
+  let k5 =
+    f (t +. (a5 *. h))
+      (combine y [ (h *. b51, k1); (h *. b52, k2); (h *. b53, k3); (h *. b54, k4) ])
+  in
+  let k6 =
+    f
+      (t +. (a6 *. h))
+      (combine y
+         [ (h *. b61, k1); (h *. b62, k2); (h *. b63, k3); (h *. b64, k4); (h *. b65, k5) ])
+  in
+  let y5 =
+    combine y [ (h *. c1, k1); (h *. c3, k3); (h *. c4, k4); (h *. c5, k5); (h *. c6, k6) ]
+  in
+  let err =
+    Vec.norm_inf
+      (combine (Vec.zeros (Array.length y))
+         [ (h *. e1, k1); (h *. e3, k3); (h *. e4, k4); (h *. e5, k5); (h *. e6, k6) ])
+  in
+  (y5, err)
+
+let integrate f ~t0 ~t1 ~tol ?h0 ?(h_min = 1e-12) y0 =
+  if t1 < t0 then invalid_arg "Rkf45.integrate: t1 < t0";
+  if tol <= 0. then invalid_arg "Rkf45.integrate: tol <= 0";
+  let h0 = match h0 with Some h -> h | None -> (t1 -. t0) /. 100. in
+  let steps = ref 0 and rejected = ref 0 in
+  let rec go t y h =
+    if t >= t1 -. 1e-15 then y
+    else begin
+      let h = Float.min h (t1 -. t) in
+      if h < h_min then failwith "Rkf45.integrate: step size underflow";
+      let y5, err = attempt f t y h in
+      if err <= tol || h <= h_min *. 2. then begin
+        incr steps;
+        (* Standard step-size growth with a safety factor, capped at 4x. *)
+        let grow =
+          if err = 0. then 4. else Float.min 4. (0.9 *. Float.pow (tol /. err) 0.2)
+        in
+        go (t +. h) y5 (h *. Float.max grow 0.1)
+      end
+      else begin
+        incr rejected;
+        let shrink = Float.max 0.1 (0.9 *. Float.pow (tol /. err) 0.25) in
+        go t y (h *. shrink)
+      end
+    end
+  in
+  let y = go t0 y0 h0 in
+  (y, { steps = !steps; rejected = !rejected })

@@ -1,0 +1,24 @@
+(** Adaptive Runge-Kutta-Fehlberg 4(5) integration.
+
+    Provides error-controlled integration for stiff-ish thermal transients
+    where a fixed RK4 step would be wastefully small over the slow tail of
+    the response. *)
+
+type stats = { steps : int; rejected : int }
+(** Accepted and rejected step counts for the last call. *)
+
+(** [integrate f ~t0 ~t1 ~tol ?h0 ?h_min y0] integrates [dy/dt = f t y]
+    from [t0] to [t1] keeping the per-step error estimate below [tol]
+    (absolute, infinity norm).  [h0] seeds the step size (default
+    [(t1-t0)/100]); [h_min] (default [1e-12]) bounds shrinkage — going
+    below it raises [Failure].  Returns the final state and step
+    statistics. *)
+val integrate :
+  Rk4.derivative ->
+  t0:float ->
+  t1:float ->
+  tol:float ->
+  ?h0:float ->
+  ?h_min:float ->
+  Linalg.Vec.t ->
+  Linalg.Vec.t * stats

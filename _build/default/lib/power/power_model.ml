@@ -1,0 +1,22 @@
+type t = { alpha : float -> float; gamma : float -> float; beta : float }
+
+let constant ~alpha ~gamma ~beta =
+  if alpha < 0. || gamma < 0. || beta < 0. then
+    invalid_arg "Power_model.constant: negative coefficient";
+  { alpha = (fun _ -> alpha); gamma = (fun _ -> gamma); beta }
+
+let default = constant ~alpha:0.5 ~gamma:9.0 ~beta:0.05
+
+let psi pm v =
+  if v < 0. then invalid_arg "Power_model.psi: negative voltage";
+  if v = 0. then 0. else pm.alpha v +. (pm.gamma v *. (v *. v *. v))
+
+let psi_vector pm voltages = Array.map (psi pm) voltages
+let total pm ~v ~temp = psi pm v +. (pm.beta *. temp)
+
+let voltage_for_psi pm target =
+  (* Uses the coefficients at the (unknown) target voltage; exact for the
+     constant default, a one-step fixed point otherwise. *)
+  let alpha = pm.alpha 1.0 and gamma = pm.gamma 1.0 in
+  if gamma = 0. then invalid_arg "Power_model.voltage_for_psi: gamma = 0";
+  Float.max 0. (Float.cbrt ((target -. alpha) /. gamma))

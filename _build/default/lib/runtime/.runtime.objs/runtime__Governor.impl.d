@@ -1,0 +1,1 @@
+lib/runtime/governor.ml: Array Core Float Linalg Observer Power Random Thermal

@@ -1,0 +1,1 @@
+lib/runtime/observer.ml: Array Linalg Thermal

@@ -1,0 +1,1 @@
+lib/runtime/observer.mli: Linalg Thermal

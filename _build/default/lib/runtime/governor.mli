@@ -1,0 +1,61 @@
+(** Reactive dynamic-thermal-management governors, simulated against the
+    same compact thermal model the proactive policies use.
+
+    The paper's introduction contrasts its proactive approach with
+    reactive DTM: sample sensors, throttle when a threshold nears.  This
+    module makes that comparison executable.  A governor is a sampled
+    controller: every [control_interval] it reads (possibly noisy) core
+    temperatures and picks each core's DVFS level; between samples the
+    continuous dynamics run exactly (LTI stepping), so overshoot in the
+    controller's blind spot is measured honestly.
+
+    Three classic policies are provided:
+    - {!Threshold}: per-core hysteresis stepping (ondemand-style) —
+      step down within [guard] of [t_max], step up below
+      [2 * guard];
+    - {!Pid}: a PI controller on the hottest core's temperature error
+      driving a chip-wide continuous voltage command, quantized down to
+      the level grid;
+    - {!Static}: fixed level assignment (for calibration runs). *)
+
+type policy =
+  | Threshold of { guard : float }
+  | Pid of { kp : float; ki : float; guard : float }
+  | Static of int array  (** Level index per core. *)
+
+type stats = {
+  throughput : float;  (** Work per core per second over the run. *)
+  peak : float;  (** True continuous peak, degrees C. *)
+  violations : int;  (** Fine-grained samples strictly above [t_max]. *)
+  switches : int;  (** Total DVFS transitions commanded. *)
+  samples : int;  (** Control-loop invocations. *)
+}
+
+(** [simulate platform policy ?control_interval ?duration ?sensor_noise
+    ?substeps ?seed ()] runs the governor from the ambient temperature.
+
+    - [control_interval]: seconds between sensor reads (default 20 ms);
+    - [duration]: simulated seconds (default 8 s);
+    - [sensor_noise]: standard deviation of Gaussian noise added to each
+      sensor read, degrees C (default 0);
+    - [use_observer]: filter the noisy sensor reads through a
+      {!Observer} before deciding (default [false]) — the closed-loop
+      payoff of model-based state estimation;
+    - [substeps]: fine integration steps per control interval used to
+      measure the true peak (default 8);
+    - [seed]: noise RNG seed (default 0).
+
+    Raises [Invalid_argument] on non-positive intervals/durations, a
+    negative noise level, or (for {!Static}) out-of-range level
+    indices. *)
+val simulate :
+  Core.Platform.t ->
+  policy ->
+  ?control_interval:float ->
+  ?duration:float ->
+  ?sensor_noise:float ->
+  ?use_observer:bool ->
+  ?substeps:int ->
+  ?seed:int ->
+  unit ->
+  stats

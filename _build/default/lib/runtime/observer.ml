@@ -1,0 +1,28 @@
+module Vec = Linalg.Vec
+
+type t = { model : Thermal.Model.t; dt : float; gain : float }
+
+let create ?(gain = 0.5) model ~dt =
+  if gain <= 0. || gain > 1. then invalid_arg "Observer.create: gain outside (0, 1]";
+  if dt <= 0. then invalid_arg "Observer.create: non-positive dt";
+  { model; dt; gain }
+
+let initial o = Vec.zeros (Thermal.Model.n_nodes o.model)
+
+let update o ~estimate ~psi ~measured =
+  let cores = Thermal.Model.core_nodes o.model in
+  if Vec.dim measured <> Array.length cores then
+    invalid_arg "Observer.update: measurement arity differs from core count";
+  (* Predict with the exact model... *)
+  let predicted = Thermal.Model.step o.model ~dt:o.dt ~theta:estimate ~psi in
+  (* ...then correct the measured nodes toward the innovation. *)
+  let ambient = Thermal.Model.ambient o.model in
+  let corrected = Vec.copy predicted in
+  Array.iteri
+    (fun k node ->
+      let innovation = measured.(k) -. ambient -. predicted.(node) in
+      corrected.(node) <- predicted.(node) +. (o.gain *. innovation))
+    cores;
+  corrected
+
+let core_estimates o estimate = Thermal.Model.core_temps_of_theta o.model estimate

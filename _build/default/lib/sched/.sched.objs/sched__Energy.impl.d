@@ -1,0 +1,1 @@
+lib/sched/energy.ml: Array Linalg List Peak Schedule Thermal Throughput

@@ -1,0 +1,1 @@
+lib/sched/energy.mli: Power Schedule Thermal

@@ -1,0 +1,1 @@
+lib/sched/oscillate.ml: Array Float List Schedule Stdlib

@@ -1,0 +1,1 @@
+lib/sched/peak.ml: Linalg List Power Printf Schedule Stepup Thermal

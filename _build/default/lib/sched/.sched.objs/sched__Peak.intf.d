@@ -1,0 +1,1 @@
+lib/sched/peak.mli: Linalg Power Schedule Thermal

@@ -1,0 +1,1 @@
+lib/sched/render.ml: Buffer Float List Printf Schedule

@@ -1,0 +1,1 @@
+lib/sched/render.mli: Schedule

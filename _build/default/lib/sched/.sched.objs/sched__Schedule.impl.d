@@ -1,0 +1,1 @@
+lib/sched/schedule.ml: Array Buffer Float Format List Printf String

@@ -1,0 +1,1 @@
+lib/sched/stepup.ml: Array Float List Schedule

@@ -1,0 +1,1 @@
+lib/sched/stepup.mli: Schedule

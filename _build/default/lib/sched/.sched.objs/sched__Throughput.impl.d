@@ -1,0 +1,1 @@
+lib/sched/throughput.ml: Array Float List Power Schedule

@@ -1,0 +1,1 @@
+lib/sched/throughput.mli: Schedule

@@ -1,0 +1,65 @@
+let oscillate m s =
+  if m < 1 then invalid_arg "Oscillate.oscillate: m < 1";
+  if m = 1 then s else Schedule.scale_durations s (1. /. float_of_int m)
+
+let delta ~tau ~v_low ~v_high =
+  if tau < 0. then invalid_arg "Oscillate.delta: negative tau";
+  if v_high <= v_low then invalid_arg "Oscillate.delta: v_high <= v_low";
+  (v_low +. v_high) *. tau /. (v_high -. v_low)
+
+let max_m_for_core ~tau ~v_low ~v_high ~t_low =
+  if Float.abs (v_high -. v_low) < 1e-12 || t_low <= 0. then max_int
+  else if tau <= 0. then max_int
+  else
+    let d = delta ~tau ~v_low ~v_high in
+    let m = int_of_float (Float.floor (t_low /. (d +. tau))) in
+    Stdlib.max 1 m
+
+let max_m ~tau ~modes =
+  Array.fold_left
+    (fun acc (v_low, v_high, t_low) ->
+      Stdlib.min acc (max_m_for_core ~tau ~v_low ~v_high ~t_low))
+    max_int modes
+  |> Stdlib.max 1
+
+let with_ramps ~steps ~tau s =
+  if steps < 1 then invalid_arg "Oscillate.with_ramps: steps < 1";
+  if tau <= 0. then invalid_arg "Oscillate.with_ramps: non-positive tau";
+  let ramp_core segments =
+    match segments with
+    | [] | [ _ ] -> segments
+    | _ :: _ ->
+        let last = List.nth segments (List.length segments - 1) in
+        (* The voltage in force just before each segment starts (cyclic). *)
+        let rec build prev = function
+          | [] -> []
+          | seg :: rest ->
+              let out =
+                if Float.abs (prev -. seg.Schedule.voltage) < 1e-12 then [ seg ]
+                else begin
+                  if seg.Schedule.duration <= tau then
+                    invalid_arg
+                      "Oscillate.with_ramps: segment shorter than the ramp";
+                  let dv = seg.Schedule.voltage -. prev in
+                  let sub = tau /. float_of_int steps in
+                  let ramp =
+                    List.init steps (fun k ->
+                        {
+                          Schedule.duration = sub;
+                          voltage =
+                            prev
+                            +. (dv
+                               *. (float_of_int k +. 0.5)
+                               /. float_of_int steps);
+                        })
+                  in
+                  ramp
+                  @ [ { seg with Schedule.duration = seg.Schedule.duration -. tau } ]
+                end
+              in
+              out @ build seg.Schedule.voltage rest
+        in
+        build last.Schedule.voltage segments
+  in
+  Schedule.make ~period:(Schedule.period s)
+    (Array.init (Schedule.n_cores s) (fun i -> ramp_core (Schedule.core_segments s i)))

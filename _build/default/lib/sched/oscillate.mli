@@ -1,0 +1,49 @@
+(** m-Oscillating schedules (Definition 3) and DVFS transition-overhead
+    accounting (Section V).
+
+    The m-Oscillating version of a periodic schedule scales every state
+    interval down by [m] without touching voltages; repeated, it is the
+    same periodic workload oscillating [m] times faster.  Theorem 5: for
+    a step-up schedule, the stable-status peak temperature is monotone
+    non-increasing in [m].
+
+    Oscillating faster costs DVFS transitions.  With a clock stall of
+    [tau] seconds per transition, a core alternating between [v_L] and
+    [v_H] loses [(v_L + v_H) * tau] work per oscillation and must extend
+    its high interval by [delta = (v_L + v_H) tau / (v_H - v_L)] to keep
+    throughput — which bounds how large [m] can usefully be
+    ({!max_m}). *)
+
+(** [oscillate m s] is the paper's [S(m, t)]: period and every duration
+    divided by [m].  [oscillate 1 s = s].  Raises [Invalid_argument] for
+    [m < 1]. *)
+val oscillate : int -> Schedule.t -> Schedule.t
+
+(** [delta ~tau ~v_low ~v_high] is the high-interval extension (seconds)
+    repaying one oscillation's two-transition stall:
+    [(v_low + v_high) * tau / (v_high - v_low)].  Raises
+    [Invalid_argument] unless [v_high > v_low] and [tau >= 0]. *)
+val delta : tau:float -> v_low:float -> v_high:float -> float
+
+(** [max_m_for_core ~tau ~v_low ~v_high ~t_low] is the paper's
+    [M_i = floor (t_low / (delta_i + tau))]: the largest oscillation
+    count whose shrunken low interval still covers the transition and its
+    repayment.  [t_low] is the core's *original* (m = 1) low-mode time.
+    Cores that never switch ([v_low = v_high] within 1e-12, or
+    [t_low <= 0]) report [max_int]. *)
+val max_m_for_core : tau:float -> v_low:float -> v_high:float -> t_low:float -> int
+
+(** [max_m ~tau ~modes] is the chip-wide bound
+    [M = min_i M_i] over per-core [(v_low, v_high, t_low)] triples,
+    clamped below at 1. *)
+val max_m : tau:float -> modes:(float * float * float) array -> int
+
+(** [with_ramps ~steps ~tau s] replaces every instantaneous mode change
+    with a linear voltage ramp of duration [tau], discretized into
+    [steps] piecewise-constant sub-segments carved out of the head of
+    the destination segment (so the period is preserved).  Models the
+    regulator's finite slew rate, letting the thermal analysis bound the
+    error of the instant-switch idealization.  Raises
+    [Invalid_argument] when [steps < 1], [tau <= 0], or some destination
+    segment is shorter than [tau]. *)
+val with_ramps : steps:int -> tau:float -> Schedule.t -> Schedule.t

@@ -1,0 +1,27 @@
+let profile model pm s =
+  if Schedule.n_cores s <> Thermal.Model.n_cores model then
+    invalid_arg
+      (Printf.sprintf "Peak.profile: schedule has %d cores, model has %d"
+         (Schedule.n_cores s) (Thermal.Model.n_cores model));
+  List.map
+    (fun (duration, voltages) ->
+      { Thermal.Matex.duration; psi = Power.Power_model.psi_vector pm voltages })
+    (Schedule.state_intervals s)
+
+let of_step_up model pm s =
+  if not (Stepup.is_step_up s) then invalid_arg "Peak.of_step_up: schedule is not step-up";
+  Thermal.Matex.end_of_period_peak model (profile model pm s)
+
+let of_any model pm ?(samples_per_segment = 32) s =
+  Thermal.Matex.peak_scan model ~samples_per_segment (profile model pm s)
+
+let of_any_refined model pm ?(samples_per_segment = 32) s =
+  Thermal.Matex.peak_refined model ~samples_per_segment (profile model pm s)
+
+let stable_end_core_temps model pm s =
+  let theta = Thermal.Matex.stable_start model (profile model pm s) in
+  Thermal.Model.core_temps_of_theta model theta
+
+let steady_constant model pm voltages =
+  let psi = Power.Power_model.psi_vector pm voltages in
+  Linalg.Vec.max (Thermal.Model.steady_core_temps model psi)

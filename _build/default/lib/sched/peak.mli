@@ -1,0 +1,50 @@
+(** Peak-temperature analysis of voltage schedules.
+
+    Bridges {!Schedule} (voltages) to {!Thermal.Matex} (powers) through a
+    {!Power.Power_model}, and dispatches between the cheap end-of-period
+    evaluator that Theorem 1 licenses for step-up schedules and the dense
+    scan needed for arbitrary ones. *)
+
+(** [profile model pm s] converts a schedule into the piecewise-constant
+    power profile of its state intervals.  Raises [Invalid_argument] when
+    the schedule's core count differs from the thermal model's. *)
+val profile :
+  Thermal.Model.t -> Power.Power_model.t -> Schedule.t -> Thermal.Matex.profile
+
+(** [of_step_up model pm s] is the stable-status peak temperature of the
+    step-up schedule [s] — evaluated only at the period boundary, which
+    Theorem 1 proves is where the peak lives.  Raises [Invalid_argument]
+    if [s] is not step-up. *)
+val of_step_up : Thermal.Model.t -> Power.Power_model.t -> Schedule.t -> float
+
+(** [of_any model pm ?samples_per_segment s] is the stable-status peak of
+    an arbitrary periodic schedule, by dense scanning (default 32 samples
+    per state interval). *)
+val of_any :
+  Thermal.Model.t ->
+  Power.Power_model.t ->
+  ?samples_per_segment:int ->
+  Schedule.t ->
+  float
+
+(** [of_any_refined model pm ?samples_per_segment s] sharpens {!of_any}
+    with per-segment golden-section refinement
+    ({!Thermal.Matex.peak_refined}) — the most accurate evaluator, used
+    for final verification. *)
+val of_any_refined :
+  Thermal.Model.t ->
+  Power.Power_model.t ->
+  ?samples_per_segment:int ->
+  Schedule.t ->
+  float
+
+(** [stable_end_core_temps model pm s] are the absolute per-core
+    temperatures at the stable-status period boundary — what AO's TPT
+    loop reads to find the hottest core. *)
+val stable_end_core_temps :
+  Thermal.Model.t -> Power.Power_model.t -> Schedule.t -> Linalg.Vec.t
+
+(** [steady_constant model pm voltages] is the constant-schedule peak:
+    the hottest entry of [T^inf] under per-core voltages — Algorithm 1's
+    feasibility test. *)
+val steady_constant : Thermal.Model.t -> Power.Power_model.t -> float array -> float

@@ -1,0 +1,86 @@
+let colour_of ~v_min ~v_max v =
+  if v <= 0. then "#bbbbbb"
+  else begin
+    let span = Float.max 1e-12 (v_max -. v_min) in
+    let f = Float.max 0. (Float.min 1. ((v -. v_min) /. span)) in
+    let r, g, b =
+      if f < 0.5 then
+        let t = f *. 2. in
+        (int_of_float (70. +. (185. *. t)), int_of_float (110. +. (145. *. t)), 235)
+      else
+        let t = (f -. 0.5) *. 2. in
+        (255, int_of_float (255. -. (175. *. t)), int_of_float (235. -. (195. *. t)))
+    in
+    Printf.sprintf "#%02x%02x%02x" r g b
+  end
+
+let gantt_svg ?(width = 720) ?(row_height = 34) ?(title = "schedule") s =
+  if width <= 0 || row_height <= 0 then invalid_arg "Render.gantt_svg: non-positive size";
+  let n = Schedule.n_cores s in
+  let period = Schedule.period s in
+  let margin_left = 70. and margin_top = 40. and margin_bottom = 34. in
+  let plot_w = float_of_int width -. margin_left -. 20. in
+  let height =
+    int_of_float (margin_top +. (float_of_int (n * row_height)) +. margin_bottom)
+  in
+  (* Colour scale over the voltages actually used. *)
+  let voltages =
+    List.concat_map
+      (fun i ->
+        List.filter_map
+          (fun seg -> if seg.Schedule.voltage > 0. then Some seg.Schedule.voltage else None)
+          (Schedule.core_segments s i))
+      (List.init n (fun i -> i))
+  in
+  let v_min = List.fold_left Float.min infinity voltages in
+  let v_max = List.fold_left Float.max neg_infinity voltages in
+  let b = Buffer.create 2048 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+        viewBox=\"0 0 %d %d\" font-family=\"Helvetica, Arial, sans-serif\">\n"
+       width height width height);
+  Buffer.add_string b
+    (Printf.sprintf "<rect width=\"%d\" height=\"%d\" fill=\"white\"/>\n" width height);
+  Buffer.add_string b
+    (Printf.sprintf
+       "<text x=\"%.1f\" y=\"22\" font-size=\"14\" font-weight=\"bold\">%s (period %.4gms)</text>\n"
+       margin_left title (period *. 1e3));
+  for i = 0 to n - 1 do
+    let y = margin_top +. float_of_int (i * row_height) in
+    Buffer.add_string b
+      (Printf.sprintf
+         "<text x=\"%.1f\" y=\"%.1f\" font-size=\"12\" text-anchor=\"end\">core %d</text>\n"
+         (margin_left -. 8.)
+         (y +. (float_of_int row_height /. 2.) +. 4.)
+         i);
+    let at = ref 0. in
+    List.iter
+      (fun seg ->
+        let x = margin_left +. (!at /. period *. plot_w) in
+        let w = seg.Schedule.duration /. period *. plot_w in
+        Buffer.add_string b
+          (Printf.sprintf
+             "<rect x=\"%.2f\" y=\"%.2f\" width=\"%.2f\" height=\"%d\" fill=\"%s\" \
+              stroke=\"white\" stroke-width=\"0.5\"><title>%.4gms @ %.2fV</title></rect>\n"
+             x (y +. 2.) w (row_height - 4)
+             (colour_of ~v_min ~v_max seg.Schedule.voltage)
+             (seg.Schedule.duration *. 1e3) seg.Schedule.voltage);
+        at := !at +. seg.Schedule.duration)
+      (Schedule.core_segments s i)
+  done;
+  (* Voltage legend. *)
+  let legend_y = margin_top +. float_of_int (n * row_height) +. 18. in
+  List.iteri
+    (fun k v ->
+      let x = margin_left +. (float_of_int k *. 90.) in
+      Buffer.add_string b
+        (Printf.sprintf
+           "<rect x=\"%.1f\" y=\"%.1f\" width=\"14\" height=\"12\" fill=\"%s\"/>\n" x
+           (legend_y -. 10.) (colour_of ~v_min ~v_max v));
+      Buffer.add_string b
+        (Printf.sprintf "<text x=\"%.1f\" y=\"%.1f\" font-size=\"11\">%.2fV</text>\n"
+           (x +. 18.) legend_y v))
+    (List.sort_uniq Float.compare voltages);
+  Buffer.add_string b "</svg>\n";
+  Buffer.contents b

@@ -1,0 +1,11 @@
+(** SVG Gantt rendering of multi-core schedules.
+
+    One row per core, one rectangle per segment, colour-ramped by
+    voltage (cool blue at the lowest mode, hot red at the highest).
+    Useful for eyeballing AO/PCO outputs and for documentation; the
+    output is deterministic. *)
+
+(** [gantt_svg ?width ?row_height ?title s] renders schedule [s].
+    Voltage 0 (core off) is drawn grey.  Raises [Invalid_argument] on
+    non-positive dimensions. *)
+val gantt_svg : ?width:int -> ?row_height:int -> ?title:string -> Schedule.t -> string

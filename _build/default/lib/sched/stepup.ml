@@ -1,0 +1,36 @@
+let core_is_step_up segments =
+  let rec go = function
+    | a :: (b :: _ as rest) -> a.Schedule.voltage <= b.Schedule.voltage +. 1e-12 && go rest
+    | [ _ ] | [] -> true
+  in
+  go segments
+
+let is_step_up s =
+  let ok = ref true in
+  for i = 0 to Schedule.n_cores s - 1 do
+    if not (core_is_step_up (Schedule.core_segments s i)) then ok := false
+  done;
+  !ok
+
+let reorder s =
+  let reorder_core segments =
+    let sorted =
+      List.stable_sort
+        (fun a b -> Float.compare a.Schedule.voltage b.Schedule.voltage)
+        segments
+    in
+    (* Merge equal-voltage neighbours so the result is canonical. *)
+    let rec merge = function
+      | a :: b :: rest when Float.abs (a.Schedule.voltage -. b.Schedule.voltage) < 1e-12
+        ->
+          merge
+            ({ Schedule.duration = a.Schedule.duration +. b.Schedule.duration;
+               voltage = a.Schedule.voltage }
+            :: rest)
+      | a :: rest -> a :: merge rest
+      | [] -> []
+    in
+    merge sorted
+  in
+  Schedule.make ~period:(Schedule.period s)
+    (Array.init (Schedule.n_cores s) (fun i -> reorder_core (Schedule.core_segments s i)))

@@ -1,0 +1,19 @@
+(** Step-up schedules (Definitions 1 and 2 of the paper).
+
+    A schedule is *step-up* when every core's voltage is non-decreasing
+    across the period.  Its peak temperature in the thermal stable status
+    occurs exactly at the end of the period (Theorem 1), and the step-up
+    reordering of an arbitrary schedule upper-bounds that schedule's peak
+    temperature (Theorem 2) — which is what makes step-up schedules the
+    workhorse of the paper's design-space exploration. *)
+
+(** [is_step_up s] tests Definition 1: within every core's segment list,
+    voltages never decrease (the wrap-around drop from last back to first
+    segment is allowed — that is the period boundary). *)
+val is_step_up : Schedule.t -> bool
+
+(** [reorder s] is the paper's Definition 2: each core keeps exactly the
+    same multiset of (duration, voltage) segments, re-ordered by
+    non-decreasing voltage (equal-voltage runs are merged).  The result
+    satisfies {!is_step_up}. *)
+val reorder : Schedule.t -> Schedule.t

@@ -1,0 +1,40 @@
+let core_work ~tau segments =
+  let gross =
+    List.fold_left
+      (fun acc seg ->
+        acc
+        +. (Power.Vf.frequency_of_voltage seg.Schedule.voltage *. seg.Schedule.duration))
+      0. segments
+  in
+  let stall =
+    match segments with
+    | [] | [ _ ] -> 0.
+    | first :: _ ->
+        let rec boundaries prev = function
+          | [] ->
+              (* Wrap-around boundary: the stall eats into the last
+                 segment's work. *)
+              if Float.abs (prev.Schedule.voltage -. first.Schedule.voltage) > 1e-12 then
+                tau *. prev.Schedule.voltage
+              else 0.
+          | seg :: rest ->
+              (if Float.abs (prev.Schedule.voltage -. seg.Schedule.voltage) > 1e-12 then
+                 tau *. prev.Schedule.voltage
+               else 0.)
+              +. boundaries seg rest
+        in
+        boundaries first (List.tl segments)
+  in
+  Float.max 0. (gross -. stall)
+
+let per_core ~tau s =
+  if tau < 0. then invalid_arg "Throughput.per_core: negative tau";
+  let p = Schedule.period s in
+  Array.init (Schedule.n_cores s) (fun i ->
+      core_work ~tau (Schedule.core_segments s i) /. p)
+
+let with_overhead ~tau s =
+  let speeds = per_core ~tau s in
+  Array.fold_left ( +. ) 0. speeds /. float_of_int (Schedule.n_cores s)
+
+let ideal s = with_overhead ~tau:0. s

@@ -1,0 +1,21 @@
+(** Chip-wide throughput (Eq. (5)) with optional DVFS stall accounting.
+
+    Throughput is the work done per core per second, with processing
+    speed equal to frequency (= voltage, per the paper's convention):
+    [THR = sum_q sum_i f_iq l_q / (N sum_q l_q)].  With a transition
+    stall [tau], every mode change on a core halts it for [tau] seconds,
+    losing the work of the mode being left; over one low/high
+    oscillation the two boundaries lose [(v_L + v_H) tau] in total —
+    exactly the loss Section V's [delta] extension repays. *)
+
+(** [ideal s] is Eq. (5) exactly — no transition overhead. *)
+val ideal : Schedule.t -> float
+
+(** [with_overhead ~tau s] subtracts [tau * v_before] of work per mode
+    change per period (wrap-around boundary included), clamping each
+    core's work at 0.  [with_overhead ~tau:0. s = ideal s]. *)
+val with_overhead : tau:float -> Schedule.t -> float
+
+(** [per_core ~tau s] is each core's net speed (work per second), the
+    summands of {!with_overhead}. *)
+val per_core : tau:float -> Schedule.t -> float array

@@ -1,0 +1,1 @@
+lib/tasks/feasibility.ml: Array Core List Partition Power Task

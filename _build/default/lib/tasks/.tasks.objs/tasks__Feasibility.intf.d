@@ -1,0 +1,1 @@
+lib/tasks/feasibility.mli: Core Partition Task

@@ -1,0 +1,1 @@
+lib/tasks/partition.ml: Array Float Linalg List Task

@@ -1,0 +1,1 @@
+lib/tasks/partition.mli: Task

@@ -1,0 +1,46 @@
+(** Thermal feasibility of partitioned periodic task sets.
+
+    A fluid/EDF core sustains its task set iff its net speed is at least
+    the set's total utilization, so a partition reduces to per-core
+    speed demands; {!Core.Demand} then answers the thermal question.
+    {!capacity_factor} inverts the pipeline: how much can the whole
+    workload be scaled before the platform runs out of thermal
+    headroom — the task-level analogue of the paper's throughput
+    ceiling. *)
+
+type verdict = {
+  demands : float array;  (** Per-core utilization demanded. *)
+  result : Core.Demand.result;  (** The thermal side's answer. *)
+  schedulable : bool;
+      (** Thermally feasible AND every core's delivered speed covers its
+          demand. *)
+}
+
+(** [core_demands assignment] is each core's total utilization. *)
+val core_demands : Partition.assignment -> float array
+
+(** [check platform assignment] runs the full pipeline on an existing
+    partition. *)
+val check : Core.Platform.t -> Partition.assignment -> verdict
+
+(** [schedule_tasks ?strategy platform tasks] partitions [tasks]
+    (capacity = the platform's top voltage) and checks the result.
+    [strategy] picks the packer: [`Worst_fit] (default — balances load,
+    which spreads heat and lowers the peak) or [`First_fit].  Returns
+    [None] when the packing itself fails. *)
+val schedule_tasks :
+  ?strategy:[ `Worst_fit | `First_fit ] ->
+  Core.Platform.t ->
+  Task.t list ->
+  verdict option
+
+(** [capacity_factor ?strategy ?tol platform tasks] binary-searches the
+    largest uniform workload-scaling factor that {!schedule_tasks} still
+    accepts (to relative tolerance [tol], default 1e-3).  Returns 0.
+    when even an infinitesimal workload fails (infeasible platform). *)
+val capacity_factor :
+  ?strategy:[ `Worst_fit | `First_fit ] ->
+  ?tol:float ->
+  Core.Platform.t ->
+  Task.t list ->
+  float

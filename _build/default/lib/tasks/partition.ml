@@ -1,0 +1,62 @@
+type assignment = Task.t list array
+
+let utilizations a =
+  Array.map (fun tasks -> List.fold_left (fun u t -> u +. Task.utilization t) 0. tasks) a
+
+let first_fit_decreasing ~n_cores ~capacity tasks =
+  if n_cores <= 0 then invalid_arg "Partition.first_fit_decreasing: non-positive cores";
+  if capacity <= 0. then
+    invalid_arg "Partition.first_fit_decreasing: non-positive capacity";
+  let sorted =
+    List.stable_sort
+      (fun a b -> Float.compare (Task.utilization b) (Task.utilization a))
+      tasks
+  in
+  let bins = Array.make n_cores [] in
+  let load = Array.make n_cores 0. in
+  let place task =
+    let u = Task.utilization task in
+    let rec try_bin i =
+      if i >= n_cores then false
+      else if load.(i) +. u <= capacity +. 1e-12 then begin
+        bins.(i) <- task :: bins.(i);
+        load.(i) <- load.(i) +. u;
+        true
+      end
+      else try_bin (i + 1)
+    in
+    try_bin 0
+  in
+  if List.for_all place sorted then Some (Array.map List.rev bins) else None
+
+let worst_fit_decreasing ~n_cores ~capacity tasks =
+  if n_cores <= 0 then invalid_arg "Partition.worst_fit_decreasing: non-positive cores";
+  if capacity <= 0. then
+    invalid_arg "Partition.worst_fit_decreasing: non-positive capacity";
+  let sorted =
+    List.stable_sort
+      (fun a b -> Float.compare (Task.utilization b) (Task.utilization a))
+      tasks
+  in
+  let bins = Array.make n_cores [] in
+  let load = Array.make n_cores 0. in
+  let place task =
+    let u = Task.utilization task in
+    (* Least-loaded core first. *)
+    let best = ref (-1) in
+    for i = n_cores - 1 downto 0 do
+      if load.(i) +. u <= capacity +. 1e-12 && (!best < 0 || load.(i) < load.(!best))
+      then best := i
+    done;
+    if !best < 0 then false
+    else begin
+      bins.(!best) <- task :: bins.(!best);
+      load.(!best) <- load.(!best) +. u;
+      true
+    end
+  in
+  if List.for_all place sorted then Some (Array.map List.rev bins) else None
+
+let balance a =
+  let u = utilizations a in
+  Linalg.Vec.max u -. Linalg.Vec.min u

@@ -1,0 +1,34 @@
+(** Partitioned task-to-core mapping.
+
+    Classic first-fit-decreasing bin packing by utilization: bins are
+    cores, each with the same speed capacity (at most the platform's top
+    voltage, since a core can never sustain more net speed than
+    [v_max]).  The result feeds {!Feasibility.core_demands} and then the
+    thermal side of the problem. *)
+
+type assignment = Task.t list array
+(** [assignment.(i)] = tasks hosted by core [i]. *)
+
+(** [first_fit_decreasing ~n_cores ~capacity tasks] packs tasks (sorted
+    by descending utilization) onto the first core with room.  Returns
+    [None] when some task does not fit anywhere (including any task with
+    [utilization > capacity]).  Raises [Invalid_argument] on
+    non-positive [n_cores] or [capacity]. *)
+val first_fit_decreasing :
+  n_cores:int -> capacity:float -> Task.t list -> assignment option
+
+(** [worst_fit_decreasing ~n_cores ~capacity tasks] places each task
+    (sorted by descending utilization) on the LEAST-loaded core with
+    room.  Packs no better than first-fit, but balances load across
+    cores — which matters thermally: spreading heat lowers the peak
+    temperature, so this is the partitioner to prefer in front of
+    {!Feasibility}. *)
+val worst_fit_decreasing :
+  n_cores:int -> capacity:float -> Task.t list -> assignment option
+
+(** [utilizations a] is each core's total assigned utilization. *)
+val utilizations : assignment -> float array
+
+(** [balance a] is [max - min] of {!utilizations} — a packing-quality
+    metric. *)
+val balance : assignment -> float

@@ -1,0 +1,15 @@
+type t = { name : string; wcet : float; period : float }
+
+let make ~name ~wcet ~period =
+  if wcet <= 0. then invalid_arg "Task.make: non-positive wcet";
+  if period <= 0. then invalid_arg "Task.make: non-positive period";
+  { name; wcet; period }
+
+let utilization t = t.wcet /. t.period
+
+let scale f t =
+  if f <= 0. then invalid_arg "Task.scale: non-positive factor";
+  { t with wcet = t.wcet *. f }
+
+let pp fmt t =
+  Format.fprintf fmt "%s(%.3g/%.3g = %.3g)" t.name t.wcet t.period (utilization t)

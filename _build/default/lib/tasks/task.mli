@@ -1,0 +1,30 @@
+(** Periodic real-time tasks over the paper's speed model.
+
+    The paper's performance model measures work as speed x time with
+    speed = frequency = voltage; a task here declares its work per job
+    ([wcet], expressed in those work units — the execution time it would
+    need on a core running at speed 1.0) and its activation period.  A
+    fluid (EDF-schedulable) core of constant net speed [s] sustains any
+    task set whose total utilization is at most [s]; that is the bridge
+    from this module to the DVFS schedules of {!Sched}. *)
+
+type t = {
+  name : string;
+  wcet : float;  (** Work units per job (execution time at speed 1.0). *)
+  period : float;  (** Activation period = implicit deadline, s. *)
+}
+
+(** [make ~name ~wcet ~period] validates and builds a task.  Raises
+    [Invalid_argument] on non-positive [wcet] or [period]. *)
+val make : name:string -> wcet:float -> period:float -> t
+
+(** [utilization t] is [wcet / period] — the net speed the task consumes
+    on the core that hosts it. *)
+val utilization : t -> float
+
+(** [scale f t] multiplies the task's [wcet] by [f > 0] (workload
+    inflation, used to probe a platform's thermal capacity). *)
+val scale : float -> t -> t
+
+(** [pp] prints [name(wcet/period = u)]. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/thermal/export.ml: Array Buffer Filename Fun Linalg Model Printf String Sys

@@ -1,0 +1,1 @@
+lib/thermal/export.mli: Linalg Model

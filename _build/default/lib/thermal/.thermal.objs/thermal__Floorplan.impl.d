@@ -1,0 +1,1 @@
+lib/thermal/floorplan.ml: Array Float Format List Printf Seq

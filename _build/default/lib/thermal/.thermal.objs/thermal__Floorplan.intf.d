@@ -1,0 +1,1 @@
+lib/thermal/floorplan.mli: Format

@@ -1,0 +1,1 @@
+lib/thermal/flp.ml: Array Buffer Floorplan Fun Hashtbl In_channel List Printf String

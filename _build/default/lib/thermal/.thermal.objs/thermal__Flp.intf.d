@@ -1,0 +1,1 @@
+lib/thermal/flp.mli: Floorplan

@@ -1,0 +1,1 @@
+lib/thermal/grid_model.ml: Array Float Floorplan Hotspot Linalg List Matex Model Printf

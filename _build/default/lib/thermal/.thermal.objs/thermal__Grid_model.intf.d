@@ -1,0 +1,1 @@
+lib/thermal/grid_model.mli: Floorplan Linalg Matex Model

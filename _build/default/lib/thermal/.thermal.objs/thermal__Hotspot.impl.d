@@ -1,0 +1,1 @@
+lib/thermal/hotspot.ml: Array Floorplan Material Model Rc_network

@@ -1,0 +1,1 @@
+lib/thermal/hotspot.mli: Floorplan Model Rc_network

@@ -1,0 +1,1 @@
+lib/thermal/material.ml:

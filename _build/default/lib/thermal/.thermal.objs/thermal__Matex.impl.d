@@ -1,0 +1,1 @@
+lib/thermal/matex.ml: Array Float Linalg List Model Printf

@@ -1,0 +1,1 @@
+lib/thermal/matex.mli: Linalg Model

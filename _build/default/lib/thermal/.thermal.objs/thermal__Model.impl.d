@@ -1,0 +1,1 @@
+lib/thermal/model.ml: Array Float Hashtbl Int64 Linalg Mutex Printf

@@ -1,0 +1,1 @@
+lib/thermal/ptrace.ml: Array Buffer Fun In_channel List Model Printf String Trace

@@ -1,0 +1,1 @@
+lib/thermal/ptrace.mli: Model Trace

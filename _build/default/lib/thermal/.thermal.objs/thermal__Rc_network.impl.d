@@ -1,0 +1,1 @@
+lib/thermal/rc_network.ml: Array Linalg List Printf Stdlib

@@ -1,0 +1,1 @@
+lib/thermal/rc_network.mli: Linalg

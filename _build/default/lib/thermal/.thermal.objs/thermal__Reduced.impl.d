@@ -1,0 +1,1 @@
+lib/thermal/reduced.ml: Array Float Linalg Model Stdlib

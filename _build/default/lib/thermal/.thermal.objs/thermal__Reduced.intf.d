@@ -1,0 +1,1 @@
+lib/thermal/reduced.mli: Linalg Model

@@ -1,0 +1,1 @@
+lib/thermal/trace.ml: Array Float Linalg List Matex Model Printf

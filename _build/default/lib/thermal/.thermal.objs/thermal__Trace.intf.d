@@ -1,0 +1,1 @@
+lib/thermal/trace.mli: Linalg Matex Model

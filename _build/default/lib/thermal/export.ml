@@ -1,0 +1,43 @@
+module Mat = Linalg.Mat
+
+let matrix_to_csv m =
+  let b = Buffer.create 1024 in
+  let rows, cols = Mat.dims m in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      if j > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "%.17g" (Mat.get m i j))
+    done;
+    Buffer.add_char b '\n'
+  done;
+  Buffer.contents b
+
+let write_file path text =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text)
+
+let write_model ~dir ~prefix model =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path name = Filename.concat dir (prefix ^ "_" ^ name ^ ".csv") in
+  let a_path = path "A" in
+  write_file a_path (matrix_to_csv (Model.a_matrix model));
+  let eig_path = path "eigenvalues" in
+  write_file eig_path
+    (String.concat "\n"
+       (Array.to_list (Array.map (Printf.sprintf "%.17g") (Model.eigenvalues model)))
+    ^ "\n");
+  let n = Model.n_cores model in
+  let offset = Model.steady_core_temps model (Array.make n 0.) in
+  let unit_response i =
+    let unit = Array.make n 0. in
+    unit.(i) <- 1.;
+    let temps = Model.steady_core_temps model unit in
+    Array.mapi (fun j t -> t -. offset.(j)) temps
+  in
+  let rows = Array.init n unit_response in
+  let response =
+    Mat.init (n + 1) n (fun i j -> if i = 0 then offset.(j) else rows.(i - 1).(j))
+  in
+  let resp_path = path "response" in
+  write_file resp_path (matrix_to_csv response);
+  [ a_path; eig_path; resp_path ]

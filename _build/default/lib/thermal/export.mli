@@ -1,0 +1,22 @@
+(** Matrix export for external tooling.
+
+    The paper's authors worked in MATLAB; researchers comparing against
+    this implementation will want the exact [A], [C], [G] matrices and
+    the steady-state response map this library computes.  This module
+    writes them in plain CSV (one matrix per file) so
+    [readmatrix]/[numpy.loadtxt] ingest them directly. *)
+
+(** [matrix_to_csv m] renders a matrix as CSV text ([%.17g], exact
+    round trip through decimal). *)
+val matrix_to_csv : Linalg.Mat.t -> string
+
+(** [write_model ~dir ~prefix model] writes
+
+    - [<prefix>_A.csv] — the state matrix [A = -C^{-1}(G - beta E)];
+    - [<prefix>_eigenvalues.csv] — its eigenvalues (one column);
+    - [<prefix>_response.csv] — the steady-state map: column [j] is the
+      absolute core-temperature response to 1 W on core [j], first row
+      is the zero-power offset.
+
+    Creates [dir] if needed; returns the list of paths written. *)
+val write_model : dir:string -> prefix:string -> Model.t -> string list

@@ -1,0 +1,81 @@
+type block = {
+  name : string;
+  layer : int;
+  x : float;
+  y : float;
+  width : float;
+  height : float;
+}
+
+type t = { blocks : block array }
+
+let area b = b.width *. b.height
+
+let check_positive name v = if v <= 0. then invalid_arg ("Floorplan: non-positive " ^ name)
+
+let grid_blocks ~layer ~prefix ~rows ~cols ~core_width ~core_height =
+  if rows <= 0 || cols <= 0 then invalid_arg "Floorplan.grid: non-positive grid size";
+  check_positive "core_width" core_width;
+  check_positive "core_height" core_height;
+  Array.init (rows * cols) (fun k ->
+      let r = k / cols and c = k mod cols in
+      {
+        name = Printf.sprintf "%s%d_%d" prefix r c;
+        layer;
+        x = float_of_int c *. core_width;
+        y = float_of_int r *. core_height;
+        width = core_width;
+        height = core_height;
+      })
+
+let grid ~rows ~cols ~core_width ~core_height =
+  { blocks = grid_blocks ~layer:0 ~prefix:"core_" ~rows ~cols ~core_width ~core_height }
+
+let stack3d ~layers ~rows ~cols ~core_width ~core_height =
+  if layers <= 0 then invalid_arg "Floorplan.stack3d: non-positive layer count";
+  let layer_blocks l =
+    grid_blocks ~layer:l
+      ~prefix:(Printf.sprintf "core_%d_" l)
+      ~rows ~cols ~core_width ~core_height
+  in
+  { blocks = Array.concat (List.init layers layer_blocks) }
+
+(* Length of the overlap of 1D segments [a0,a1] and [b0,b1]. *)
+let segment_overlap a0 a1 b0 b1 = Float.max 0. (Float.min a1 b1 -. Float.max a0 b0)
+
+let touching x y = Float.abs (x -. y) < 1e-12
+
+let shared_edge a b =
+  if a.layer <> b.layer then 0.
+  else if touching (a.x +. a.width) b.x || touching (b.x +. b.width) a.x then
+    (* Vertical common edge: overlap in y. *)
+    segment_overlap a.y (a.y +. a.height) b.y (b.y +. b.height)
+  else if touching (a.y +. a.height) b.y || touching (b.y +. b.height) a.y then
+    (* Horizontal common edge: overlap in x. *)
+    segment_overlap a.x (a.x +. a.width) b.x (b.x +. b.width)
+  else 0.
+
+let overlap_area a b =
+  if abs (a.layer - b.layer) <> 1 then 0.
+  else
+    segment_overlap a.x (a.x +. a.width) b.x (b.x +. b.width)
+    *. segment_overlap a.y (a.y +. a.height) b.y (b.y +. b.height)
+
+let exposed_perimeter fp i =
+  let b = fp.blocks.(i) in
+  let total = 2. *. (b.width +. b.height) in
+  let shared =
+    Array.to_seq fp.blocks
+    |> Seq.mapi (fun j other -> if j = i then 0. else shared_edge b other)
+    |> Seq.fold_left ( +. ) 0.
+  in
+  Float.max 0. (total -. shared)
+
+let n_blocks fp = Array.length fp.blocks
+
+let pp fmt fp =
+  Array.iter
+    (fun b ->
+      Format.fprintf fmt "%-12s layer %d  at (%.1f, %.1f) mm  %.1f x %.1f mm@."
+        b.name b.layer (b.x *. 1e3) (b.y *. 1e3) (b.width *. 1e3) (b.height *. 1e3))
+    fp.blocks

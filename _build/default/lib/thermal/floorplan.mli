@@ -1,0 +1,54 @@
+(** Core-level floorplans.
+
+    A floorplan is a set of rectangular blocks, each on a layer (layer 0
+    is the die attached to the package; higher layers model 3D-stacked
+    dies).  The builder in {!Hotspot} turns adjacency information from the
+    floorplan into lateral/vertical RC-network conductances. *)
+
+type block = {
+  name : string;
+  layer : int;  (** 0 = bottom die (package-attached). *)
+  x : float;  (** Lower-left corner, m. *)
+  y : float;
+  width : float;  (** m *)
+  height : float;  (** m *)
+}
+
+type t = { blocks : block array }
+
+(** [area b] is [width * height] in m^2. *)
+val area : block -> float
+
+(** [grid ~rows ~cols ~core_width ~core_height] is a single-layer
+    [rows x cols] mesh of identical cores named ["core_<r>_<c>"], packed
+    edge to edge.  The paper's platforms are [grid 1 2], [grid 1 3],
+    [grid 2 3] and [grid 3 3] with 4x4 mm^2 cores.  Raises
+    [Invalid_argument] on non-positive dimensions. *)
+val grid : rows:int -> cols:int -> core_width:float -> core_height:float -> t
+
+(** [stack3d ~layers ~rows ~cols ~core_width ~core_height] piles [layers]
+    copies of the grid vertically (names ["core_<l>_<r>_<c>"]) — the 3D
+    configuration the paper's introduction motivates. *)
+val stack3d :
+  layers:int -> rows:int -> cols:int -> core_width:float -> core_height:float -> t
+
+(** [shared_edge a b] is the length (m) of the common boundary between two
+    same-layer blocks, 0 if they do not touch or lie on different
+    layers. *)
+val shared_edge : block -> block -> float
+
+(** [overlap_area a b] is the overlap area (m^2) of the footprints of two
+    blocks on *adjacent* layers ([abs (layer a - layer b) = 1]), 0
+    otherwise. *)
+val overlap_area : block -> block -> float
+
+(** [exposed_perimeter fp i] is the perimeter length (m) of block [i] not
+    shared with any same-layer neighbour — the boundary facing the
+    spreader overhang. *)
+val exposed_perimeter : t -> int -> float
+
+(** [n_blocks fp] is the number of blocks. *)
+val n_blocks : t -> int
+
+(** [pp] prints a one-line-per-block summary. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,67 @@
+exception Parse_error of int * string
+
+let error line fmt = Printf.ksprintf (fun msg -> raise (Parse_error (line, msg))) fmt
+
+let is_blank s = String.trim s = ""
+let is_comment s = String.length (String.trim s) > 0 && (String.trim s).[0] = '#'
+
+let parse_line lineno line =
+  let fields =
+    String.split_on_char ' ' (String.map (function '\t' -> ' ' | c -> c) line)
+    |> List.filter (fun f -> f <> "")
+  in
+  match fields with
+  | name :: width :: height :: x :: y :: rest ->
+      if List.length rest > 2 then error lineno "too many columns (%d)" (List.length fields);
+      let num what s =
+        match float_of_string_opt s with
+        | Some v -> v
+        | None -> error lineno "%s is not a number: %S" what s
+      in
+      let width = num "width" width and height = num "height" height in
+      let x = num "left-x" x and y = num "bottom-y" y in
+      if width <= 0. || height <= 0. then
+        error lineno "unit %s has non-positive dimensions" name;
+      { Floorplan.name; layer = 0; x; y; width; height }
+  | _ -> error lineno "expected at least 5 columns, got %d" (List.length fields)
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let blocks =
+    List.filteri (fun _ _ -> true) lines
+    |> List.mapi (fun i line -> (i + 1, line))
+    |> List.filter (fun (_, line) -> not (is_blank line || is_comment line))
+    |> List.map (fun (lineno, line) -> (lineno, parse_line lineno line))
+  in
+  if blocks = [] then raise (Parse_error (0, "no units in floorplan"));
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (lineno, b) ->
+      if Hashtbl.mem seen b.Floorplan.name then
+        error lineno "duplicate unit name %s" b.Floorplan.name;
+      Hashtbl.add seen b.Floorplan.name ())
+    blocks;
+  { Floorplan.blocks = Array.of_list (List.map snd blocks) }
+
+let of_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (In_channel.input_all ic))
+
+let to_string fp =
+  let buffer = Buffer.create 256 in
+  Buffer.add_string buffer "# <unit-name> <width> <height> <left-x> <bottom-y>\n";
+  Array.iter
+    (fun b ->
+      if b.Floorplan.layer <> 0 then
+        invalid_arg "Flp.to_string: stacked floorplans have no .flp representation";
+      Buffer.add_string buffer
+        (Printf.sprintf "%s\t%.17g\t%.17g\t%.17g\t%.17g\n" b.Floorplan.name
+           b.Floorplan.width b.Floorplan.height b.Floorplan.x b.Floorplan.y))
+    fp.Floorplan.blocks;
+  Buffer.contents buffer
+
+let to_file path fp =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string fp))

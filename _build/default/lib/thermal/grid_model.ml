@@ -1,0 +1,60 @@
+module Vec = Linalg.Vec
+
+type t = { model : Model.t; mapping : int array array; subdivisions : int }
+
+let build ?(subdivisions = 3) ?(ambient = 35.) ?(leak_beta = 0.05) fp =
+  if subdivisions < 1 then invalid_arg "Grid_model.build: subdivisions < 1";
+  let k = subdivisions in
+  let cells =
+    Array.to_list fp.Floorplan.blocks
+    |> List.concat_map (fun b ->
+           let w = b.Floorplan.width /. float_of_int k in
+           let h = b.Floorplan.height /. float_of_int k in
+           List.init (k * k) (fun c ->
+               let r = c / k and col = c mod k in
+               {
+                 Floorplan.name = Printf.sprintf "%s__%d_%d" b.Floorplan.name r col;
+                 layer = b.Floorplan.layer;
+                 x = b.Floorplan.x +. (float_of_int col *. w);
+                 y = b.Floorplan.y +. (float_of_int r *. h);
+                 width = w;
+                 height = h;
+               }))
+  in
+  let fine = { Floorplan.blocks = Array.of_list cells } in
+  (* The leakage slope is per CORE in the block model; spread it over the
+     block's cells so the chip-wide leakage matches. *)
+  let model =
+    Hotspot.core_level ~ambient
+      ~leak_beta:(leak_beta /. float_of_int (k * k))
+      fine
+  in
+  let n_blocks = Floorplan.n_blocks fp in
+  let mapping =
+    Array.init n_blocks (fun i -> Array.init (k * k) (fun c -> (i * k * k) + c))
+  in
+  { model; mapping; subdivisions = k }
+
+let expand_powers g psi =
+  if Vec.dim psi <> Array.length g.mapping then
+    invalid_arg "Grid_model.expand_powers: per-block power arity mismatch";
+  let cells = Model.n_cores g.model in
+  let out = Vec.zeros cells in
+  Array.iteri
+    (fun i nodes ->
+      let share = psi.(i) /. float_of_int (Array.length nodes) in
+      Array.iter (fun node -> out.(node) <- share) nodes)
+    g.mapping;
+  out
+
+let steady_block_temps g psi =
+  let temps = Model.steady_core_temps g.model (expand_powers g psi) in
+  Array.map
+    (fun nodes -> Array.fold_left (fun acc n -> Float.max acc temps.(n)) neg_infinity nodes)
+    g.mapping
+
+let profile_of g profile =
+  List.map
+    (fun (seg : Matex.segment) ->
+      { seg with Matex.psi = expand_powers g seg.Matex.psi })
+    profile

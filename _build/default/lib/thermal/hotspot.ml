@@ -1,0 +1,118 @@
+let default_ambient = 35.
+let default_leak_beta = 0.05
+
+let network_of_floorplan ?(lateral_scale = 1.) ?(vertical_scale = 1.)
+    ?(capacitance_scale = 1.) fp =
+  if lateral_scale < 0. || vertical_scale <= 0. || capacitance_scale <= 0. then
+    invalid_arg "Hotspot.network_of_floorplan: non-positive scale";
+  let net = Rc_network.create () in
+  let n = Floorplan.n_blocks fp in
+  let idx =
+    Array.init n (fun i ->
+        let b = fp.Floorplan.blocks.(i) in
+        let area = Floorplan.area b in
+        let capacitance = capacitance_scale *. area *. Material.lumped_capacitance_area in
+        let to_ambient =
+          vertical_scale
+          *.
+          if b.Floorplan.layer = 0 then
+            (area /. Material.lumped_vertical_resistance_area)
+            +. (Floorplan.exposed_perimeter fp i *. Material.perimeter_conductance)
+          else
+            (* Stacked dies reach ambient only weakly through the lid. *)
+            area /. (10. *. Material.lumped_vertical_resistance_area)
+        in
+        Rc_network.add_node net ~name:b.Floorplan.name ~capacitance ~to_ambient)
+  in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let bi = fp.Floorplan.blocks.(i) and bj = fp.Floorplan.blocks.(j) in
+      let edge = Floorplan.shared_edge bi bj in
+      if edge > 0. then
+        Rc_network.connect net idx.(i) idx.(j)
+          (lateral_scale *. edge *. Material.lateral_conductance_per_metre);
+      let overlap = Floorplan.overlap_area bi bj in
+      if overlap > 0. then
+        Rc_network.connect net idx.(i) idx.(j)
+          (overlap /. Material.interlayer_resistance_area)
+    done
+  done;
+  net
+
+let core_level ?(ambient = default_ambient) ?(leak_beta = default_leak_beta)
+    ?lateral_scale ?vertical_scale ?capacitance_scale fp =
+  let net = network_of_floorplan ?lateral_scale ?vertical_scale ?capacitance_scale fp in
+  Model.make ~ambient ~leak_beta
+    ~capacitance:(Rc_network.capacitance_vector net)
+    ~conductance:(Rc_network.conductance_matrix net)
+    ~core_nodes:(Array.init (Floorplan.n_blocks fp) (fun i -> i))
+    ()
+
+let layered ?(ambient = default_ambient) ?(leak_beta = default_leak_beta) fp =
+  let net = Rc_network.create () in
+  let n = Floorplan.n_blocks fp in
+  let die_thermal_capacitance area =
+    area *. Material.die_thickness *. Material.silicon.Material.volumetric_heat
+  in
+  let cores =
+    Array.init n (fun i ->
+        let b = fp.Floorplan.blocks.(i) in
+        Rc_network.add_node net ~name:b.Floorplan.name
+          ~capacitance:(die_thermal_capacitance (Floorplan.area b))
+          ~to_ambient:0.)
+  in
+  (* Per-core spreader node: copper slab patch above the core. *)
+  let spreaders =
+    Array.init n (fun i ->
+        let b = fp.Floorplan.blocks.(i) in
+        let area = Floorplan.area b in
+        Rc_network.add_node net
+          ~name:(b.Floorplan.name ^ "_sp")
+          ~capacitance:
+            (area *. Material.spreader_thickness
+            *. Material.copper.Material.volumetric_heat)
+          ~to_ambient:0.)
+  in
+  (* One shared heat-sink node grounding the package. *)
+  let total_area =
+    Array.fold_left (fun acc b -> acc +. Floorplan.area b) 0. fp.Floorplan.blocks
+  in
+  let sink =
+    Rc_network.add_node net ~name:"sink" ~capacitance:(total_area *. 4.0e5)
+      ~to_ambient:(total_area /. (0.25 *. Material.lumped_vertical_resistance_area))
+  in
+  (* TIM resistance per unit area: thickness / conductivity. *)
+  let tim_resistance_area = 20.0e-6 /. Material.interface.Material.conductivity in
+  for i = 0 to n - 1 do
+    let b = fp.Floorplan.blocks.(i) in
+    let area = Floorplan.area b in
+    Rc_network.connect net cores.(i) spreaders.(i) (area /. tim_resistance_area);
+    Rc_network.connect net spreaders.(i) sink
+      (area /. (0.45 *. Material.lumped_vertical_resistance_area));
+    Rc_network.add_to_ambient net spreaders.(i)
+      (Floorplan.exposed_perimeter fp i *. Material.perimeter_conductance)
+  done;
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let bi = fp.Floorplan.blocks.(i) and bj = fp.Floorplan.blocks.(j) in
+      let edge = Floorplan.shared_edge bi bj in
+      if edge > 0. then begin
+        (* Silicon lateral path between dies and copper path between
+           spreader patches. *)
+        Rc_network.connect net cores.(i) cores.(j)
+          (edge *. Material.die_thickness *. Material.silicon.Material.conductivity
+          /. bi.Floorplan.width);
+        Rc_network.connect net spreaders.(i) spreaders.(j)
+          (edge *. Material.lateral_conductance_per_metre)
+      end;
+      let overlap = Floorplan.overlap_area bi bj in
+      if overlap > 0. then
+        Rc_network.connect net cores.(i) cores.(j)
+          (overlap /. Material.interlayer_resistance_area)
+    done
+  done;
+  ignore sink;
+  Model.make ~ambient ~leak_beta
+    ~capacitance:(Rc_network.capacitance_vector net)
+    ~conductance:(Rc_network.conductance_matrix net)
+    ~core_nodes:cores ()

@@ -1,0 +1,45 @@
+(** HotSpot-style compact-model construction from a floorplan.
+
+    The paper obtains its [A]/[B] matrices from HotSpot-5.02 and then
+    "simplifies the floor-plan to the core-level"; this module rebuilds
+    that pipeline.  Two levels of detail are provided:
+
+    - {!core_level}: one thermal node per core, with package and spreader
+      effects folded into effective per-area constants
+      ({!Material.lumped_vertical_resistance_area} and friends).  This is
+      the model every policy in {!Core} consumes, exactly the shape the
+      paper works with.
+    - {!layered}: adds an explicit spreader node per core and one shared
+      heat-sink node — a finer network used to validate that the
+      core-level lumping preserves the dynamics (and to exercise the
+      passive-node handling of {!Model}). *)
+
+(** [core_level ?ambient ?leak_beta ?lateral_scale ?vertical_scale
+    ?capacitance_scale fp] builds the core-level model for floorplan
+    [fp].  Defaults: [ambient = 35.] (the paper's T_amb),
+    [leak_beta = 0.05] W/K, every scale 1.  The scale knobs multiply the
+    calibrated lateral conductances, ambient paths and capacitances —
+    used by the sensitivity experiments (e.g. how the Theorem-1
+    approximation degrades with coupling strength). *)
+val core_level :
+  ?ambient:float ->
+  ?leak_beta:float ->
+  ?lateral_scale:float ->
+  ?vertical_scale:float ->
+  ?capacitance_scale:float ->
+  Floorplan.t ->
+  Model.t
+
+(** [layered ?ambient ?leak_beta fp] builds the die + spreader + shared
+    sink model.  Core nodes come first, in floorplan order. *)
+val layered : ?ambient:float -> ?leak_beta:float -> Floorplan.t -> Model.t
+
+(** [network_of_floorplan ?lateral_scale ?vertical_scale
+    ?capacitance_scale fp] is the raw core-level RC network, exposed for
+    tests that want to poke at conductances directly. *)
+val network_of_floorplan :
+  ?lateral_scale:float ->
+  ?vertical_scale:float ->
+  ?capacitance_scale:float ->
+  Floorplan.t ->
+  Rc_network.t

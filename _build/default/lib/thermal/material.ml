@@ -1,0 +1,17 @@
+type t = { name : string; conductivity : float; volumetric_heat : float }
+
+let silicon = { name = "silicon"; conductivity = 100.; volumetric_heat = 1.75e6 }
+let copper = { name = "copper"; conductivity = 400.; volumetric_heat = 3.55e6 }
+let interface = { name = "TIM"; conductivity = 4.; volumetric_heat = 4.0e6 }
+let die_thickness = 0.15e-3
+let spreader_thickness = 1.0e-3
+
+(* Calibration (see DESIGN.md section 5): a 4x4 mm^2 core has
+   g_vertical = area / r_area = 16e-6 / 32e-6 = 0.5 W/K and
+   c = area * c_area = 16e-6 * 7800 = 0.125 J/K, giving the ~0.25 s
+   dominant time constant visible in the paper's Fig. 2/Fig. 4 traces. *)
+let lumped_vertical_resistance_area = 32.0e-6
+let lumped_capacitance_area = 7800.
+let perimeter_conductance = 15.
+let lateral_conductance_per_metre = 75.
+let interlayer_resistance_area = 8.0e-6

@@ -1,0 +1,56 @@
+(** Thermal material properties used by the compact-model builder.
+
+    Conductivities and volumetric heat capacities follow the HotSpot-5.02
+    defaults at the 65 nm node the paper adopts.  The [lumped_*] constants
+    fold the package layers the paper abstracts away (TIM, heat spreader,
+    heat sink, convection) into effective per-area values so that a
+    core-level model reproduces the paper's temperature scale and
+    second-scale thermal time constants. *)
+
+type t = {
+  name : string;
+  conductivity : float;  (** Thermal conductivity, W/(m*K). *)
+  volumetric_heat : float;  (** Volumetric heat capacity, J/(m^3*K). *)
+}
+
+val silicon : t
+(** Bulk silicon: 100 W/(m*K), 1.75e6 J/(m^3*K) (HotSpot defaults). *)
+
+val copper : t
+(** Copper heat spreader: 400 W/(m*K), 3.55e6 J/(m^3*K). *)
+
+val interface : t
+(** Thermal interface material: 4 W/(m*K), 4e6 J/(m^3*K). *)
+
+val die_thickness : float
+(** Silicon die thickness, m (HotSpot default 0.15 mm). *)
+
+val spreader_thickness : float
+(** Heat-spreader thickness, m (HotSpot default 1 mm). *)
+
+val lumped_vertical_resistance_area : float
+(** Effective vertical (junction-to-ambient) thermal resistance per unit
+    area, K*m^2/W, lumping TIM + spreader + sink + convection.  Calibrated
+    so that a 4x4 mm^2 core dissipating its peak-voltage power settles
+    roughly 45-50 K above ambient, matching the paper's Fig. 3 scale. *)
+
+val lumped_capacitance_area : float
+(** Effective heat capacity per unit area, J/(K*m^2), lumping the die with
+    the package mass that follows the core temperature on the paper's
+    100 ms - 10 s schedule horizons. *)
+
+val perimeter_conductance : float
+(** Extra conductance to ambient per metre of floorplan-exposed block
+    perimeter, W/(K*m).  Models the spreader area beyond the chip edge;
+    this is what makes edge cores in a row run cooler than middle cores,
+    reproducing the heterogeneous ideal voltages of the paper's
+    Section III example. *)
+
+val lateral_conductance_per_metre : float
+(** Core-to-core lateral conductance per metre of shared edge, W/(K*m),
+    lumping silicon plus spreader spreading paths.  Determines how much a
+    hot core heats its neighbours (the paper's "heat interference"). *)
+
+val interlayer_resistance_area : float
+(** Vertical resistance per unit overlap area between two stacked dies in
+    a 3D configuration, K*m^2/W (through-silicon bonding layer). *)

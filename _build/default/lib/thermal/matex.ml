@@ -1,0 +1,213 @@
+module Mat = Linalg.Mat
+module Vec = Linalg.Vec
+
+type segment = { duration : float; psi : Vec.t }
+type profile = segment list
+
+let period profile = List.fold_left (fun acc s -> acc +. s.duration) 0. profile
+
+let validate model profile =
+  if profile = [] then invalid_arg "Matex: empty profile";
+  List.iteri
+    (fun q s ->
+      if s.duration <= 0. then
+        invalid_arg (Printf.sprintf "Matex: segment %d has non-positive duration" q);
+      if Vec.dim s.psi <> Model.n_cores model then
+        invalid_arg
+          (Printf.sprintf "Matex: segment %d power vector has arity %d, expected %d" q
+             (Vec.dim s.psi) (Model.n_cores model)))
+    profile
+
+let simulate model ~theta0 profile =
+  validate model profile;
+  let states = Array.make (List.length profile + 1) theta0 in
+  List.iteri
+    (fun q s ->
+      states.(q + 1) <- Model.step model ~dt:s.duration ~theta:states.(q) ~psi:s.psi)
+    profile;
+  states
+
+let stable_start model profile =
+  validate model profile;
+  let n = Model.n_nodes model in
+  (* One period from the zero state gives theta(t_p) = K*0 + d = d, and
+     K is the ordered product of segment propagators. *)
+  let d = ref (Vec.zeros n) in
+  let k = ref (Mat.identity n) in
+  List.iter
+    (fun s ->
+      let p = Model.propagator model s.duration in
+      d := Model.step model ~dt:s.duration ~theta:!d ~psi:s.psi;
+      k := Mat.matmul p !k)
+    profile;
+  (* Stable status: theta* = K theta* + d. *)
+  let i_minus_k = Mat.sub (Mat.identity n) !k in
+  Linalg.Lu.solve i_minus_k !d
+
+let stable_boundaries model profile =
+  let theta0 = stable_start model profile in
+  simulate model ~theta0 profile
+
+let peak_at_boundaries model profile =
+  Array.fold_left
+    (fun acc theta -> Float.max acc (Model.max_core_temp model theta))
+    neg_infinity
+    (stable_boundaries model profile)
+
+let end_of_period_peak model profile =
+  Model.max_core_temp model (stable_start model profile)
+
+let scan_segment model ~samples theta s visit =
+  let dt = s.duration /. float_of_int samples in
+  let theta = ref theta in
+  for k = 1 to samples do
+    theta := Model.step model ~dt ~theta:!theta ~psi:s.psi;
+    visit (float_of_int k *. dt) !theta
+  done;
+  !theta
+
+let peak_scan model ?(samples_per_segment = 32) profile =
+  let boundaries = stable_boundaries model profile in
+  let best = ref (Model.max_core_temp model boundaries.(0)) in
+  List.iteri
+    (fun q s ->
+      ignore
+        (scan_segment model ~samples:samples_per_segment boundaries.(q) s
+           (fun _ theta -> best := Float.max !best (Model.max_core_temp model theta))))
+    profile;
+  !best
+
+let stable_core_trace model ~samples_per_segment profile =
+  let boundaries = stable_boundaries model profile in
+  let samples = ref [ (0., Model.core_temps_of_theta model boundaries.(0)) ] in
+  let t_start = ref 0. in
+  List.iteri
+    (fun q s ->
+      ignore
+        (scan_segment model ~samples:samples_per_segment boundaries.(q) s
+           (fun dt theta ->
+             samples :=
+               (!t_start +. dt, Model.core_temps_of_theta model theta) :: !samples));
+      t_start := !t_start +. s.duration)
+    profile;
+  Array.of_list (List.rev !samples)
+
+let golden = (sqrt 5. -. 1.) /. 2.
+
+(* Maximize f over [a, b] by golden-section search (f unimodal on the
+   bracket around a sampled maximum; if it is not, the result is still a
+   lower bound no worse than the sampled one). *)
+let golden_max f a b tol =
+  let rec go a b x1 x2 f1 f2 =
+    if b -. a < tol then Float.max f1 f2
+    else if f1 >= f2 then
+      (* The maximum lies in [a, x2]. *)
+      let b = x2 in
+      let x2 = x1 and f2 = f1 in
+      let x1 = b -. (golden *. (b -. a)) in
+      go a b x1 x2 (f x1) f2
+    else
+      (* The maximum lies in [x1, b]. *)
+      let a = x1 in
+      let x1 = x2 and f1 = f2 in
+      let x2 = a +. (golden *. (b -. a)) in
+      go a b x1 x2 f1 (f x2)
+  in
+  let x1 = b -. (golden *. (b -. a)) in
+  let x2 = a +. (golden *. (b -. a)) in
+  go a b x1 x2 (f x1) (f x2)
+
+let peak_refined model ?(samples_per_segment = 32) ?(tol = 1e-4) profile =
+  let boundaries = stable_boundaries model profile in
+  let best = ref (Model.max_core_temp model boundaries.(0)) in
+  List.iteri
+    (fun q s ->
+      (* Dense scan of this segment, remembering the hottest sample. *)
+      let dt = s.duration /. float_of_int samples_per_segment in
+      let best_k = ref 0 and best_here = ref (Model.max_core_temp model boundaries.(q)) in
+      ignore
+        (scan_segment model ~samples:samples_per_segment boundaries.(q) s
+           (fun t theta ->
+             let temp = Model.max_core_temp model theta in
+             if temp > !best_here then begin
+               best_here := temp;
+               best_k := int_of_float (Float.round (t /. dt))
+             end));
+      best := Float.max !best !best_here;
+      (* Refine inside the bracketing interval around the best sample. *)
+      let lo = Float.max 0. ((float_of_int !best_k -. 1.) *. dt) in
+      let hi = Float.min s.duration ((float_of_int !best_k +. 1.) *. dt) in
+      if hi > lo then begin
+        let temp_at t =
+          Model.max_core_temp model
+            (Model.step model ~dt:t ~theta:boundaries.(q) ~psi:s.psi)
+        in
+        best := Float.max !best (golden_max temp_at lo hi (tol *. s.duration))
+      end)
+    profile;
+  !best
+
+let time_to_threshold model ?theta0 ?(max_periods = 1000) ?(samples_per_segment = 32)
+    ~threshold profile =
+  validate model profile;
+  let theta0 =
+    match theta0 with Some t -> Vec.copy t | None -> Vec.zeros (Model.n_nodes model)
+  in
+  let hot theta = Model.max_core_temp model theta in
+  if hot theta0 >= threshold then Some 0.
+  else begin
+    (* Bisect the crossing inside [t_lo, t_hi] from the segment-start
+       state [base] under constant power [psi]. *)
+    let refine base psi t_lo t_hi =
+      let rec go t_lo t_hi iters =
+        if iters = 0 || t_hi -. t_lo < 1e-9 *. Float.max 1e-3 t_hi then t_hi
+        else
+          let mid = (t_lo +. t_hi) /. 2. in
+          if hot (Model.step model ~dt:mid ~theta:base ~psi) >= threshold then
+            go t_lo mid (iters - 1)
+          else go mid t_hi (iters - 1)
+      in
+      go t_lo t_hi 50
+    in
+    let exception Crossed of float in
+    try
+      let theta = ref theta0 in
+      let elapsed = ref 0. in
+      for _ = 1 to max_periods do
+        List.iter
+          (fun s ->
+            let dt = s.duration /. float_of_int samples_per_segment in
+            let base = !theta in
+            (* Scan this segment for the first sample above threshold. *)
+            let rec scan k prev_t =
+              if k > samples_per_segment then ()
+              else begin
+                let t = float_of_int k *. dt in
+                if hot (Model.step model ~dt:t ~theta:base ~psi:s.psi) >= threshold
+                then raise (Crossed (!elapsed +. refine base s.psi prev_t t))
+                else scan (k + 1) t
+              end
+            in
+            scan 1 0.;
+            theta := Model.step model ~dt:s.duration ~theta:base ~psi:s.psi;
+            elapsed := !elapsed +. s.duration)
+          profile
+      done;
+      None
+    with Crossed t -> Some t
+  end
+
+let mission_peak model ?theta0 ?(samples_per_segment = 32) profile =
+  validate model profile;
+  let theta0 =
+    match theta0 with Some t -> Vec.copy t | None -> Vec.zeros (Model.n_nodes model)
+  in
+  let best = ref (Model.max_core_temp model theta0) in
+  let theta = ref theta0 in
+  List.iter
+    (fun s ->
+      theta :=
+        scan_segment model ~samples:samples_per_segment !theta s (fun _ state ->
+            best := Float.max !best (Model.max_core_temp model state)))
+    profile;
+  (!best, !theta)

@@ -1,0 +1,102 @@
+(** Analytic transient and periodic-steady-state analysis for piecewise-
+    constant power profiles (the MatEx method, reference [28] of the
+    paper).
+
+    A {!profile} is one period of a periodic power schedule: a sequence of
+    segments, each holding a duration and the per-core power vector
+    [psi].  Within a segment the system is LTI, so Eq. (3) steps it
+    exactly; across a period, the stable status of Eq. (4) is obtained by
+    solving [(I - K) theta* = theta_one_period] where [K = e^{A t_p}] is
+    the product of the segment propagators. *)
+
+type segment = { duration : float; psi : Linalg.Vec.t }
+
+type profile = segment list
+(** One period.  Durations must be positive; all [psi] must have one
+    entry per model core. *)
+
+(** [period profile] is the sum of segment durations. *)
+val period : profile -> float
+
+(** [validate model profile] raises [Invalid_argument] on empty profiles,
+    non-positive durations or power vectors of the wrong arity. *)
+val validate : Model.t -> profile -> unit
+
+(** [simulate model ~theta0 profile] integrates one period exactly from
+    state [theta0], returning the states at every segment boundary —
+    [theta0] first, final state last ([length profile + 1] entries). *)
+val simulate : Model.t -> theta0:Linalg.Vec.t -> profile -> Linalg.Vec.t array
+
+(** [stable_start model profile] is the ambient-relative state at the
+    period boundary once the repetition has converged to the thermal
+    stable status. *)
+val stable_start : Model.t -> profile -> Linalg.Vec.t
+
+(** [stable_boundaries model profile] are the stable-status states at all
+    segment boundaries, starting and ending with the period boundary
+    state (first and last entries are equal). *)
+val stable_boundaries : Model.t -> profile -> Linalg.Vec.t array
+
+(** [peak_at_boundaries model profile] is the hottest absolute core
+    temperature over the stable-status segment boundaries.  For a step-up
+    profile this equals the true peak (Theorem 1). *)
+val peak_at_boundaries : Model.t -> profile -> float
+
+(** [peak_scan model ?samples_per_segment profile] scans the stable-status
+    period densely ([samples_per_segment] exact sub-steps inside every
+    segment, default 32) and returns the hottest absolute core
+    temperature found.  This is the safe evaluator for profiles that are
+    not step-up, where the peak may fall strictly inside a segment. *)
+val peak_scan : Model.t -> ?samples_per_segment:int -> profile -> float
+
+(** [end_of_period_peak model profile] is the hottest absolute core
+    temperature at the stable-status period boundary — the quantity
+    Theorem 1 says bounds a step-up schedule. *)
+val end_of_period_peak : Model.t -> profile -> float
+
+(** [stable_core_trace model ~samples_per_segment profile] samples the
+    stable-status period densely and returns [(time, absolute core
+    temperatures)] pairs covering one period, boundaries included. *)
+val stable_core_trace :
+  Model.t -> samples_per_segment:int -> profile -> (float * Linalg.Vec.t) array
+
+(** [peak_refined model ?samples_per_segment ?tol profile] sharpens
+    {!peak_scan}: after the dense scan it golden-section-maximizes the
+    hottest-core temperature inside the bracketing sub-interval of every
+    segment's best sample, to time resolution [tol * duration] (default
+    [tol = 1e-4]).  Guaranteed [>= peak_scan] up to the same sampling;
+    used where an exact interior peak matters (PCO verification,
+    theorem-tolerance measurements). *)
+val peak_refined :
+  Model.t -> ?samples_per_segment:int -> ?tol:float -> profile -> float
+
+(** [time_to_threshold model ?theta0 ?max_periods ?samples_per_segment
+    ~threshold profile] repeats [profile] from state [theta0] (default:
+    ambient) and returns the first time the hottest core reaches
+    [threshold] (bisected inside the bracketing sub-interval to
+    microsecond-level accuracy), or [None] when it never does within
+    [max_periods] repetitions (default 1000) — e.g. because the stable
+    status stays below the threshold.  This answers the reactive-DTM
+    question: how long after an aggressive schedule starts does the chip
+    have before an emergency? *)
+val time_to_threshold :
+  Model.t ->
+  ?theta0:Linalg.Vec.t ->
+  ?max_periods:int ->
+  ?samples_per_segment:int ->
+  threshold:float ->
+  profile ->
+  float option
+
+(** [mission_peak model ?theta0 ?samples_per_segment segments] is the
+    hottest core temperature over a ONE-SHOT (non-repeating) sequence of
+    power segments starting from [theta0] (default: ambient) — mission-
+    profile analysis, e.g. boot + burst + settle.  Unlike {!peak_scan}
+    there is no stable-status solve; the trajectory is simulated once
+    with dense sampling.  Returns the peak and the final state. *)
+val mission_peak :
+  Model.t ->
+  ?theta0:Linalg.Vec.t ->
+  ?samples_per_segment:int ->
+  profile ->
+  float * Linalg.Vec.t

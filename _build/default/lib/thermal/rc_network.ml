@@ -1,0 +1,67 @@
+type node = { name : string; capacitance : float; mutable to_ambient : float }
+
+type t = {
+  mutable nodes : node array;
+  mutable n : int;
+  mutable edges : (int * int * float) list;
+}
+
+let create () = { nodes = [||]; n = 0; edges = [] }
+
+let add_node net ~name ~capacitance ~to_ambient =
+  if capacitance <= 0. then invalid_arg "Rc_network.add_node: capacitance must be positive";
+  if to_ambient < 0. then invalid_arg "Rc_network.add_node: negative ambient conductance";
+  let node = { name; capacitance; to_ambient } in
+  if net.n = Array.length net.nodes then begin
+    let grown = Array.make (Stdlib.max 8 (2 * net.n)) node in
+    Array.blit net.nodes 0 grown 0 net.n;
+    net.nodes <- grown
+  end;
+  net.nodes.(net.n) <- node;
+  net.n <- net.n + 1;
+  net.n - 1
+
+let check_index net i =
+  if i < 0 || i >= net.n then
+    invalid_arg (Printf.sprintf "Rc_network: node index %d out of range [0, %d)" i net.n)
+
+let connect net i j g =
+  check_index net i;
+  check_index net j;
+  if i = j then invalid_arg "Rc_network.connect: self-loop";
+  if g < 0. then invalid_arg "Rc_network.connect: negative conductance";
+  if g > 0. then net.edges <- (i, j, g) :: net.edges
+
+let add_to_ambient net i g =
+  check_index net i;
+  if g < 0. then invalid_arg "Rc_network.add_to_ambient: negative conductance";
+  net.nodes.(i).to_ambient <- net.nodes.(i).to_ambient +. g
+
+let n_nodes net = net.n
+
+let node_name net i =
+  check_index net i;
+  net.nodes.(i).name
+
+let capacitance_vector net = Array.init net.n (fun i -> net.nodes.(i).capacitance)
+
+let conductance_matrix net =
+  let g = Linalg.Mat.zeros net.n net.n in
+  for i = 0 to net.n - 1 do
+    Linalg.Mat.set g i i net.nodes.(i).to_ambient
+  done;
+  List.iter
+    (fun (i, j, gij) ->
+      Linalg.Mat.set g i j (Linalg.Mat.get g i j -. gij);
+      Linalg.Mat.set g j i (Linalg.Mat.get g j i -. gij);
+      Linalg.Mat.set g i i (Linalg.Mat.get g i i +. gij);
+      Linalg.Mat.set g j j (Linalg.Mat.get g j j +. gij))
+    net.edges;
+  g
+
+let is_grounded net =
+  let found = ref false in
+  for i = 0 to net.n - 1 do
+    if net.nodes.(i).to_ambient > 0. then found := true
+  done;
+  !found

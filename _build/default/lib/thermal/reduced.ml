@@ -1,0 +1,67 @@
+module Mat = Linalg.Mat
+module Vec = Linalg.Vec
+
+type t = {
+  model : Model.t;
+  modes : int array; (* indices of retained (slowest) modes *)
+  lambda : Vec.t; (* retained eigenvalues *)
+  w_cols : Mat.t; (* n_nodes x k columns of W for retained modes *)
+  w_inv_rows : Mat.t; (* k x n_nodes rows of W^{-1} *)
+}
+
+let default_modes lambda =
+  (* Retain everything within one decade of the slowest mode (index 0:
+     the eigenvalues come ordered closest-to-zero first). *)
+  let n = Vec.dim lambda in
+  let slowest = Float.abs lambda.(0) in
+  let count = ref 0 in
+  for j = 0 to n - 1 do
+    if Float.abs lambda.(j) <= 10. *. slowest then incr count
+  done;
+  Stdlib.max 4 !count |> Stdlib.min n
+
+let build ?modes model =
+  let lambda_all, w, w_inv = Model.eigenbasis model in
+  let n = Vec.dim lambda_all in
+  let k = match modes with Some k -> k | None -> default_modes lambda_all in
+  if k < 1 || k > n then invalid_arg "Reduced.build: modes outside [1, n_nodes]";
+  (* Eigenvalues come ordered closest-to-zero first (lambda = -mu with mu
+     ascending), so the slowest modes are the FIRST k. *)
+  let idx = Array.init k (fun j -> j) in
+  ignore n;
+  {
+    model;
+    modes = idx;
+    lambda = Array.map (fun j -> lambda_all.(j)) idx;
+    w_cols = Mat.init n k (fun i j -> Mat.get w i idx.(j));
+    w_inv_rows = Mat.init k n (fun i j -> Mat.get w_inv idx.(i) j);
+  }
+
+let n_modes r = Array.length r.modes
+let full_model r = r.model
+let steady_core_temps r psi = Model.steady_core_temps r.model psi
+let ambient_state r = Vec.zeros (n_modes r)
+
+(* Retained modes' equilibrium coordinates for input psi:
+   z_inf_j = -(W^{-1} b)_j / lambda_j. *)
+let z_inf r psi =
+  let b = Model.input_of_core_powers r.model psi in
+  let wb = Mat.matvec r.w_inv_rows b in
+  Array.mapi (fun j v -> -.v /. r.lambda.(j)) wb
+
+let step r ~dt ~state ~psi =
+  if Vec.dim state <> n_modes r then invalid_arg "Reduced.step: bad state arity";
+  let zi = z_inf r psi in
+  Array.mapi
+    (fun j z -> zi.(j) +. (exp (r.lambda.(j) *. dt) *. (z -. zi.(j))))
+    state
+
+let core_temps r ~state ~psi =
+  if Vec.dim state <> n_modes r then invalid_arg "Reduced.core_temps: bad state arity";
+  (* theta(t) = theta_inf + W_k (z - z_inf): exact at DC, modal for the
+     retained dynamics, quasi-static for the truncated fast modes. *)
+  let theta_inf = Model.theta_inf r.model psi in
+  let zi = z_inf r psi in
+  let dz = Vec.sub state zi in
+  let theta = Vec.add theta_inf (Mat.matvec r.w_cols dz) in
+  Model.core_temps_of_theta r.model theta

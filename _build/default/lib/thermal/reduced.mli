@@ -1,0 +1,45 @@
+(** Modal order reduction of the compact thermal model.
+
+    Fine-grid models ({!Grid_model}) grow quadratically in node count;
+    most of their eigenmodes decay within microseconds and contribute
+    nothing to schedule-scale dynamics.  This module truncates the modal
+    expansion to the [k] slowest modes and patches the lost modes'
+    steady-state contribution with a static correction — the standard
+    modal-truncation + static-correction scheme:
+
+    [theta(t) ~ W_k z(t) + (G'^{-1} - W_k diag(1/|lambda_k|) W_k^T C) u]
+
+    where [z] evolves independently per retained mode.  Accuracy is
+    exact at steady state by construction and degrades only for inputs
+    changing faster than the fastest retained mode. *)
+
+type t
+
+(** [build ?modes model] retains the [modes] slowest eigenmodes (default
+    : enough to cover the slowest decade of time constants, at least 4).
+    Raises [Invalid_argument] if [modes] is not in [1, n_nodes]. *)
+val build : ?modes:int -> Model.t -> t
+
+(** [n_modes r] is the retained mode count. *)
+val n_modes : t -> int
+
+(** [full_model r] is the model the reduction was built from. *)
+val full_model : t -> Model.t
+
+(** [steady_core_temps r psi] — exact (the static correction makes the
+    reduction lossless at DC). *)
+val steady_core_temps : t -> Linalg.Vec.t -> Linalg.Vec.t
+
+(** [step r ~dt ~state ~psi] advances the reduced modal state one exact
+    step under constant core powers.  The state is opaque; start from
+    {!ambient_state}. *)
+val step : t -> dt:float -> state:Linalg.Vec.t -> psi:Linalg.Vec.t -> Linalg.Vec.t
+
+(** [ambient_state r] is the modal state corresponding to every node at
+    the ambient temperature. *)
+val ambient_state : t -> Linalg.Vec.t
+
+(** [core_temps r ~state ~psi] reconstructs absolute core temperatures
+    from the modal state (the static correction needs the current input
+    [psi]). *)
+val core_temps : t -> state:Linalg.Vec.t -> psi:Linalg.Vec.t -> Linalg.Vec.t

@@ -1,0 +1,29 @@
+(** Multi-period temperature traces from a cold start.
+
+    {!Matex} analyses one period in the stable status; this module
+    produces the warm-up trajectory the paper plots in Fig. 4(a): repeat
+    the profile from the ambient temperature and sample densely until the
+    stable status is reached. *)
+
+type sample = { time : float; core_temps : Linalg.Vec.t }
+(** Absolute core temperatures at [time] seconds from the cold start. *)
+
+(** [from_ambient model ~periods ~samples_per_segment profile] repeats
+    [profile] [periods] times starting at the ambient temperature,
+    sampling [samples_per_segment] points inside every segment.  Raises
+    [Invalid_argument] for [periods <= 0]. *)
+val from_ambient :
+  Model.t -> periods:int -> samples_per_segment:int -> Matex.profile -> sample array
+
+(** [periods_to_stable model ?tol profile] counts how many repetitions it
+    takes from ambient until the period-boundary state changes by less
+    than [tol] (default [1e-6] K, infinity norm), capped at 10_000. *)
+val periods_to_stable : Model.t -> ?tol:float -> Matex.profile -> int
+
+(** [peak model samples] is the hottest absolute core temperature in a
+    trace. *)
+val peak : sample array -> float
+
+(** [to_csv_channel oc model samples] writes a CSV with a [time] column
+    and one column per core. *)
+val to_csv_channel : out_channel -> Model.t -> sample array -> unit

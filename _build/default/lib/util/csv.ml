@@ -1,0 +1,30 @@
+let with_out path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+let write path ~header rows =
+  let arity = List.length header in
+  with_out path (fun oc ->
+      output_string oc (String.concat "," header);
+      output_char oc '\n';
+      List.iter
+        (fun row ->
+          if List.length row <> arity then
+            invalid_arg "Csv.write: row arity differs from header";
+          output_string oc (String.concat "," (List.map (Printf.sprintf "%.6g") row));
+          output_char oc '\n')
+        rows)
+
+let write_labelled path ~header rows =
+  let arity = List.length header in
+  with_out path (fun oc ->
+      output_string oc (String.concat "," header);
+      output_char oc '\n';
+      List.iter
+        (fun (label, row) ->
+          if List.length row + 1 <> arity then
+            invalid_arg "Csv.write_labelled: row arity differs from header";
+          output_string oc
+            (String.concat "," (label :: List.map (Printf.sprintf "%.6g") row));
+          output_char oc '\n')
+        rows)

@@ -1,0 +1,10 @@
+(** Tiny CSV writer for experiment series (figure data dumps). *)
+
+(** [write path ~header rows] writes a CSV file with a header line and
+    [%.6g]-formatted float rows.  Raises [Invalid_argument] when a row's
+    arity differs from the header's. *)
+val write : string -> header:string list -> float list list -> unit
+
+(** [write_labelled path ~header rows] like {!write} but each row carries
+    a leading string label; [header] must include the label column. *)
+val write_labelled : string -> header:string list -> (string * float list) list -> unit

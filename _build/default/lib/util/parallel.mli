@@ -1,0 +1,19 @@
+(** Simple fork-join parallelism over OCaml 5 domains.
+
+    The experiment sweeps (Figs. 6/7, the sensitivity study) evaluate
+    many independent platform configurations; this module fans them out
+    across domains.  Work items must be self-contained (each sweep point
+    builds its own thermal model), which all experiment code here
+    satisfies. *)
+
+(** [map ?domains f xs] applies [f] to every element, distributing the
+    list across up to [domains] worker domains (default: the machine's
+    recommended domain count, capped at 8).  Order is preserved.  If any
+    application raises, the exception is re-raised in the caller after
+    all domains join (the first one in list order wins).  With
+    [domains <= 1] or a single-element list this degrades to [List.map]
+    without spawning. *)
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [default_domains ()] is the worker count {!map} would use. *)
+val default_domains : unit -> int

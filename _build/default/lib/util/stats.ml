@@ -1,0 +1,49 @@
+type summary = { n : int; mean : float; stddev : float; min : float; max : float }
+
+let mean xs =
+  if Array.length xs = 0 then invalid_arg "Stats.mean: empty array";
+  Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
+
+let summarize xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.summarize: empty array";
+  let m = mean xs in
+  let var =
+    if n = 1 then 0.
+    else
+      Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs
+      /. float_of_int (n - 1)
+  in
+  {
+    n;
+    mean = m;
+    stddev = sqrt var;
+    min = Array.fold_left Float.min xs.(0) xs;
+    max = Array.fold_left Float.max xs.(0) xs;
+  }
+
+let geometric_mean xs =
+  if Array.length xs = 0 then invalid_arg "Stats.geometric_mean: empty array";
+  let acc =
+    Array.fold_left
+      (fun acc x ->
+        if x <= 0. then invalid_arg "Stats.geometric_mean: non-positive entry";
+        acc +. Float.log x)
+      0. xs
+  in
+  Float.exp (acc /. float_of_int (Array.length xs))
+
+let percentile xs p =
+  if Array.length xs = 0 then invalid_arg "Stats.percentile: empty array";
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p outside [0, 100]";
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else begin
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = Stdlib.min (n - 1) (lo + 1) in
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+  end

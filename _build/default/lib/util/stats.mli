@@ -1,0 +1,19 @@
+(** Summary statistics over float arrays. *)
+
+type summary = { n : int; mean : float; stddev : float; min : float; max : float }
+
+(** [summarize xs] computes the summary; raises [Invalid_argument] on an
+    empty array.  [stddev] is the sample standard deviation (n-1
+    denominator; 0 for a single element). *)
+val summarize : float array -> summary
+
+(** [mean xs] is the arithmetic mean (raises on empty input). *)
+val mean : float array -> float
+
+(** [geometric_mean xs] for positive entries (raises otherwise) — used
+    for the paper-style "average improvement" aggregation. *)
+val geometric_mean : float array -> float
+
+(** [percentile xs p] is the [p]-th percentile (0..100, linear
+    interpolation on the sorted copy). *)
+val percentile : float array -> float -> float

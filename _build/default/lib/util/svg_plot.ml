@@ -1,0 +1,248 @@
+type series = { label : string; points : (float * float) list }
+
+let palette =
+  [| "#1f77b4"; "#d62728"; "#2ca02c"; "#9467bd"; "#ff7f0e"; "#8c564b"; "#17becf" |]
+
+let margin_left = 70.
+let margin_right = 130.
+let margin_top = 46.
+let margin_bottom = 56.
+
+(* "Nice" tick spacing covering [lo, hi] with ~n ticks. *)
+let nice_ticks lo hi n =
+  if hi <= lo then [ lo ]
+  else begin
+    let raw = (hi -. lo) /. float_of_int n in
+    let mag = Float.pow 10. (Float.floor (Float.log10 raw)) in
+    let norm = raw /. mag in
+    let step = (if norm < 1.5 then 1. else if norm < 3.5 then 2. else if norm < 7.5 then 5. else 10.) *. mag in
+    let first = Float.ceil (lo /. step) *. step in
+    let rec collect t acc =
+      if t > hi +. (step /. 2.) then List.rev acc else collect (t +. step) (t :: acc)
+    in
+    collect first []
+  end
+
+let check_finite what v =
+  if not (Float.is_finite v) then
+    invalid_arg (Printf.sprintf "Svg_plot: non-finite %s coordinate" what)
+
+let fmt_num v =
+  if Float.abs v >= 1e4 || (Float.abs v < 1e-3 && v <> 0.) then Printf.sprintf "%.2e" v
+  else Printf.sprintf "%g" (Float.round (v *. 1e6) /. 1e6)
+
+let escape s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | '<' -> "&lt;"
+         | '>' -> "&gt;"
+         | '&' -> "&amp;"
+         | '"' -> "&quot;"
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+type frame = {
+  x_of : float -> float;
+  y_of : float -> float;
+  buffer : Buffer.t;
+  width : float;
+  height : float;
+}
+
+let start_document ~width ~height ~title ~x_label ~y_label ~x_range ~y_range =
+  let w = float_of_int width and h = float_of_int height in
+  let x_lo, x_hi = x_range and y_lo, y_hi = y_range in
+  let x_span = Float.max 1e-12 (x_hi -. x_lo) in
+  let y_span = Float.max 1e-12 (y_hi -. y_lo) in
+  let plot_w = w -. margin_left -. margin_right in
+  let plot_h = h -. margin_top -. margin_bottom in
+  let x_of x = margin_left +. ((x -. x_lo) /. x_span *. plot_w) in
+  let y_of y = margin_top +. plot_h -. ((y -. y_lo) /. y_span *. plot_h) in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+        viewBox=\"0 0 %d %d\" font-family=\"Helvetica, Arial, sans-serif\">\n"
+       width height width height);
+  Buffer.add_string b
+    (Printf.sprintf "<rect width=\"%d\" height=\"%d\" fill=\"white\"/>\n" width height);
+  Buffer.add_string b
+    (Printf.sprintf
+       "<text x=\"%.1f\" y=\"24\" font-size=\"15\" font-weight=\"bold\" \
+        text-anchor=\"middle\">%s</text>\n"
+       (w /. 2.) (escape title));
+  (* Axes box. *)
+  Buffer.add_string b
+    (Printf.sprintf
+       "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" fill=\"none\" \
+        stroke=\"#333\"/>\n"
+       margin_left margin_top plot_w plot_h);
+  (* Ticks and grid. *)
+  List.iter
+    (fun t ->
+      let px = x_of t in
+      Buffer.add_string b
+        (Printf.sprintf
+           "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"#ddd\"/>\n"
+           px margin_top px (margin_top +. plot_h));
+      Buffer.add_string b
+        (Printf.sprintf
+           "<text x=\"%.1f\" y=\"%.1f\" font-size=\"11\" text-anchor=\"middle\">%s</text>\n"
+           px
+           (margin_top +. plot_h +. 16.)
+           (fmt_num t)))
+    (nice_ticks x_lo x_hi 6);
+  List.iter
+    (fun t ->
+      let py = y_of t in
+      Buffer.add_string b
+        (Printf.sprintf
+           "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"#ddd\"/>\n"
+           margin_left py (margin_left +. plot_w) py);
+      Buffer.add_string b
+        (Printf.sprintf
+           "<text x=\"%.1f\" y=\"%.1f\" font-size=\"11\" text-anchor=\"end\">%s</text>\n"
+           (margin_left -. 6.) (py +. 4.) (fmt_num t)))
+    (nice_ticks y_lo y_hi 6);
+  (* Axis labels. *)
+  Buffer.add_string b
+    (Printf.sprintf
+       "<text x=\"%.1f\" y=\"%.1f\" font-size=\"12\" text-anchor=\"middle\">%s</text>\n"
+       (margin_left +. (plot_w /. 2.))
+       (h -. 14.) (escape x_label));
+  Buffer.add_string b
+    (Printf.sprintf
+       "<text x=\"16\" y=\"%.1f\" font-size=\"12\" text-anchor=\"middle\" \
+        transform=\"rotate(-90 16 %.1f)\">%s</text>\n"
+       (margin_top +. (plot_h /. 2.))
+       (margin_top +. (plot_h /. 2.))
+       (escape y_label));
+  { x_of; y_of; buffer = b; width = w; height = h }
+
+let finish frame =
+  Buffer.add_string frame.buffer "</svg>\n";
+  Buffer.contents frame.buffer
+
+let line_chart ?(width = 640) ?(height = 420) ~title ~x_label ~y_label series =
+  if not (List.exists (fun s -> s.points <> []) series) then
+    invalid_arg "Svg_plot.line_chart: no data";
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (x, y) ->
+          check_finite "x" x;
+          check_finite "y" y)
+        s.points)
+    series;
+  let all = List.concat_map (fun s -> s.points) series in
+  let xs = List.map fst all and ys = List.map snd all in
+  let min_l = List.fold_left Float.min infinity and max_l = List.fold_left Float.max neg_infinity in
+  let x_range = (min_l xs, max_l xs) in
+  let y_lo = min_l ys and y_hi = max_l ys in
+  (* Pad the y range a little so lines do not hug the frame. *)
+  let pad = Float.max 1e-12 ((y_hi -. y_lo) *. 0.06) in
+  let frame =
+    start_document ~width ~height ~title ~x_label ~y_label ~x_range
+      ~y_range:(y_lo -. pad, y_hi +. pad)
+  in
+  List.iteri
+    (fun k s ->
+      if s.points <> [] then begin
+        let colour = palette.(k mod Array.length palette) in
+        let path =
+          String.concat " "
+            (List.map
+               (fun (x, y) -> Printf.sprintf "%.2f,%.2f" (frame.x_of x) (frame.y_of y))
+               s.points)
+        in
+        Buffer.add_string frame.buffer
+          (Printf.sprintf
+             "<polyline points=\"%s\" fill=\"none\" stroke=\"%s\" stroke-width=\"2\"/>\n"
+             path colour);
+        List.iter
+          (fun (x, y) ->
+            Buffer.add_string frame.buffer
+              (Printf.sprintf "<circle cx=\"%.2f\" cy=\"%.2f\" r=\"2.6\" fill=\"%s\"/>\n"
+                 (frame.x_of x) (frame.y_of y) colour))
+          s.points;
+        (* Legend entry. *)
+        let ly = margin_top +. 8. +. (float_of_int k *. 18.) in
+        let lx = frame.width -. margin_right +. 12. in
+        Buffer.add_string frame.buffer
+          (Printf.sprintf
+             "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"%s\" \
+              stroke-width=\"2\"/>\n"
+             lx ly (lx +. 18.) ly colour);
+        Buffer.add_string frame.buffer
+          (Printf.sprintf
+             "<text x=\"%.1f\" y=\"%.1f\" font-size=\"11\">%s</text>\n"
+             (lx +. 24.) (ly +. 4.) (escape s.label))
+      end)
+    series;
+  finish frame
+
+let heat_colour frac =
+  (* Blue (cold) -> red (hot) through white. *)
+  let f = Float.max 0. (Float.min 1. frac) in
+  let r, g, b =
+    if f < 0.5 then
+      let t = f *. 2. in
+      (int_of_float (60. +. (195. *. t)), int_of_float (90. +. (165. *. t)), 255)
+    else
+      let t = (f -. 0.5) *. 2. in
+      (255, int_of_float (255. -. (185. *. t)), int_of_float (255. -. (215. *. t)))
+  in
+  Printf.sprintf "#%02x%02x%02x" r g b
+
+let heatmap ?(width = 640) ?(height = 480) ~title ~x_label ~y_label cells =
+  if cells = [] then invalid_arg "Svg_plot.heatmap: no data";
+  List.iter
+    (fun (x, y, v) ->
+      check_finite "x" x;
+      check_finite "y" y;
+      check_finite "value" v)
+    cells;
+  let xs = List.sort_uniq Float.compare (List.map (fun (x, _, _) -> x) cells) in
+  let ys = List.sort_uniq Float.compare (List.map (fun (_, y, _) -> y) cells) in
+  let spacing axis = match axis with a :: b :: _ -> b -. a | _ -> 1. in
+  let dx = spacing xs and dy = spacing ys in
+  let vmin = List.fold_left (fun a (_, _, v) -> Float.min a v) infinity cells in
+  let vmax = List.fold_left (fun a (_, _, v) -> Float.max a v) neg_infinity cells in
+  let span = Float.max 1e-12 (vmax -. vmin) in
+  let frame =
+    start_document ~width ~height ~title ~x_label ~y_label
+      ~x_range:(List.hd xs, List.nth xs (List.length xs - 1) +. dx)
+      ~y_range:(List.hd ys, List.nth ys (List.length ys - 1) +. dy)
+  in
+  List.iter
+    (fun (x, y, v) ->
+      let px = frame.x_of x and py = frame.y_of (y +. dy) in
+      let pw = frame.x_of (x +. dx) -. px and ph = frame.y_of y -. frame.y_of (y +. dy) in
+      Buffer.add_string frame.buffer
+        (Printf.sprintf
+           "<rect x=\"%.2f\" y=\"%.2f\" width=\"%.2f\" height=\"%.2f\" fill=\"%s\">\
+            <title>%s</title></rect>\n"
+           px py pw ph
+           (heat_colour ((v -. vmin) /. span))
+           (escape (Printf.sprintf "(%s, %s) = %s" (fmt_num x) (fmt_num y) (fmt_num v)))))
+    cells;
+  (* Colour-bar legend: min / max annotations. *)
+  let lx = frame.width -. margin_right +. 12. in
+  List.iteri
+    (fun i (label, frac) ->
+      let ly = margin_top +. 10. +. (float_of_int i *. 22.) in
+      Buffer.add_string frame.buffer
+        (Printf.sprintf
+           "<rect x=\"%.1f\" y=\"%.1f\" width=\"14\" height=\"14\" fill=\"%s\"/>\n" lx
+           (ly -. 10.) (heat_colour frac));
+      Buffer.add_string frame.buffer
+        (Printf.sprintf "<text x=\"%.1f\" y=\"%.1f\" font-size=\"11\">%s</text>\n"
+           (lx +. 20.) (ly +. 1.) (escape label)))
+    [ (Printf.sprintf "max %s" (fmt_num vmax), 1.); (Printf.sprintf "min %s" (fmt_num vmin), 0.) ];
+  finish frame
+
+let write path svg =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc svg)

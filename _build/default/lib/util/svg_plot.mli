@@ -1,0 +1,40 @@
+(** Dependency-free SVG charts for the reproduced figures.
+
+    Enough of a plotting layer to regenerate the paper's figures as
+    standalone [.svg] files from the CLI: multi-series line charts with
+    automatic "nice" axis ticks and a legend, and a rectangular heat map
+    (for the Fig. 3 peak-temperature surface).  Output is deterministic,
+    making the files diff-able test artifacts. *)
+
+type series = {
+  label : string;
+  points : (float * float) list;  (** (x, y), any order; drawn as given. *)
+}
+
+(** [line_chart ?width ?height ~title ~x_label ~y_label series] renders
+    a chart.  Raises [Invalid_argument] when no series has a point or a
+    coordinate is not finite. *)
+val line_chart :
+  ?width:int ->
+  ?height:int ->
+  title:string ->
+  x_label:string ->
+  y_label:string ->
+  series list ->
+  string
+
+(** [heatmap ?width ?height ~title ~x_label ~y_label cells] renders a
+    grid heat map from [(x, y, value)] cells (a regular grid is assumed;
+    cell size is inferred from the coordinate spacing).  Colours ramp
+    from cool blue (min value) to hot red (max). *)
+val heatmap :
+  ?width:int ->
+  ?height:int ->
+  title:string ->
+  x_label:string ->
+  y_label:string ->
+  (float * float * float) list ->
+  string
+
+(** [write path svg] writes the document to a file. *)
+val write : string -> string -> unit

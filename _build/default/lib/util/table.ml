@@ -1,0 +1,33 @@
+type t = { headers : string list; mutable rows : string list list }
+
+let create headers = { headers; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg
+      (Printf.sprintf "Table.add_row: %d cells for %d columns" (List.length cells)
+         (List.length t.headers));
+  t.rows <- cells :: t.rows
+
+let add_float_row t ~label values =
+  add_row t (label :: List.map (Printf.sprintf "%.4g") values)
+
+let print ?(out = stdout) t =
+  let rows = List.rev t.rows in
+  let all = t.headers :: rows in
+  let n = List.length t.headers in
+  let widths = Array.make n 0 in
+  List.iter
+    (List.iteri (fun i cell -> widths.(i) <- Stdlib.max widths.(i) (String.length cell)))
+    all;
+  let print_row cells =
+    List.iteri
+      (fun i cell ->
+        Printf.fprintf out "%s%-*s" (if i = 0 then "" else "  ") widths.(i) cell)
+      cells;
+    output_char out '\n'
+  in
+  print_row t.headers;
+  Printf.fprintf out "%s\n"
+    (String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths)));
+  List.iter print_row rows

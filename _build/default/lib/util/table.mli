@@ -1,0 +1,22 @@
+(** Minimal aligned ASCII tables for experiment output.
+
+    The benchmark harness prints one table per reproduced paper table or
+    figure; this keeps the formatting in one place. *)
+
+type t
+
+(** [create headers] starts a table with the given column headers. *)
+val create : string list -> t
+
+(** [add_row t cells] appends a row.  Raises [Invalid_argument] when the
+    cell count differs from the header count. *)
+val add_row : t -> string list -> unit
+
+(** [add_float_row t ~label values] appends a row with a string label
+    followed by [%.4g]-formatted floats; label + values must match the
+    header count. *)
+val add_float_row : t -> label:string -> float list -> unit
+
+(** [print ?out t] renders with column alignment and a header rule
+    (default to stdout). *)
+val print : ?out:out_channel -> t -> unit

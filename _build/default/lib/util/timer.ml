@@ -1,0 +1,6 @@
+let time_it f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)
+
+let time_only f = snd (time_it f)

@@ -1,0 +1,8 @@
+(** Wall-clock timing for the Table V computation-time comparison. *)
+
+(** [time_it f] runs [f ()] and returns [(result, elapsed_seconds)]. *)
+val time_it : (unit -> 'a) -> 'a * float
+
+(** [time_only f] runs [f ()] for its effect and returns the elapsed
+    seconds. *)
+val time_only : (unit -> 'a) -> float

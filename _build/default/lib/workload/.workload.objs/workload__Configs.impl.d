@@ -1,0 +1,1 @@
+lib/workload/configs.ml: Core Power Printf Thermal

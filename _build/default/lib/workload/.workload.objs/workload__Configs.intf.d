@@ -1,0 +1,1 @@
+lib/workload/configs.mli: Core

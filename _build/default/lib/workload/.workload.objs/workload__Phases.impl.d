@@ -1,0 +1,1 @@
+lib/workload/phases.ml: Array Float List Power Printf Random Thermal

@@ -1,0 +1,1 @@
+lib/workload/phases.mli: Power Random Thermal

@@ -1,0 +1,1 @@
+lib/workload/random_sched.ml: Array Float List Power Random Sched

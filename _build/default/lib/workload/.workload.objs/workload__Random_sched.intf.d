@@ -1,0 +1,1 @@
+lib/workload/random_sched.mli: Power Random Sched

@@ -1,0 +1,19 @@
+let layout_of_cores = function
+  | 2 -> (1, 2)
+  | 3 -> (1, 3)
+  | 6 -> (2, 3)
+  | 9 -> (3, 3)
+  | n -> invalid_arg (Printf.sprintf "Configs.layout_of_cores: %d not in {2,3,6,9}" n)
+
+let platform ~cores ~levels ~t_max =
+  let rows, cols = layout_of_cores cores in
+  Core.Platform.grid ~rows ~cols ~levels:(Power.Vf.table_iv levels) ~t_max ()
+
+let platform_3d ~layers ~rows ~cols ~levels ~t_max =
+  let fp = Thermal.Floorplan.stack3d ~layers ~rows ~cols ~core_width:4e-3 ~core_height:4e-3 in
+  let model = Thermal.Hotspot.core_level fp in
+  Core.Platform.make ~levels:(Power.Vf.table_iv levels) ~t_max model
+
+let core_counts = [ 2; 3; 6; 9 ]
+let level_counts = [ 2; 3; 4; 5 ]
+let t_max_sweep = [ 50.; 55.; 60.; 65. ]

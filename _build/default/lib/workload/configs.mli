@@ -1,0 +1,30 @@
+(** Canonical experiment configurations (Section VI).
+
+    The paper evaluates 2x1, 3x1, 3x2 and 3x3 core meshes of 4x4 mm^2
+    cores with supply voltages in [0.6, 1.3] V, ambient 35 degrees C and
+    a 5 us DVFS transition stall.  This module names those setups so
+    tests, examples and benches agree on them. *)
+
+(** [layout_of_cores n] is the paper's [(rows, cols)] for [n] in
+    {2, 3, 6, 9}.  Raises [Invalid_argument] otherwise. *)
+val layout_of_cores : int -> int * int
+
+(** [platform ~cores ~levels ~t_max] builds the standard platform:
+    paper layout for [cores], Table IV level set for [levels] (2..5),
+    default power model and [tau = 5e-6]. *)
+val platform : cores:int -> levels:int -> t_max:float -> Core.Platform.t
+
+(** [platform_3d ~layers ~rows ~cols ~levels ~t_max] builds a 3D-stacked
+    variant (the paper's motivating technology) with the same power
+    model and level sets. *)
+val platform_3d :
+  layers:int -> rows:int -> cols:int -> levels:int -> t_max:float -> Core.Platform.t
+
+(** [core_counts] = [[2; 3; 6; 9]], the x-axis of Figs. 6 and 7. *)
+val core_counts : int list
+
+(** [level_counts] = [[2; 3; 4; 5]], Table IV's cases. *)
+val level_counts : int list
+
+(** [t_max_sweep] = [[50.; 55.; 60.; 65.]], Fig. 7's thresholds. *)
+val t_max_sweep : float list

@@ -1,0 +1,63 @@
+(* Uniform random partition of [0, period] into [parts] positive lengths:
+   sort parts-1 uniform cut points.  Degenerate (zero-length) pieces are
+   rare; fall back to an even split, which is still a valid random
+   schedule since the voltages stay random. *)
+let random_partition rng ~period ~parts =
+  if parts = 1 then [ period ]
+  else begin
+    let cuts = Array.init (parts - 1) (fun _ -> Random.State.float rng period) in
+    Array.sort Float.compare cuts;
+    let rec lengths prev i acc =
+      if i = parts - 1 then List.rev ((period -. prev) :: acc)
+      else lengths cuts.(i) (i + 1) ((cuts.(i) -. prev) :: acc)
+    in
+    let ls = lengths 0. 0 [] in
+    if List.exists (fun l -> l < 1e-9 *. period) ls then
+      List.init parts (fun _ -> period /. float_of_int parts)
+    else ls
+  end
+
+let random_core rng ~period ~max_intervals ~levels ~sorted =
+  let voltages = Power.Vf.levels levels in
+  let parts = 1 + Random.State.int rng max_intervals in
+  let lengths = random_partition rng ~period ~parts in
+  let vs = List.init parts (fun _ -> voltages.(Random.State.int rng (Array.length voltages))) in
+  let vs = if sorted then List.sort Float.compare vs else vs in
+  List.map2 (fun duration voltage -> { Sched.Schedule.duration; voltage }) lengths vs
+
+let generate rng ~n_cores ~period ~max_intervals ~levels ~sorted =
+  if n_cores <= 0 then invalid_arg "Random_sched: non-positive core count";
+  if max_intervals <= 0 then invalid_arg "Random_sched: non-positive max_intervals";
+  Sched.Schedule.make ~period
+    (Array.init n_cores (fun _ -> random_core rng ~period ~max_intervals ~levels ~sorted))
+
+let step_up rng ~n_cores ~period ~max_intervals ~levels =
+  generate rng ~n_cores ~period ~max_intervals ~levels ~sorted:true
+
+let arbitrary rng ~n_cores ~period ~max_intervals ~levels =
+  generate rng ~n_cores ~period ~max_intervals ~levels ~sorted:false
+
+let phase_grid ~n_cores ~period ~v_low ~v_high ~offsets =
+  if Array.length offsets <> n_cores then
+    invalid_arg "Random_sched.phase_grid: offsets arity mismatch";
+  let half = period /. 2. in
+  let core i =
+    let x = offsets.(i) in
+    if x < 0. || x >= period then
+      invalid_arg "Random_sched.phase_grid: offset outside [0, period)";
+    let seg d v = { Sched.Schedule.duration = d; voltage = v } in
+    if x < 1e-12 then [ seg half v_high; seg half v_low ]
+    else if x +. half <= period +. 1e-12 then
+      (* high occupies [x, x+half) *)
+      List.filter
+        (fun s -> s.Sched.Schedule.duration > 1e-12)
+        [ seg x v_low; seg half v_high; seg (period -. x -. half) v_low ]
+    else
+      (* high wraps around the period boundary *)
+      [
+        seg (x +. half -. period) v_high;
+        seg (period -. half) v_low;
+        seg (period -. x) v_high;
+      ]
+  in
+  Sched.Schedule.make ~period (Array.init n_cores core)

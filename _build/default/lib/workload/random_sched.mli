@@ -1,0 +1,40 @@
+(** Random periodic schedule generators for the Section VI-A/B
+    experiments (step-up bounding, Theorem 1/5 validation).
+
+    All generators are deterministic in the supplied [Random.State]. *)
+
+(** [step_up rng ~n_cores ~period ~max_intervals ~levels] draws, for each
+    core, between 1 and [max_intervals] segments with voltages sampled
+    from [levels] and sorted ascending (so the schedule satisfies
+    {!Sched.Stepup.is_step_up}); segment lengths are uniform random
+    partitions of the period. *)
+val step_up :
+  Random.State.t ->
+  n_cores:int ->
+  period:float ->
+  max_intervals:int ->
+  levels:Power.Vf.level_set ->
+  Sched.Schedule.t
+
+(** [arbitrary rng ~n_cores ~period ~max_intervals ~levels] is like
+    {!step_up} but keeps the random voltage order — generally not
+    step-up. *)
+val arbitrary :
+  Random.State.t ->
+  n_cores:int ->
+  period:float ->
+  max_intervals:int ->
+  levels:Power.Vf.level_set ->
+  Sched.Schedule.t
+
+(** [phase_grid ~n_cores ~period ~v_low ~v_high ~offsets] builds the
+    Fig. 3 family: every core runs half the period at [v_low] and half at
+    [v_high], with core [i]'s high interval starting at [offsets.(i)]
+    (wrapping).  [offsets.(i)] must lie in [0, period). *)
+val phase_grid :
+  n_cores:int ->
+  period:float ->
+  v_low:float ->
+  v_high:float ->
+  offsets:float array ->
+  Sched.Schedule.t

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Core Float Gen List Power Printf QCheck QCheck_alcotest Sched Thermal Workload

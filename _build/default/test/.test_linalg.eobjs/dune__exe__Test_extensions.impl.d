@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Core Filename Float Fun Gen In_channel Linalg List Power Printf QCheck QCheck_alcotest Random Runtime Sched String Sys Thermal Workload

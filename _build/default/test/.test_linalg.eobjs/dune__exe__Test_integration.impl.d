@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Core Filename Float Fun Linalg List Power Printf Sched String Sys Thermal Util Workload

@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Float Gen Linalg List Printf QCheck QCheck_alcotest Random

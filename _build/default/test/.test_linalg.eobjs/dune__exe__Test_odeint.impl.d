@@ -1,0 +1,1 @@
+test/test_odeint.ml: Alcotest Array Float Gen Linalg List Odeint QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Float Gen Linalg List Power QCheck QCheck_alcotest Random Sched Thermal Workload

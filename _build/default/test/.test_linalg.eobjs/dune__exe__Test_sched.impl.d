@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Float Linalg List Power Sched String Thermal

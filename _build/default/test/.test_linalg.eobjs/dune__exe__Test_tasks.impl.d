@@ -1,0 +1,1 @@
+test/test_tasks.ml: Alcotest Array Core List Option Printf Sched Tasks Workload

@@ -1,0 +1,1 @@
+test/test_theorems.ml: Alcotest Gen Linalg List Power Printf QCheck QCheck_alcotest Random Sched Thermal Workload

@@ -1,0 +1,1 @@
+test/test_thermal.ml: Alcotest Array Float Linalg Odeint Option Printf Seq Thermal

@@ -1,0 +1,181 @@
+(* Tests for DVFS level sets and the Eq. (1) power model. *)
+
+module Vf = Power.Vf
+module Pm = Power.Power_model
+
+let check_close tol = Alcotest.(check (float tol))
+
+(* --------------------------------------------------------------- levels *)
+
+let test_make_sorts_and_dedups () =
+  let ls = Vf.make [ 1.3; 0.6; 0.8; 0.8 ] in
+  Alcotest.(check int) "3 unique levels" 3 (Vf.n_levels ls);
+  check_close 1e-12 "lowest" 0.6 (Vf.lowest ls);
+  check_close 1e-12 "highest" 1.3 (Vf.highest ls)
+
+let test_make_rejects_bad () =
+  Alcotest.check_raises "empty" (Invalid_argument "Vf.make: empty level set") (fun () ->
+      ignore (Vf.make []));
+  Alcotest.check_raises "non-positive"
+    (Invalid_argument "Vf.make: non-positive voltage level") (fun () ->
+      ignore (Vf.make [ 0.; 1. ]))
+
+let test_range () =
+  let ls = Vf.range ~lo:0.6 ~hi:1.3 ~step:0.05 in
+  Alcotest.(check int) "15 grid points" 15 (Vf.n_levels ls);
+  check_close 1e-9 "first" 0.6 (Vf.lowest ls);
+  check_close 1e-9 "last" 1.3 (Vf.highest ls)
+
+let test_table_iv () =
+  List.iter
+    (fun (n, expected) ->
+      let ls = Vf.table_iv n in
+      Alcotest.(check (list (float 1e-12)))
+        (Printf.sprintf "%d levels" n)
+        expected
+        (Array.to_list (Vf.levels ls)))
+    [
+      (2, [ 0.6; 1.3 ]);
+      (3, [ 0.6; 0.8; 1.3 ]);
+      (4, [ 0.6; 0.8; 1.0; 1.3 ]);
+      (5, [ 0.6; 0.8; 1.0; 1.2; 1.3 ]);
+    ];
+  Alcotest.(check bool) "6 levels rejected" true
+    (match Vf.table_iv 6 with exception Invalid_argument _ -> true | _ -> false)
+
+let test_round_down () =
+  let ls = Vf.table_iv 4 in
+  check_close 1e-12 "between levels" 0.8 (Vf.round_down ls 0.95);
+  check_close 1e-12 "exact level" 1.0 (Vf.round_down ls 1.0);
+  check_close 1e-12 "below range clamps up" 0.6 (Vf.round_down ls 0.3);
+  check_close 1e-12 "above range clamps down" 1.3 (Vf.round_down ls 2.0)
+
+let test_neighbours () =
+  let ls = Vf.table_iv 4 in
+  let lo, hi = Vf.neighbours ls 0.9 in
+  check_close 1e-12 "lower neighbour" 0.8 lo;
+  check_close 1e-12 "upper neighbour" 1.0 hi;
+  let lo, hi = Vf.neighbours ls 1.0 in
+  check_close 1e-12 "exact hit low" 1.0 lo;
+  check_close 1e-12 "exact hit high" 1.0 hi;
+  let lo, hi = Vf.neighbours ls 0.2 in
+  check_close 1e-12 "below range low" 0.6 lo;
+  check_close 1e-12 "below range high" 0.6 hi;
+  let lo, hi = Vf.neighbours ls 1.5 in
+  check_close 1e-12 "above range low" 1.3 lo;
+  check_close 1e-12 "above range high" 1.3 hi
+
+let test_mem () =
+  let ls = Vf.table_iv 2 in
+  Alcotest.(check bool) "member" true (Vf.mem ls 1.3);
+  Alcotest.(check bool) "non-member" false (Vf.mem ls 1.0)
+
+(* ---------------------------------------------------------- power model *)
+
+let test_psi_values () =
+  let pm = Pm.default in
+  check_close 1e-12 "idle core consumes nothing" 0. (Pm.psi pm 0.);
+  check_close 1e-9 "0.6V" (0.5 +. (9. *. 0.216)) (Pm.psi pm 0.6);
+  check_close 1e-9 "1.3V" (0.5 +. (9. *. 2.197)) (Pm.psi pm 1.3)
+
+let test_psi_monotone () =
+  let pm = Pm.default in
+  let prev = ref (Pm.psi pm 0.1) in
+  List.iter
+    (fun v ->
+      let p = Pm.psi pm v in
+      Alcotest.(check bool) "psi strictly increasing" true (p > !prev);
+      prev := p)
+    [ 0.2; 0.4; 0.6; 0.8; 1.0; 1.2; 1.3 ]
+
+let test_psi_convex () =
+  (* Convexity of psi(v) is what Theorem 3's proof uses:
+     psi((a+b)/2) <= (psi a + psi b)/2. *)
+  let pm = Pm.default in
+  let a = 0.6 and b = 1.3 in
+  Alcotest.(check bool) "midpoint convexity" true
+    (Pm.psi pm ((a +. b) /. 2.) <= (Pm.psi pm a +. Pm.psi pm b) /. 2.)
+
+let test_psi_rejects_negative () =
+  Alcotest.check_raises "negative voltage"
+    (Invalid_argument "Power_model.psi: negative voltage") (fun () ->
+      ignore (Pm.psi Pm.default (-0.1)))
+
+let test_voltage_for_psi_inverts () =
+  let pm = Pm.default in
+  List.iter
+    (fun v ->
+      check_close 1e-9
+        (Printf.sprintf "invert at %.2fV" v)
+        v
+        (Pm.voltage_for_psi pm (Pm.psi pm v)))
+    [ 0.6; 0.9; 1.3 ]
+
+let test_voltage_for_psi_clamps () =
+  check_close 1e-12 "negative budget clamps to 0" 0.
+    (Pm.voltage_for_psi Pm.default (-3.))
+
+let test_total_includes_leakage () =
+  let pm = Pm.default in
+  check_close 1e-9 "beta*T term" (Pm.psi pm 1.0 +. (0.05 *. 60.))
+    (Pm.total pm ~v:1.0 ~temp:60.)
+
+let test_psi_vector () =
+  let pm = Pm.default in
+  let out = Pm.psi_vector pm [| 0.; 0.6 |] in
+  check_close 1e-12 "idle entry" 0. out.(0);
+  check_close 1e-9 "active entry" (Pm.psi pm 0.6) out.(1)
+
+let test_constant_validation () =
+  Alcotest.check_raises "negative coefficient"
+    (Invalid_argument "Power_model.constant: negative coefficient") (fun () ->
+      ignore (Pm.constant ~alpha:(-1.) ~gamma:1. ~beta:0.))
+
+(* ------------------------------------------------------------ properties *)
+
+let prop_round_down_is_lower_neighbour =
+  QCheck.Test.make ~name:"round_down agrees with neighbours fst" ~count:200
+    QCheck.(make Gen.(float_range 0.3 1.6))
+    (fun v ->
+      let ls = Vf.table_iv 5 in
+      let lo, _ = Vf.neighbours ls v in
+      if v < Vf.lowest ls then Vf.round_down ls v = Vf.lowest ls
+      else Float.abs (Vf.round_down ls v -. lo) < 1e-12)
+
+let prop_neighbours_bracket =
+  QCheck.Test.make ~name:"neighbours bracket the query inside the range" ~count:200
+    QCheck.(make Gen.(float_range 0.6 1.3))
+    (fun v ->
+      let ls = Vf.table_iv 4 in
+      let lo, hi = Vf.neighbours ls v in
+      lo <= v +. 1e-12 && v <= hi +. 1e-12 && Vf.mem ls lo && Vf.mem ls hi)
+
+let () =
+  Alcotest.run "power"
+    [
+      ( "vf",
+        [
+          Alcotest.test_case "make sorts and dedups" `Quick test_make_sorts_and_dedups;
+          Alcotest.test_case "make rejects bad input" `Quick test_make_rejects_bad;
+          Alcotest.test_case "range grid" `Quick test_range;
+          Alcotest.test_case "table IV" `Quick test_table_iv;
+          Alcotest.test_case "round down" `Quick test_round_down;
+          Alcotest.test_case "neighbours" `Quick test_neighbours;
+          Alcotest.test_case "mem" `Quick test_mem;
+        ] );
+      ( "power_model",
+        [
+          Alcotest.test_case "psi values" `Quick test_psi_values;
+          Alcotest.test_case "psi monotone" `Quick test_psi_monotone;
+          Alcotest.test_case "psi convex" `Quick test_psi_convex;
+          Alcotest.test_case "psi rejects negative" `Quick test_psi_rejects_negative;
+          Alcotest.test_case "voltage_for_psi inverts" `Quick test_voltage_for_psi_inverts;
+          Alcotest.test_case "voltage_for_psi clamps" `Quick test_voltage_for_psi_clamps;
+          Alcotest.test_case "total includes leakage" `Quick test_total_includes_leakage;
+          Alcotest.test_case "psi vector" `Quick test_psi_vector;
+          Alcotest.test_case "constant validation" `Quick test_constant_validation;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_round_down_is_lower_neighbour; prop_neighbours_bracket ] );
+    ]
