@@ -163,9 +163,50 @@ let run_bechamel () =
       in
       Util.Table.add_row t [ name; pretty ])
     rows;
-  Util.Table.print t
+  Util.Table.print t;
+  rows
+
+(* Machine-readable perf trajectory: benchmark name -> ns/run.  JSON
+   strings need only backslash/quote escaping here because Bechamel test
+   names are plain ASCII. *)
+let write_json path rows =
+  let escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (function
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  in
+  let oc = open_out path in
+  output_string oc "{\n";
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc "  \"%s\": %s%s\n" (escape name)
+        (if Float.is_nan ns then "null" else Printf.sprintf "%.1f" ns)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "}\n";
+  close_out oc;
+  Printf.printf "wrote OLS estimates to %s\n" path
+
+let usage () =
+  prerr_endline "usage: main.exe [--json <path>]";
+  exit 2
 
 let () =
+  let json_path = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: path :: rest ->
+        json_path := Some path;
+        parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
   reproduce_all ();
-  run_bechamel ();
+  let rows = run_bechamel () in
+  (match !json_path with Some path -> write_json path rows | None -> ());
   print_newline ()

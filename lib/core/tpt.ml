@@ -34,6 +34,9 @@ let schedule_of_config c =
   Array.iteri (fun i o -> if Float.abs o > 1e-12 then s := Sched.Schedule.shift !s i o) c.offset;
   !s
 
+(* Both evaluators run on the modal engine (Thermal.Modal via
+   Sched.Peak), so the O(candidates * segments) calls of the adjustment
+   loops below cost O(n) per sample instead of a propagator build. *)
 let peak (p : Platform.t) ?(dense = false) c =
   let s = schedule_of_config c in
   if is_aligned c && not dense then Sched.Peak.of_step_up p.model p.power s

@@ -86,24 +86,29 @@ let simulate (p : Core.Platform.t) policy ?(control_interval = 20e-3) ?(duration
   let estimate =
     ref (match observer with Some o -> Observer.initial o | None -> [||])
   in
-  let theta = ref (Linalg.Vec.zeros (Thermal.Model.n_nodes model)) in
+  (* The plant is simulated in modal coordinates: one z_inf solve per
+     control decision (the power is constant inside an interval) and an
+     O(n) diagonal scale per substep, instead of a propagator lookup and
+     matvec per substep.  Model.step remains the reference path; the
+     observer still runs on it. *)
+  let eng = Thermal.Modal.make model in
+  let z = ref (Thermal.Modal.ambient_state eng) in
+  let sub_dt = control_interval /. float_of_int substeps in
   let work = ref 0. and peak = ref neg_infinity in
   let violations = ref 0 and switches = ref 0 in
   let steps = int_of_float (Float.round (duration /. control_interval)) in
   for _ = 1 to steps do
     let voltages = Array.map (fun l -> levels.(l)) level in
     let psi = Power.Power_model.psi_vector pm voltages in
+    let seg = Thermal.Modal.segment eng ~duration:sub_dt ~psi in
     for _ = 1 to substeps do
-      theta :=
-        Thermal.Model.step model
-          ~dt:(control_interval /. float_of_int substeps)
-          ~theta:!theta ~psi;
-      let t = Thermal.Model.max_core_temp model !theta in
+      z := Thermal.Modal.advance seg !z;
+      let t = Thermal.Modal.max_core_temp eng !z in
       peak := Float.max !peak t;
       if t > p.Core.Platform.t_max +. 1e-9 then incr violations
     done;
     work := !work +. (Array.fold_left ( +. ) 0. voltages *. control_interval);
-    let temps = Thermal.Model.core_temps_of_theta model !theta in
+    let temps = Thermal.Modal.core_temps eng !z in
     let measured = Array.map (fun t -> t +. gaussian rng sensor_noise) temps in
     let sensed =
       match observer with

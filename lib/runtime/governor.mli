@@ -6,7 +6,8 @@
     module makes that comparison executable.  A governor is a sampled
     controller: every [control_interval] it reads (possibly noisy) core
     temperatures and picks each core's DVFS level; between samples the
-    continuous dynamics run exactly (LTI stepping), so overshoot in the
+    continuous dynamics run exactly (LTI stepping on the
+    {!Thermal.Modal} engine — O(n) per substep), so overshoot in the
     controller's blind spot is measured honestly.
 
     Three classic policies are provided:

@@ -19,8 +19,9 @@ let of_any_refined model pm ?(samples_per_segment = 32) s =
   Thermal.Matex.peak_refined model ~samples_per_segment (profile model pm s)
 
 let stable_end_core_temps model pm s =
-  let theta = Thermal.Matex.stable_start model (profile model pm s) in
-  Thermal.Model.core_temps_of_theta model theta
+  (* Modal fast path: the stable status is solved per mode and only the
+     core rows of the eigenbasis are applied — no full-state rebuild. *)
+  Thermal.Matex.stable_core_temps model (profile model pm s)
 
 let steady_constant model pm voltages =
   let psi = Power.Power_model.psi_vector pm voltages in

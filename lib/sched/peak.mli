@@ -3,7 +3,10 @@
     Bridges {!Schedule} (voltages) to {!Thermal.Matex} (powers) through a
     {!Power.Power_model}, and dispatches between the cheap end-of-period
     evaluator that Theorem 1 licenses for step-up schedules and the dense
-    scan needed for arbitrary ones. *)
+    scan needed for arbitrary ones.  All evaluators run on the
+    {!Thermal.Modal} engine via {!Thermal.Matex}, so every policy inner
+    loop (AO's m sweep, TPT adjustment, PCO phase search) pays O(n) per
+    sample rather than a propagator build. *)
 
 (** [profile model pm s] converts a schedule into the piecewise-constant
     power profile of its state intervals.  Raises [Invalid_argument] when

@@ -7,7 +7,13 @@
     [psi].  Within a segment the system is LTI, so Eq. (3) steps it
     exactly; across a period, the stable status of Eq. (4) is obtained by
     solving [(I - K) theta* = theta_one_period] where [K = e^{A t_p}] is
-    the product of the segment propagators. *)
+    the product of the segment propagators.
+
+    Every evaluator here runs on the {!Modal} engine: segments are
+    precomputed once ([z_inf] plus diagonal decay factors), each sample
+    is O(n) element-wise work, and the [(I - K)^{-1}] solve is a per-mode
+    division.  The pre-modal implementations survive in {!Reference} for
+    differential testing. *)
 
 type segment = { duration : float; psi : Linalg.Vec.t }
 
@@ -36,6 +42,13 @@ val stable_start : Model.t -> profile -> Linalg.Vec.t
     segment boundaries, starting and ending with the period boundary
     state (first and last entries are equal). *)
 val stable_boundaries : Model.t -> profile -> Linalg.Vec.t array
+
+(** [stable_core_temps model profile] are the absolute per-core
+    temperatures at the stable-status period boundary — like
+    [Model.core_temps_of_theta] of {!stable_start}, but read directly
+    through the modal core rows without reconstructing the full node
+    state. *)
+val stable_core_temps : Model.t -> profile -> Linalg.Vec.t
 
 (** [peak_at_boundaries model profile] is the hottest absolute core
     temperature over the stable-status segment boundaries.  For a step-up
@@ -100,3 +113,15 @@ val mission_peak :
   ?samples_per_segment:int ->
   profile ->
   float * Linalg.Vec.t
+
+(** Pre-modal implementations on {!Model.step} / {!Model.propagator},
+    kept verbatim as the reference path.  [test/test_modal.ml] asserts
+    the modal evaluators above agree with these to [<= 1e-9]; they are
+    not meant for production use. *)
+module Reference : sig
+  val stable_start : Model.t -> profile -> Linalg.Vec.t
+  val stable_boundaries : Model.t -> profile -> Linalg.Vec.t array
+  val peak_scan : Model.t -> ?samples_per_segment:int -> profile -> float
+  val peak_refined :
+    Model.t -> ?samples_per_segment:int -> ?tol:float -> profile -> float
+end

@@ -1,0 +1,113 @@
+module Mat = Linalg.Mat
+module Vec = Linalg.Vec
+
+type t = {
+  model : Model.t;
+  n : int;
+  lambda : Vec.t; (* shared with the model, read-only *)
+  w : Mat.t;
+  w_inv : Mat.t;
+  core_rows : Mat.t; (* n_cores x n: the core rows of W *)
+  ambient : float;
+}
+
+let make model =
+  let lambda, w, w_inv = Model.modal_parts model in
+  let n = Vec.dim lambda in
+  let cores = Model.core_nodes model in
+  let core_rows =
+    Mat.init (Array.length cores) n (fun k j -> Mat.get w cores.(k) j)
+  in
+  { model; n; lambda; w; w_inv; core_rows; ambient = Model.ambient model }
+
+let model t = t.model
+let n_modes t = t.n
+let eigenvalues t = Vec.copy t.lambda
+let to_modal t theta = Mat.matvec t.w_inv theta
+let of_modal t z = Mat.matvec t.w z
+let ambient_state t = Vec.zeros t.n
+
+let theta_inf t psi = Model.theta_inf t.model psi
+
+(* One cached LU solve per distinct psi a caller prepares (the
+   factorization lives in the model); everything downstream of this is
+   matmul- and LU-free. *)
+let z_inf t psi = Mat.matvec t.w_inv (theta_inf t psi)
+
+let step t ~dt ~z ~psi =
+  if Vec.dim z <> t.n then invalid_arg "Modal.step: bad state arity";
+  let zi = z_inf t psi in
+  Array.init t.n (fun j -> zi.(j) +. (exp (t.lambda.(j) *. dt) *. (z.(j) -. zi.(j))))
+
+let core_temps t z =
+  if Vec.dim z <> t.n then invalid_arg "Modal.core_temps: bad state arity";
+  let temps = Mat.matvec t.core_rows z in
+  Array.map (fun x -> x +. t.ambient) temps
+
+let max_core_temp t z =
+  let { Mat.rows; cols; data } = t.core_rows in
+  let best = ref neg_infinity in
+  for k = 0 to rows - 1 do
+    let off = k * cols in
+    let acc = ref 0. in
+    for j = 0 to cols - 1 do
+      acc := !acc +. (Array.unsafe_get data (off + j) *. Array.unsafe_get z j)
+    done;
+    if !acc > !best then best := !acc
+  done;
+  !best +. t.ambient
+
+type segment = {
+  duration : float;
+  decay : Vec.t; (* e^{lambda_j * duration} *)
+  gain : Vec.t; (* 1 - decay, via expm1 for accuracy at slow modes *)
+  z_eq : Vec.t; (* modal equilibrium of this segment's psi *)
+  lambda : Vec.t;
+}
+
+let segment (t : t) ~duration ~psi =
+  if duration <= 0. then invalid_arg "Modal.segment: non-positive duration";
+  {
+    duration;
+    decay = Array.map (fun l -> exp (l *. duration)) t.lambda;
+    gain = Array.map (fun l -> -.Float.expm1 (l *. duration)) t.lambda;
+    z_eq = z_inf t psi;
+    lambda = t.lambda;
+  }
+
+let duration s = s.duration
+
+let split s k =
+  if k < 1 then invalid_arg "Modal.split: non-positive sample count";
+  let dt = s.duration /. float_of_int k in
+  {
+    s with
+    duration = dt;
+    decay = Array.map (fun l -> exp (l *. dt)) s.lambda;
+    gain = Array.map (fun l -> -.Float.expm1 (l *. dt)) s.lambda;
+  }
+
+let advance s z =
+  Array.init (Vec.dim z) (fun j ->
+      (s.decay.(j) *. z.(j)) +. (s.gain.(j) *. s.z_eq.(j)))
+
+let at s ~t_rel z =
+  Array.init (Vec.dim z) (fun j ->
+      s.z_eq.(j) +. (exp (s.lambda.(j) *. t_rel) *. (z.(j) -. s.z_eq.(j))))
+
+let stable_z (t : t) segs =
+  if segs = [] then invalid_arg "Modal.stable_z: empty segment list";
+  (* One period from the zero state: z(t_p) = K z0 + d with diagonal
+     K = prod e^{lambda dt_q}; from z0 = 0 the iteration below leaves d. *)
+  let d = Vec.zeros t.n in
+  let t_p = List.fold_left (fun acc s -> acc +. s.duration) 0. segs in
+  List.iter
+    (fun s ->
+      for j = 0 to t.n - 1 do
+        d.(j) <- (s.decay.(j) *. d.(j)) +. (s.gain.(j) *. s.z_eq.(j))
+      done)
+    segs;
+  (* Stable status per mode: z* = d / (1 - e^{lambda t_p}); the
+     denominator comes from expm1 so slow modes (lambda t_p ~ 0) keep
+     full precision where the dense (I - K) solve loses it. *)
+  Array.init t.n (fun j -> d.(j) /. -.Float.expm1 (t.lambda.(j) *. t_p))

@@ -1,0 +1,102 @@
+(** Modal (eigenbasis) thermal evaluation engine — the hot path behind
+    {!Matex}, {!Sched.Peak} and {!Runtime.Governor}.
+
+    {!Model.make} already diagonalizes [A = W diag(lambda) W^{-1}] with
+    real negative [lambda], so the whole simulation can run in modal
+    coordinates [z = W^{-1} theta], where propagating over ANY [dt] is an
+    O(n) diagonal scale:
+
+    {[ z(t) = z_inf + e^{lambda t} . (z(0) - z_inf) ]}
+
+    with [z_inf = W^{-1} theta_inf(psi)].  A {!segment} precomputes
+    [z_inf] (one cached LU solve per distinct [psi] — the factorization
+    lives in the model) and the decay factors [e^{lambda_i dt}] once;
+    every sample afterwards is element-wise arithmetic — no matrix
+    exponential, no LU, no mutex.  Because all segments share one
+    eigenbasis, the periodic stable status [(I - K)^{-1} d] collapses to
+    a per-mode division ({!stable_z}).
+
+    An engine is an immutable O(1) view of the model's eigendata
+    (see {!Model.modal_parts}); create one per evaluation, share freely
+    across domains.  {!Model.step} remains the reference implementation —
+    the property tests diff the two paths. *)
+
+type t
+(** An immutable modal evaluation engine bound to a {!Model.t}. *)
+
+(** [make model] builds an engine.  O(n_cores * n) — cheap enough to call
+    once per evaluation. *)
+val make : Model.t -> t
+
+(** [model t] is the underlying thermal model. *)
+val model : t -> Model.t
+
+(** [n_modes t] equals [Model.n_nodes] of the underlying model. *)
+val n_modes : t -> int
+
+(** [eigenvalues t] is a copy of the (all negative) mode eigenvalues,
+    slowest first. *)
+val eigenvalues : t -> Linalg.Vec.t
+
+(** [to_modal t theta] is [z = W^{-1} theta]. *)
+val to_modal : t -> Linalg.Vec.t -> Linalg.Vec.t
+
+(** [of_modal t z] is [theta = W z]. *)
+val of_modal : t -> Linalg.Vec.t -> Linalg.Vec.t
+
+(** [ambient_state t] is the modal image of the ambient (all-zero theta)
+    state — also all zeros. *)
+val ambient_state : t -> Linalg.Vec.t
+
+(** [theta_inf t psi] is the node-space steady state (the model's cached
+    LU solve). *)
+val theta_inf : t -> Linalg.Vec.t -> Linalg.Vec.t
+
+(** [z_inf t psi] is the modal steady state [W^{-1} theta_inf(psi)]. *)
+val z_inf : t -> Linalg.Vec.t -> Linalg.Vec.t
+
+(** [step t ~dt ~z ~psi] advances a modal state by [dt] under constant
+    powers [psi] — the O(n) counterpart of {!Model.step}.  Prefer
+    {!segment}/{!advance} when the same [(dt, psi)] recurs. *)
+val step : t -> dt:float -> z:Linalg.Vec.t -> psi:Linalg.Vec.t -> Linalg.Vec.t
+
+(** [core_temps t z] are the absolute core temperatures of modal state
+    [z], read through the precomputed core rows of [W] — O(n_cores * n),
+    no full basis transform. *)
+val core_temps : t -> Linalg.Vec.t -> Linalg.Vec.t
+
+(** [max_core_temp t z] is the hottest absolute core temperature of
+    modal state [z]; allocation-free. *)
+val max_core_temp : t -> Linalg.Vec.t -> float
+
+type segment
+(** A precomputed constant-power interval: duration, the decay factors
+    [e^{lambda dt}] and the modal equilibrium [z_inf(psi)]. *)
+
+(** [segment t ~duration ~psi] precomputes a segment.  Raises
+    [Invalid_argument] on non-positive durations. *)
+val segment : t -> duration:float -> psi:Linalg.Vec.t -> segment
+
+(** [duration s] is the segment length. *)
+val duration : segment -> float
+
+(** [split s k] is the segment covering [duration s / k] under the same
+    power — the sub-step used by dense scans, sharing [s]'s equilibrium
+    so no new solve is performed. *)
+val split : segment -> int -> segment
+
+(** [advance s z] is the modal state one full segment after [z] — O(n)
+    multiply-adds. *)
+val advance : segment -> Linalg.Vec.t -> Linalg.Vec.t
+
+(** [at s ~t_rel z] is the modal state [t_rel] seconds into the segment,
+    starting from [z] at the segment boundary ([t_rel] need not be a
+    sub-step multiple — golden-section probes use this). *)
+val at : segment -> t_rel:float -> Linalg.Vec.t -> Linalg.Vec.t
+
+(** [stable_z t segs] is the modal stable status of the periodic profile
+    [segs]: because [K = prod e^{A dt_q}] is diagonal in modal space, the
+    [(I - K)^{-1}] solve of {!Matex.stable_start} collapses to a per-mode
+    division, O(n) per segment plus O(n) for the solve.  Raises
+    [Invalid_argument] on an empty list. *)
+val stable_z : t -> segment list -> Linalg.Vec.t

@@ -17,8 +17,11 @@ type t = {
   (* Propagator memo: e^{A dt} keyed by the bits of dt.  The policy loops
      (AO's m sweep, the TPT adjustment, peak scans) reuse a handful of
      interval lengths thousands of times.  Guarded by a mutex so models
-     may be shared across domains. *)
+     may be shared across domains.  [cache_order] tracks insertion order
+     so a full memo sheds its oldest entries instead of being dumped
+     wholesale. *)
   propagator_cache : (int64, Mat.t) Hashtbl.t;
+  cache_order : int64 Queue.t;
   cache_lock : Mutex.t;
 }
 
@@ -76,6 +79,7 @@ let make ~ambient ~leak_beta ~capacitance ~conductance ~core_nodes () =
     w;
     w_inv;
     propagator_cache = Hashtbl.create 64;
+    cache_order = Queue.create ();
     cache_lock = Mutex.create ();
   }
 
@@ -123,6 +127,8 @@ let compute_propagator m dt =
   let scaled = Mat.init n n (fun i j -> Mat.get m.w i j *. e.(j)) in
   Mat.matmul scaled m.w_inv
 
+let cache_capacity = 512
+
 let propagator m dt =
   let key = Int64.bits_of_float dt in
   Mutex.lock m.cache_lock;
@@ -131,13 +137,27 @@ let propagator m dt =
   match cached with
   | Some p -> p
   | None ->
+      (* The build runs outside the lock, so two domains racing on the
+         same fresh [dt] may both pay the O(n^3) construction.  That race
+         is benign: both compute the identical matrix, the second insert
+         is skipped below, and callers only ever observe a fully built
+         propagator.  Holding the lock across the build would serialize
+         every first-use miss instead. *)
       let p = compute_propagator m dt in
       Mutex.lock m.cache_lock;
-      (* Bound the memo: schedules use a handful of distinct lengths, but
-         a pathological caller should not leak memory. *)
-      if Hashtbl.length m.propagator_cache >= 512 then
-        Hashtbl.reset m.propagator_cache;
-      Hashtbl.replace m.propagator_cache key p;
+      if not (Hashtbl.mem m.propagator_cache key) then begin
+        (* Bound the memo: schedules use a handful of distinct lengths,
+           but a pathological caller should not leak memory.  Evict the
+           oldest entries one by one rather than dumping the whole memo,
+           so the hot interval lengths of the current loop stay cached. *)
+        while Hashtbl.length m.propagator_cache >= cache_capacity do
+          match Queue.take_opt m.cache_order with
+          | Some oldest -> Hashtbl.remove m.propagator_cache oldest
+          | None -> Hashtbl.reset m.propagator_cache
+        done;
+        Hashtbl.replace m.propagator_cache key p;
+        Queue.push key m.cache_order
+      end;
       Mutex.unlock m.cache_lock;
       p
 
@@ -215,6 +235,10 @@ let solve_mixed m constraints =
   (psi, temps)
 
 let eigenbasis m = (Vec.copy m.lambda, Mat.copy m.w, Mat.copy m.w_inv)
+
+(* Zero-copy view of the eigendata for Modal; the arrays are shared with
+   the model and must be treated as read-only. *)
+let modal_parts m = (m.lambda, m.w, m.w_inv)
 
 let solve_powers_for_uniform_core_temp m t_target =
   fst (solve_mixed m (Array.make (n_cores m) (Pinned_temperature t_target)))

@@ -122,6 +122,12 @@ val derivative : t -> Linalg.Vec.t -> Linalg.Vec.t -> Linalg.Vec.t
     {!Reduced}. *)
 val eigenbasis : t -> Linalg.Vec.t * Linalg.Mat.t * Linalg.Mat.t
 
+(** [modal_parts m] is [(lambda, w, w_inv)] like {!eigenbasis} but
+    WITHOUT copying: the returned arrays are the model's own and must be
+    treated as read-only.  O(1); this is what lets {!Modal.make} build an
+    evaluation engine for free on every call. *)
+val modal_parts : t -> Linalg.Vec.t * Linalg.Mat.t * Linalg.Mat.t
+
 (** [integrate_theta m ~dt ~theta ~psi] is the exact time integral
     [int_0^dt theta(s) ds] of the ambient-relative temperatures under
     constant core powers [psi], starting from [theta]: from

@@ -1,0 +1,222 @@
+(* Differential tests for the modal (eigenbasis) evaluation engine: the
+   Matex hot path must agree with the reference Model.step /
+   Model.propagator implementations to <= 1e-9 on trajectories, stable
+   statuses and refined peaks. *)
+
+module Vec = Linalg.Vec
+module Model = Thermal.Model
+module Modal = Thermal.Modal
+module Matex = Thermal.Matex
+
+let pm = Power.Power_model.default
+let levels5 = Power.Vf.table_iv 5
+
+let model3 =
+  Thermal.Hotspot.core_level
+    (Thermal.Floorplan.grid ~rows:1 ~cols:3 ~core_width:4e-3 ~core_height:4e-3)
+
+let model9 =
+  Thermal.Hotspot.core_level
+    (Thermal.Floorplan.grid ~rows:3 ~cols:3 ~core_width:4e-3 ~core_height:4e-3)
+
+let model2 =
+  Thermal.Hotspot.core_level
+    (Thermal.Floorplan.grid ~rows:1 ~cols:2 ~core_width:4e-3 ~core_height:4e-3)
+
+let seed_gen = QCheck.(make Gen.(int_range 0 1_000_000))
+
+(* Random piecewise-constant power sequence on [model]. *)
+let random_segments rng model n_segs =
+  List.init n_segs (fun _ ->
+      {
+        Thermal.Matex.duration = 0.01 +. Random.State.float rng 0.5;
+        psi =
+          Array.init (Model.n_cores model) (fun _ ->
+              Random.State.float rng 20.);
+      })
+
+let random_step_up rng ~n_cores ~period =
+  Workload.Random_sched.step_up rng ~n_cores ~period ~max_intervals:5
+    ~levels:levels5
+
+(* ------------------------------------------------- trajectory agreement *)
+
+let prop_trajectory_matches_reference model name =
+  QCheck.Test.make ~name ~count:50 seed_gen (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let segs = random_segments rng model 6 in
+      let eng = Modal.make model in
+      let theta = ref (Vec.zeros (Model.n_nodes model)) in
+      let z = ref (Modal.ambient_state eng) in
+      List.for_all
+        (fun (s : Thermal.Matex.segment) ->
+          theta := Model.step model ~dt:s.duration ~theta:!theta ~psi:s.psi;
+          z := Modal.step eng ~dt:s.duration ~z:!z ~psi:s.psi;
+          let round_trip = Modal.of_modal eng !z in
+          Vec.dist_inf !theta round_trip <= 1e-9
+          && Float.abs
+               (Modal.max_core_temp eng !z -. Model.max_core_temp model !theta)
+             <= 1e-9)
+        segs)
+
+(* Interior sampling: Modal.at must agree with a direct Model.step of the
+   same offset. *)
+let prop_interior_samples_match =
+  QCheck.Test.make ~name:"Modal.at matches Model.step at interior times" ~count:100
+    seed_gen (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let model = model3 in
+      let psi = Array.init 3 (fun _ -> Random.State.float rng 20.) in
+      let duration = 0.2 +. Random.State.float rng 1.0 in
+      let theta0 =
+        Array.init (Model.n_nodes model) (fun _ -> Random.State.float rng 30.)
+      in
+      let eng = Modal.make model in
+      let seg = Modal.segment eng ~duration ~psi in
+      let z0 = Modal.to_modal eng theta0 in
+      List.for_all
+        (fun frac ->
+          let t = frac *. duration in
+          let reference = Model.step model ~dt:t ~theta:theta0 ~psi in
+          let modal = Modal.of_modal eng (Modal.at seg ~t_rel:t z0) in
+          Vec.dist_inf reference modal <= 1e-9)
+        [ 0.1; 0.37; 0.5; 0.99 ])
+
+(* ------------------------------------------------ stable-status agreement *)
+
+let prop_stable_start_matches model name =
+  QCheck.Test.make ~name ~count:50 seed_gen (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let s = random_step_up rng ~n_cores:(Model.n_cores model) ~period:5. in
+      let profile = Sched.Peak.profile model pm s in
+      let reference = Matex.Reference.stable_start model profile in
+      let modal = Matex.stable_start model profile in
+      Vec.dist_inf reference modal <= 1e-9)
+
+let prop_stable_core_temps_match =
+  QCheck.Test.make ~name:"stable_core_temps = core temps of stable_start"
+    ~count:50 seed_gen (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let s = random_step_up rng ~n_cores:3 ~period:5. in
+      let profile = Sched.Peak.profile model3 pm s in
+      let via_state =
+        Model.core_temps_of_theta model3 (Matex.stable_start model3 profile)
+      in
+      let direct = Matex.stable_core_temps model3 profile in
+      Vec.dist_inf via_state direct <= 1e-9)
+
+(* ------------------------------------------------------- peak agreement *)
+
+let prop_peak_scan_matches =
+  QCheck.Test.make ~name:"peak_scan agrees with reference" ~count:50 seed_gen
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let segs = random_segments rng model3 4 in
+      let reference = Matex.Reference.peak_scan model3 ~samples_per_segment:16 segs in
+      let modal = Matex.peak_scan model3 ~samples_per_segment:16 segs in
+      Float.abs (reference -. modal) <= 1e-9)
+
+(* The Fig. 2 two-mode schedules, evaluated by both peak_refined paths. *)
+let test_peak_refined_fig2 () =
+  let seg d v = { Sched.Schedule.duration = d; voltage = v } in
+  let base =
+    Sched.Schedule.make ~period:0.1
+      [| [ seg 0.05 1.3; seg 0.05 0.6 ]; [ seg 0.05 0.6; seg 0.05 1.3 ] |]
+  in
+  let single =
+    Sched.Schedule.make ~period:0.1
+      [|
+        [ seg 0.025 1.3; seg 0.025 0.6; seg 0.025 1.3; seg 0.025 0.6 ];
+        [ seg 0.05 0.6; seg 0.05 1.3 ];
+      |]
+  in
+  List.iteri
+    (fun i s ->
+      let profile = Sched.Peak.profile model2 pm s in
+      let reference =
+        Matex.Reference.peak_refined model2 ~samples_per_segment:32 profile
+      in
+      let modal = Matex.peak_refined model2 ~samples_per_segment:32 profile in
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "fig2 schedule %d refined peak" i)
+        reference modal)
+    [ base; single; Sched.Oscillate.oscillate 2 base ]
+
+let prop_peak_refined_matches =
+  QCheck.Test.make ~name:"peak_refined agrees with reference (two-mode)" ~count:30
+    seed_gen (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let ratio () = 0.1 +. Random.State.float rng 0.8 in
+      let s =
+        Sched.Schedule.two_mode ~period:0.1 ~low:[| 0.6; 0.6; 0.6 |]
+          ~high:[| 1.3; 1.3; 1.3 |]
+          ~high_ratio:[| ratio (); ratio (); ratio () |]
+      in
+      let profile = Sched.Peak.profile model3 pm s in
+      let reference =
+        Matex.Reference.peak_refined model3 ~samples_per_segment:16 profile
+      in
+      let modal = Matex.peak_refined model3 ~samples_per_segment:16 profile in
+      Float.abs (reference -. modal) <= 1e-9)
+
+(* ------------------------------------------------- engine-level algebra *)
+
+let test_round_trip () =
+  let eng = Modal.make model9 in
+  let theta = Array.init (Model.n_nodes model9) (fun i -> float_of_int i +. 0.5) in
+  let back = Modal.of_modal eng (Modal.to_modal eng theta) in
+  Alcotest.(check bool) "W (W^-1 theta) = theta" true (Vec.dist_inf theta back <= 1e-9)
+
+let test_z_inf_is_steady_state () =
+  let eng = Modal.make model9 in
+  let psi = Array.init 9 (fun i -> 5. +. float_of_int i) in
+  let z = Modal.z_inf eng psi in
+  (* Stepping the steady state must leave it fixed. *)
+  let z' = Modal.step eng ~dt:3.7 ~z ~psi in
+  Alcotest.(check bool) "steady state is a fixed point" true
+    (Vec.dist_inf z z' <= 1e-9);
+  Alcotest.(check bool) "core temps match steady_core_temps" true
+    (Vec.dist_inf (Modal.core_temps eng z) (Model.steady_core_temps model9 psi)
+    <= 1e-9)
+
+let test_stable_z_periodicity () =
+  let eng = Modal.make model9 in
+  let rng = Random.State.make [| 42 |] in
+  let profile = random_segments rng model9 5 in
+  let segs =
+    List.map
+      (fun (s : Thermal.Matex.segment) ->
+        Modal.segment eng ~duration:s.duration ~psi:s.psi)
+      profile
+  in
+  let z_star = Modal.stable_z eng segs in
+  let z_end = List.fold_left (fun z s -> Modal.advance s z) z_star segs in
+  Alcotest.(check bool) "stable status repeats after one period" true
+    (Vec.dist_inf z_star z_end <= 1e-9)
+
+let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let () =
+  Alcotest.run "modal"
+    [
+      qsuite "trajectories"
+        [
+          prop_trajectory_matches_reference model3 "modal = reference (3x1)";
+          prop_trajectory_matches_reference model9 "modal = reference (3x3)";
+          prop_interior_samples_match;
+        ];
+      qsuite "stable status"
+        [
+          prop_stable_start_matches model3 "stable_start old = new (3x1)";
+          prop_stable_start_matches model9 "stable_start old = new (3x3)";
+          prop_stable_core_temps_match;
+        ];
+      qsuite "peaks" [ prop_peak_scan_matches; prop_peak_refined_matches ];
+      ( "units",
+        [
+          Alcotest.test_case "fig2 refined peaks" `Quick test_peak_refined_fig2;
+          Alcotest.test_case "modal round trip" `Quick test_round_trip;
+          Alcotest.test_case "z_inf fixed point" `Quick test_z_inf_is_steady_state;
+          Alcotest.test_case "stable_z periodicity" `Quick test_stable_z_periodicity;
+        ] );
+    ]
