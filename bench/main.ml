@@ -85,12 +85,18 @@ let tests () =
       (Staged.stage (fun () ->
            ignore
              (Sched.Peak.of_step_up model9 pm (Sched.Oscillate.oscillate 10 sched9))));
-    (* Figs. 6/7 + Table V: the policies themselves. *)
+    (* Figs. 6/7 + Table V: the policies themselves.  The unsuffixed
+       kernels force the sequential path (comparable across revisions);
+       the -par twins run the same search on the shared domain pool. *)
     Test.make ~name:"fig6-7/lns-9core"
       (Staged.stage (fun () -> ignore (Core.Lns.solve p9)));
     Test.make ~name:"fig6-7/exs-6core-4lv"
       (Staged.stage (fun () -> ignore (Core.Exs.solve p6_4)));
+    Test.make ~name:"fig6-7/exs-6core-4lv-par"
+      (Staged.stage (fun () -> ignore (Core.Exs.solve_par p6_4)));
     Test.make ~name:"fig6-7/ao-3core"
+      (Staged.stage (fun () -> ignore (Core.Ao.solve ~par:false p3)));
+    Test.make ~name:"fig6-7/ao-3core-par"
       (Staged.stage (fun () -> ignore (Core.Ao.solve p3)));
     (* Numeric kernels under everything above. *)
     Test.make ~name:"kernel/propagator-9x9"
@@ -121,7 +127,17 @@ let tests () =
     (let p3d = Workload.Configs.platform ~cores:3 ~levels:5 ~t_max:60. in
      Test.make ~name:"ext/demand-3core"
        (Staged.stage (fun () ->
+            ignore (Core.Demand.solve ~par:false p3d ~demands:[| 1.0; 0.9; 0.8 |]))));
+    (let p3d = Workload.Configs.platform ~cores:3 ~levels:5 ~t_max:60. in
+     Test.make ~name:"ext/demand-3core-par"
+       (Staged.stage (fun () ->
             ignore (Core.Demand.solve p3d ~demands:[| 1.0; 0.9; 0.8 |]))));
+    (* Fixed cost of one pool round-trip over trivial work: the
+       cross-over point below which a sweep should stay sequential. *)
+    (let xs = Array.init 64 (fun i -> i) in
+     Test.make ~name:"kernel/pool-map-overhead"
+       (Staged.stage (fun () ->
+            ignore (Util.Pool.map_array (fun x -> x + 1) xs))));
     (let p3g = Workload.Configs.platform ~cores:3 ~levels:5 ~t_max:65. in
      Test.make ~name:"ext/governor-1s"
        (Staged.stage (fun () ->

@@ -41,7 +41,7 @@ let config_for_m (p : Platform.t) ~base_period ~v_low ~v_high ~ratio m =
   }
 
 let solve ?(base_period = 0.1) ?(m_cap = 512) ?t_unit ?(fill = false)
-    ?(adjust = `Greedy) (p : Platform.t) =
+    ?(adjust = `Greedy) ?(par = true) (p : Platform.t) =
   let n = Platform.n_cores p in
   let ideal = Ideal.solve p in
   (* Neighbouring modes and the throughput-preserving ratio of Eq. (11). *)
@@ -59,12 +59,17 @@ let solve ?(base_period = 0.1) ?(m_cap = 512) ?t_unit ?(fill = false)
   in
   let m_max = Stdlib.min m_cap (Sched.Oscillate.max_m ~tau:p.tau ~modes) in
   (* Sweep m: Theorem 5 makes the peak non-increasing until overhead
-     extension bites, so keep the m with the lowest peak. *)
+     extension bites, so keep the m with the lowest peak.  Every m's
+     evaluation is independent, so fan them across the pool and run the
+     original (ordered, tie-keeps-smallest-m) reduction over the array. *)
+  let peaks =
+    let eval i = Tpt.peak p (config_for_m p ~base_period ~v_low ~v_high ~ratio (i + 1)) in
+    if par then Util.Pool.init m_max eval else Array.init m_max eval
+  in
   let best_m = ref 1 in
   let best_peak = ref infinity in
   for m = 1 to m_max do
-    let c = config_for_m p ~base_period ~v_low ~v_high ~ratio m in
-    let peak = Tpt.peak p c in
+    let peak = peaks.(m - 1) in
     if peak < !best_peak -. 1e-12 then begin
       best_peak := peak;
       best_m := m
@@ -76,7 +81,7 @@ let solve ?(base_period = 0.1) ?(m_cap = 512) ?t_unit ?(fill = false)
   let config0 = config_for_m p ~base_period ~v_low ~v_high ~ratio !best_m in
   let config, steps =
     match adjust with
-    | `Greedy -> Tpt.adjust_to_constraint p ?t_unit config0
+    | `Greedy -> Tpt.adjust_to_constraint p ?t_unit ~par config0
     | `Bisection -> Tpt.adjust_by_bisection p config0
   in
   (* Theorem 1 is only approximate under strong coupling: re-verify with
@@ -84,11 +89,11 @@ let solve ?(base_period = 0.1) ?(m_cap = 512) ?t_unit ?(fill = false)
      adjusting against the dense peak (a no-op when already feasible). *)
   let config, safety_steps =
     if Tpt.peak p ~dense:true config > p.t_max +. 1e-9 then
-      Tpt.adjust_to_constraint p ?t_unit ~dense:true config
+      Tpt.adjust_to_constraint p ?t_unit ~dense:true ~par config
     else (config, 0)
   in
   let config, fill_steps =
-    if fill then Tpt.fill_headroom p ?t_unit config else (config, 0)
+    if fill then Tpt.fill_headroom p ?t_unit ~par config else (config, 0)
   in
   let steps = steps + safety_steps in
   Log.debug (fun f -> f "TPT adjustment: %d exchanges (+%d dense)" steps safety_steps);

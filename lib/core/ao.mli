@@ -37,12 +37,16 @@ type result = {
     - [adjust] selects the ratio-adjustment strategy: [`Greedy] (the
       paper's per-core TPT loop, default) or [`Bisection] (uniform
       scaling, fewer peak evaluations, possibly slightly lower
-      throughput — see the ablations). *)
+      throughput — see the ablations);
+    - [par] (default [true]) evaluates the m sweep and the TPT candidate
+      scans on the shared {!Util.Pool}; reductions stay sequential, so
+      the result is identical at any pool size. *)
 val solve :
   ?base_period:float ->
   ?m_cap:int ->
   ?t_unit:float ->
   ?fill:bool ->
   ?adjust:[ `Greedy | `Bisection ] ->
+  ?par:bool ->
   Platform.t ->
   result

@@ -8,7 +8,7 @@ type result = {
   delivered : float array;
 }
 
-let solve ?(base_period = 0.1) ?(m_cap = 512) (p : Platform.t) ~demands =
+let solve ?(base_period = 0.1) ?(m_cap = 512) ?(par = true) (p : Platform.t) ~demands =
   let n = Platform.n_cores p in
   if Array.length demands <> n then
     invalid_arg "Demand.solve: demands arity differs from core count";
@@ -53,11 +53,17 @@ let solve ?(base_period = 0.1) ?(m_cap = 512) (p : Platform.t) ~demands =
       offset = Array.make n 0.;
     }
   in
+  (* Each m's stable-status evaluation is independent: fan the sweep
+     across the pool, then reduce in m order exactly as before (ties
+     keep the smallest m). *)
+  let peaks =
+    let eval i = Tpt.peak p (config_for (i + 1)) in
+    if par then Util.Pool.init m_max eval else Array.init m_max eval
+  in
   let best_m = ref 1 and best_peak = ref infinity in
   for m = 1 to m_max do
-    let peak = Tpt.peak p (config_for m) in
-    if peak < !best_peak -. 1e-12 then begin
-      best_peak := peak;
+    if peaks.(m - 1) < !best_peak -. 1e-12 then begin
+      best_peak := peaks.(m - 1);
       best_m := m
     end
   done;

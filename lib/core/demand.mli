@@ -27,6 +27,14 @@ type result = {
     delivering at least [demands.(i)] net speed on every core [i].
     Demands must lie in [[0, v_max]]; raises [Invalid_argument]
     otherwise (a demand below [v_min] is served at [v_min]-or-oscillated
-    speed — over-provisioning is allowed, under-provisioning is not). *)
+    speed — over-provisioning is allowed, under-provisioning is not).
+    [par] (default [true]) fans the m sweep across the shared
+    {!Util.Pool}; the reduction is sequential, so the chosen [m] and
+    schedule are identical at any pool size. *)
 val solve :
-  ?base_period:float -> ?m_cap:int -> Platform.t -> demands:float array -> result
+  ?base_period:float ->
+  ?m_cap:int ->
+  ?par:bool ->
+  Platform.t ->
+  demands:float array ->
+  result

@@ -8,6 +8,20 @@ type result = {
 
 let mean a = Array.fold_left ( +. ) 0. a /. float_of_int (Array.length a)
 
+let lex_less a b =
+  let n = Array.length a in
+  let rec go i = i < n && (a.(i) < b.(i) || (a.(i) = b.(i) && go (i + 1))) in
+  go 0
+
+(* Deterministic total order on feasible assignments: higher score wins;
+   exact score ties go to the lexicographically smallest digit vector.
+   Every solver (flat, naive, pruned, parallel) reduces with this same
+   order, so they agree bit-for-bit regardless of enumeration order. *)
+let improves ~score ~digits ~best_score ~best_digits =
+  score > best_score
+  || score = best_score
+     && (match best_digits with None -> true | Some b -> lex_less digits b)
+
 (* Shared odometer enumeration: [visit digits] is called for every
    assignment; [on_tick i old_digit new_digit] reports each single-digit
    change so the caller can update state incrementally. *)
@@ -56,13 +70,24 @@ let best_result (p : Platform.t) best_digits best_score levels evaluated =
         feasible = false;
       }
 
-let solve (p : Platform.t) =
+(* Steady core temps are affine in the power vector:
+   T = offset + sum_j column_j * psi_j.  Factorize once; every solver
+   below (except the textbook [solve_naive]) updates temperatures
+   incrementally from this shared read-only precomputation. *)
+type steady = {
+  levels : float array;
+  l : int;
+  n : int;
+  psi_of_level : float array;
+  columns : float array array;
+  base_temps : float array;  (* offset + every core at the lowest level *)
+}
+
+let steady_setup (p : Platform.t) =
   let n = Platform.n_cores p in
   let levels = Power.Vf.levels p.levels in
   let l = Array.length levels in
   let psi_of_level = Array.map (Power.Power_model.psi p.power) levels in
-  (* Steady core temps are affine in the power vector:
-     T = offset + sum_j column_j * psi_j.  Factorize once. *)
   let offset = Thermal.Model.steady_core_temps p.model (Array.make n 0.) in
   let column j =
     let unit = Array.make n 0. in
@@ -71,12 +96,17 @@ let solve (p : Platform.t) =
     Array.init n (fun i -> with_unit.(i) -. offset.(i))
   in
   let columns = Array.init n column in
-  let temps = Array.copy offset in
+  let base_temps = Array.copy offset in
   for j = 0 to n - 1 do
     for i = 0 to n - 1 do
-      temps.(i) <- temps.(i) +. (columns.(j).(i) *. psi_of_level.(0))
+      base_temps.(i) <- base_temps.(i) +. (columns.(j).(i) *. psi_of_level.(0))
     done
   done;
+  { levels; l; n; psi_of_level; columns; base_temps }
+
+let solve (p : Platform.t) =
+  let { levels; l; n; psi_of_level; columns; base_temps } = steady_setup p in
+  let temps = Array.copy base_temps in
   let best_score = ref neg_infinity in
   let best_digits = ref None in
   let on_tick j d_old d_new =
@@ -95,7 +125,9 @@ let solve (p : Platform.t) =
       for i = 0 to n - 1 do
         score := !score +. levels.(digits.(i))
       done;
-      if !score > !best_score then begin
+      if improves ~score:!score ~digits ~best_score:!best_score
+           ~best_digits:!best_digits
+      then begin
         best_score := !score;
         best_digits := Some (Array.copy digits)
       end
@@ -121,7 +153,8 @@ let solve_naive (p : Platform.t) =
     let peak = Thermal.Model.max_core_temp p.model theta in
     if peak <= p.t_max +. 1e-9 then begin
       let score = Array.fold_left ( +. ) 0. voltages in
-      if score > !best_score then begin
+      if improves ~score ~digits ~best_score:!best_score ~best_digits:!best_digits
+      then begin
         best_score := score;
         best_digits := Some (Array.copy digits)
       end
@@ -130,31 +163,20 @@ let solve_naive (p : Platform.t) =
   let evaluated = enumerate ~n ~l ~on_tick:(fun _ _ _ -> ()) ~visit in
   best_result p !best_digits !best_score levels evaluated
 
-let solve_pruned (p : Platform.t) =
-  let n = Platform.n_cores p in
-  let levels = Power.Vf.levels p.levels in
-  let l = Array.length levels in
-  let psi_of_level = Array.map (Power.Power_model.psi p.power) levels in
-  let offset = Thermal.Model.steady_core_temps p.model (Array.make n 0.) in
-  let column j =
-    let unit = Array.make n 0. in
-    unit.(j) <- 1.;
-    let with_unit = Thermal.Model.steady_core_temps p.model unit in
-    Array.init n (fun i -> with_unit.(i) -. offset.(i))
-  in
-  let columns = Array.init n column in
-  (* temps = steady core temps for the current partial assignment with
-     every unassigned core preloaded at the LOWEST level (the subtree's
-     temperature lower bound, by monotonicity). *)
-  let temps = Array.copy offset in
-  for j = 0 to n - 1 do
-    for i = 0 to n - 1 do
-      temps.(i) <- temps.(i) +. (columns.(j).(i) *. psi_of_level.(0))
-    done
-  done;
-  let digits = Array.make n 0 in
-  let best_score = ref neg_infinity in
-  let best_digits = ref None in
+(* Branch-and-bound over cores [start .. n-1].  [digits]/[temps] hold the
+   caller's state: cores below [start] fixed at their digits, cores from
+   [start] preloaded at level 0 (so [temps] is the subtree's temperature
+   lower bound, by monotonicity).  [best_score] reads the incumbent score
+   — a plain ref for the sequential solver, a shared [Atomic] for the
+   parallel one — and [offer] proposes a completed assignment.  Pruning
+   only cuts a subtree when even its all-top completion scores strictly
+   below the incumbent (beyond the 1e-12 float guard): subtrees that can
+   merely *tie* are explored, so the lexicographic tie-break of
+   [improves] sees every tying assignment and stays deterministic.
+   Returns the number of visited search nodes. *)
+let bnb { levels; l; n; psi_of_level; columns; _ } ~t_max ~digits ~temps
+    ~best_score ~offer ~start ~score0 =
+  let v_top = levels.(l - 1) in
   let visited = ref 0 in
   let bump j d_old d_new =
     let dpsi = psi_of_level.(d_new) -. psi_of_level.(d_old) in
@@ -171,21 +193,14 @@ let solve_pruned (p : Platform.t) =
   in
   (* Assign core j; cores 0..j-1 hold their digits, cores j..n-1 sit at
      level 0.  [score] is the partial voltage sum of cores 0..j-1. *)
-  let v_top = levels.(l - 1) in
   let rec assign j score =
     incr visited;
-    if hottest () > p.t_max +. 1e-9 then
+    if hottest () > t_max +. 1e-9 then
       (* Even with the rest at minimum this subtree violates: prune. *)
       ()
-    else if j = n then begin
-      let total = score in
-      if total > !best_score then begin
-        best_score := total;
-        best_digits := Some (Array.copy digits)
-      end
-    end
-    else if score +. (float_of_int (n - j) *. v_top) <= !best_score +. 1e-12 then
-      (* Bound: cannot beat the incumbent even at full speed. *)
+    else if j = n then offer score digits
+    else if score +. (float_of_int (n - j) *. v_top) < best_score () -. 1e-12 then
+      (* Bound: cannot beat or tie the incumbent even at full speed. *)
       ()
     else
       (* Try levels high-to-low so good incumbents appear early and the
@@ -201,5 +216,84 @@ let solve_pruned (p : Platform.t) =
       digits.(j) <- 0
     end
   in
-  assign 0 0.;
-  best_result p !best_digits !best_score levels !visited
+  assign start score0;
+  !visited
+
+let solve_pruned (p : Platform.t) =
+  let st = steady_setup p in
+  let digits = Array.make st.n 0 in
+  let temps = Array.copy st.base_temps in
+  let best_score = ref neg_infinity in
+  let best_digits = ref None in
+  let offer score digits =
+    if improves ~score ~digits ~best_score:!best_score ~best_digits:!best_digits
+    then begin
+      best_score := score;
+      best_digits := Some (Array.copy digits)
+    end
+  in
+  let visited =
+    bnb st ~t_max:p.t_max ~digits ~temps
+      ~best_score:(fun () -> !best_score)
+      ~offer ~start:0 ~score0:0.
+  in
+  best_result p !best_digits !best_score st.levels visited
+
+let solve_par ?pool ?(par = true) (p : Platform.t) =
+  let st = steady_setup p in
+  let pool_size =
+    match pool with
+    | Some q -> Util.Pool.size q
+    | None -> Util.Pool.size (Util.Pool.get ())
+  in
+  let space = float_of_int st.l ** float_of_int st.n in
+  (* The fan-out only pays above a minimum search-space size; tiny
+     problems (and 1-domain pools) take the sequential path outright. *)
+  if (not par) || pool_size <= 1 || st.n < 2 || space < 1024. then solve_pruned p
+  else begin
+    (* Shared incumbent: lock-free [Atomic.get] for the bound inside
+       every subtree, CAS-loop publication on improvement.  The bound is
+       admissible because an incumbent score only ever grows and pruning
+       requires being strictly below it (minus the float guard), so no
+       optimal-or-tying assignment is ever cut. *)
+    let incumbent = Atomic.make None in
+    let best_score () =
+      match Atomic.get incumbent with None -> neg_infinity | Some (s, _) -> s
+    in
+    let rec offer score digits =
+      let cur = Atomic.get incumbent in
+      let better =
+        match cur with
+        | None -> true
+        | Some (s, d) -> score > s || (score = s && lex_less digits d)
+      in
+      if
+        better
+        && not (Atomic.compare_and_set incumbent cur (Some (score, Array.copy digits)))
+      then offer score digits
+    in
+    (* One task per top-level digit of core 0, each searching its subtree
+       with task-local digits/temps.  Highest digit first, so strong
+       incumbents publish early and the score bound prunes the
+       low-frequency subtrees across all workers. *)
+    let subtree d0 =
+      let digits = Array.make st.n 0 in
+      let temps = Array.copy st.base_temps in
+      let dpsi = st.psi_of_level.(d0) -. st.psi_of_level.(0) in
+      for i = 0 to st.n - 1 do
+        temps.(i) <- temps.(i) +. (st.columns.(0).(i) *. dpsi)
+      done;
+      digits.(0) <- d0;
+      bnb st ~t_max:p.t_max ~digits ~temps ~best_score ~offer ~start:1
+        ~score0:st.levels.(d0)
+    in
+    let order = Array.init st.l (fun i -> st.l - 1 - i) in
+    let visits = Util.Pool.map_array ?pool subtree order in
+    (* +1 for the implicit root node the sequential solver counts.  The
+       total depends on how fast incumbents propagated, so it is not
+       deterministic across runs — only the result fields are. *)
+    let evaluated = Array.fold_left ( + ) 1 visits in
+    match Atomic.get incumbent with
+    | Some (score, digits) -> best_result p (Some digits) score st.levels evaluated
+    | None -> best_result p None neg_infinity st.levels evaluated
+  end

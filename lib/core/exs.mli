@@ -9,7 +9,13 @@
     map once and updates core temperatures incrementally as the
     enumeration odometer ticks (the optimization DESIGN.md's ablation
     quantifies), while {!solve_naive} re-solves [T^inf = -A^{-1}B] from
-    scratch for every combination, exactly as Algorithm 1 is written. *)
+    scratch for every combination, exactly as Algorithm 1 is written.
+
+    All solvers reduce candidates with the same deterministic total
+    order — higher total frequency wins, exact ties go to the
+    lexicographically smallest level vector — so {!solve},
+    {!solve_naive}, {!solve_pruned} and {!solve_par} return identical
+    [voltages]/[throughput]/[peak]/[feasible] on every platform. *)
 
 type result = {
   voltages : float array;  (** Best feasible assignment (lowest levels when
@@ -37,3 +43,16 @@ val solve_naive : Platform.t -> result
     Same result as {!solve}; [evaluated] counts visited search nodes,
     typically a small fraction of [levels^cores]. *)
 val solve_pruned : Platform.t -> result
+
+(** [solve_par ?pool ?par platform] is {!solve_pruned} with the
+    top-level digit subtrees of the branch-and-bound fanned out across
+    the domain pool ([pool] defaults to the shared {!Util.Pool.get}
+    pool).  The subtrees share an atomic incumbent: reads of the bound
+    are lock-free and improvements publish via a CAS loop, and pruning
+    only cuts subtrees that score strictly below the incumbent, so the
+    bound stays admissible and the returned assignment is the same
+    deterministic optimum the sequential solvers find.  Only
+    [evaluated] (visited node count) varies with scheduling.  Falls
+    back to {!solve_pruned} when [par] is [false], the pool has a
+    single participant, or the search space is tiny. *)
+val solve_par : ?pool:Util.Pool.t -> ?par:bool -> Platform.t -> result

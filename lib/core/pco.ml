@@ -12,40 +12,52 @@ let scan_peak (p : Platform.t) c =
   Sched.Peak.of_any p.model p.power ~samples_per_segment:16 (Tpt.schedule_of_config c)
 
 let solve ?base_period ?m_cap ?t_unit ?(offsets_per_core = 8) ?(rounds = 1)
-    (p : Platform.t) =
+    ?(par = true) (p : Platform.t) =
   if offsets_per_core < 1 then invalid_arg "Pco.solve: offsets_per_core < 1";
   if rounds < 1 then invalid_arg "Pco.solve: rounds < 1";
-  let ao = Ao.solve ?base_period ?m_cap ?t_unit p in
+  let ao = Ao.solve ?base_period ?m_cap ?t_unit ~par p in
   let n = Platform.n_cores p in
   let config = ref ao.Ao.config in
   (* Greedy per-core phase search: core 0 stays put (only relative phase
      matters); each following core tries a grid of shifts and keeps the
      one minimizing the dense-scan peak.  Later rounds revisit every
-     core against the others' chosen offsets. *)
+     core against the others' chosen offsets.  Each core's grid (plus
+     the incumbent at slot 0) is one independent dense scan per point,
+     evaluated across the pool; the selection fold is sequential in k
+     order, so the greedy trajectory matches the sequential solver's. *)
   let period = !config.Tpt.period in
   for _round = 1 to rounds do
   for i = 1 to n - 1 do
-    let best_offset = ref !config.Tpt.offset.(i) in
-    let best_peak = ref (scan_peak p !config) in
+    let base = !config in
+    let offset_for k = period *. float_of_int k /. float_of_int offsets_per_core in
+    let eval k =
+      if k = 0 then scan_peak p base
+      else begin
+        let candidate_offsets = Array.copy base.Tpt.offset in
+        candidate_offsets.(i) <- offset_for k;
+        scan_peak p { base with Tpt.offset = candidate_offsets }
+      end
+    in
+    let peaks =
+      if par then Util.Pool.init offsets_per_core eval
+      else Array.init offsets_per_core eval
+    in
+    let best_offset = ref base.Tpt.offset.(i) in
+    let best_peak = ref peaks.(0) in
     for k = 1 to offsets_per_core - 1 do
-      let offset = period *. float_of_int k /. float_of_int offsets_per_core in
-      let candidate_offsets = Array.copy !config.Tpt.offset in
-      candidate_offsets.(i) <- offset;
-      let candidate = { !config with Tpt.offset = candidate_offsets } in
-      let peak = scan_peak p candidate in
-      if peak < !best_peak -. 1e-12 then begin
-        best_peak := peak;
-        best_offset := offset
+      if peaks.(k) < !best_peak -. 1e-12 then begin
+        best_peak := peaks.(k);
+        best_offset := offset_for k
       end
     done;
-    let offsets = Array.copy !config.Tpt.offset in
+    let offsets = Array.copy base.Tpt.offset in
     offsets.(i) <- !best_offset;
-    config := { !config with Tpt.offset = offsets }
+    config := { base with Tpt.offset = offsets }
   done
   done;
   (* De-phasing can only have lowered the peak; convert the headroom back
      into throughput. *)
-  let filled, fill_steps = Tpt.fill_headroom p ?t_unit !config in
+  let filled, fill_steps = Tpt.fill_headroom p ?t_unit ~par !config in
   let schedule = Tpt.schedule_of_config filled in
   {
     config = filled;

@@ -26,12 +26,16 @@ type result = {
     platform] runs AO, then [rounds] (default 1) passes of the greedy
     per-core phase search with [offsets_per_core] candidate shifts per
     core (default 8), then the headroom fill.  Additional rounds let
-    early cores re-phase against the offsets later cores chose. *)
+    early cores re-phase against the offsets later cores chose.  [par]
+    (default [true]) evaluates each core's phase grid — and the
+    underlying AO run and headroom fill — on the shared {!Util.Pool};
+    selections stay sequential, so results match the sequential path. *)
 val solve :
   ?base_period:float ->
   ?m_cap:int ->
   ?t_unit:float ->
   ?offsets_per_core:int ->
   ?rounds:int ->
+  ?par:bool ->
   Platform.t ->
   result

@@ -64,7 +64,15 @@ let with_high_time c i dt =
   high_time.(i) <- Float.max 0. (Float.min c.period (high_time.(i) +. dt));
   { c with high_time }
 
-let adjust_to_constraint (p : Platform.t) ?t_unit ?(dense = false) c =
+(* Fan the per-core candidate evaluations (each a full stable-status
+   schedule evaluation) across the shared domain pool.  The reduction
+   over the returned array stays sequential and ordered, so the choice —
+   and the whole adjustment trajectory — is identical at any pool size.
+   [par:false] keeps everything on the calling domain. *)
+let eval_candidates ~par n f =
+  if par then Util.Pool.init n f else Array.init n f
+
+let adjust_to_constraint (p : Platform.t) ?t_unit ?(dense = false) ?(par = true) c =
   validate c;
   let t_unit = match t_unit with Some u -> u | None -> c.period /. 100. in
   if t_unit <= 0. then invalid_arg "Tpt.adjust_to_constraint: non-positive t_unit";
@@ -75,22 +83,28 @@ let adjust_to_constraint (p : Platform.t) ?t_unit ?(dense = false) c =
     if current_peak <= p.t_max +. 1e-9 then (c, steps)
     else begin
       let hottest = Linalg.Vec.argmax temps in
+      let candidate_temps =
+        eval_candidates ~par n (fun j ->
+            if adjustable c j t_unit then
+              Some (hot_metric p (with_high_time c j (-.t_unit))).(hottest)
+            else None)
+      in
       (* TPT index: peak reduction at the hottest core per unit of
          throughput given up on core j. *)
       let best = ref None in
       for j = 0 to n - 1 do
-        if adjustable c j t_unit then begin
-          let candidate = with_high_time c j (-.t_unit) in
-          let dt = temps.(hottest) -. (hot_metric p candidate).(hottest) in
-          let tpt = dt /. ((c.v_high.(j) -. c.v_low.(j)) *. t_unit) in
-          match !best with
-          | Some (_, _, best_tpt) when best_tpt >= tpt -> ()
-          | _ -> best := Some (j, candidate, tpt)
-        end
+        match candidate_temps.(j) with
+        | None -> ()
+        | Some candidate_temp ->
+            let dt = temps.(hottest) -. candidate_temp in
+            let tpt = dt /. ((c.v_high.(j) -. c.v_low.(j)) *. t_unit) in
+            (match !best with
+            | Some (_, best_tpt) when best_tpt >= tpt -> ()
+            | _ -> best := Some (j, tpt))
       done;
       match !best with
       | None -> (c, steps) (* nothing left to trade; caller checks peak *)
-      | Some (_, candidate, _) -> loop candidate (steps + 1)
+      | Some (j, _) -> loop (with_high_time c j (-.t_unit)) (steps + 1)
     end
   in
   loop c 0
@@ -118,37 +132,44 @@ let adjust_by_bisection (p : Platform.t) ?(tol = 1e-3) c =
     end
   end
 
-let fill_headroom (p : Platform.t) ?t_unit c =
+let fill_headroom (p : Platform.t) ?t_unit ?(par = true) c =
   validate c;
   let t_unit = match t_unit with Some u -> u | None -> c.period /. 100. in
   if t_unit <= 0. then invalid_arg "Tpt.fill_headroom: non-positive t_unit";
   let n = Array.length c.v_low in
-  let rec loop c steps =
-    if peak p c > p.t_max -. 1e-9 then (c, steps)
+  (* [base_peak] is the peak of [c], threaded through the loop: it is
+     loop-invariant across the candidate scan (each candidate evaluation
+     is a full schedule evaluation, so recomputing it per core was pure
+     waste) and the chosen candidate's peak seeds the next iteration. *)
+  let rec loop c base_peak steps =
+    if base_peak > p.t_max -. 1e-9 then (c, steps)
     else begin
+      let candidate_peaks =
+        eval_candidates ~par n (fun j ->
+            if raisable c j t_unit then Some (peak p (with_high_time c j t_unit))
+            else None)
+      in
       (* Among raisable cores, pick the largest throughput gain per degree
          of headroom consumed, among those that stay feasible. *)
       let best = ref None in
       for j = 0 to n - 1 do
-        if raisable c j t_unit then begin
-          let candidate = with_high_time c j t_unit in
-          let candidate_peak = peak p candidate in
-          if candidate_peak <= p.t_max +. 1e-9 then begin
+        match candidate_peaks.(j) with
+        | Some candidate_peak when candidate_peak <= p.t_max +. 1e-9 ->
             let gain = (c.v_high.(j) -. c.v_low.(j)) *. t_unit in
-            let cost = Float.max 1e-12 (candidate_peak -. peak p c) in
+            let cost = Float.max 1e-12 (candidate_peak -. base_peak) in
             let index = gain /. cost in
-            match !best with
+            (match !best with
             | Some (_, _, best_index) when best_index >= index -> ()
-            | _ -> best := Some (j, candidate, index)
-          end
-        end
+            | _ -> best := Some (j, candidate_peak, index))
+        | _ -> ()
       done;
       match !best with
       | None -> (c, steps)
-      | Some (_, candidate, _) -> loop candidate (steps + 1)
+      | Some (j, candidate_peak, _) ->
+          loop (with_high_time c j t_unit) candidate_peak (steps + 1)
     end
   in
-  loop c 0
+  loop c (peak p c) 0
 
 let throughput (p : Platform.t) c =
   Sched.Throughput.with_overhead ~tau:p.tau (schedule_of_config c)

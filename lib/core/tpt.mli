@@ -41,9 +41,12 @@ val peak : Platform.t -> ?dense:bool -> config -> float
     returns the adjusted config and the number of [t_unit] exchanges.
     [t_unit] defaults to [c.period / 100].  Gives up (returning the
     all-low config) if every core reaches zero high time while still
-    violating — callers should have checked {!Platform.feasible}. *)
+    violating — callers should have checked {!Platform.feasible}.
+    [par] (default [true]) fans each step's per-core candidate
+    evaluations across the shared {!Util.Pool}; the selection reduction
+    stays sequential, so the result is identical at any pool size. *)
 val adjust_to_constraint :
-  Platform.t -> ?t_unit:float -> ?dense:bool -> config -> config * int
+  Platform.t -> ?t_unit:float -> ?dense:bool -> ?par:bool -> config -> config * int
 
 (** [adjust_by_bisection platform ?tol c] is the fast alternative to the
     greedy loop: scale every core's high time by a common factor
@@ -58,8 +61,9 @@ val adjust_by_bisection : Platform.t -> ?tol:float -> config -> config * int
 (** [fill_headroom platform ?t_unit c] converts low time back to high
     time while the peak stays below [t_max], greedily choosing the core
     with the best throughput-gain-per-degree index; stops when no single
-    exchange fits.  Returns the new config and exchange count. *)
-val fill_headroom : Platform.t -> ?t_unit:float -> config -> config * int
+    exchange fits.  Returns the new config and exchange count.  [par] is
+    as in {!adjust_to_constraint}. *)
+val fill_headroom : Platform.t -> ?t_unit:float -> ?par:bool -> config -> config * int
 
 (** [throughput platform c] is the net chip-wide throughput of the
     config's schedule, charging the platform's [tau] per transition. *)

@@ -31,7 +31,7 @@ let run ?(t_max = 60.) () =
   in
   let stacked8 = Workload.Configs.platform_3d ~layers:2 ~rows:2 ~cols:2 ~levels ~t_max in
   let rows =
-    Util.Parallel.map
+    Util.Pool.map
       (fun (label, p) -> study label p)
       [
         ("2x2 planar", planar4);

@@ -78,7 +78,7 @@ let run () =
   let two_mode_peak_t4 = two_mode_peak p5 ~v_low:0.8 ~v_high:1.0 ~target:0.9 in
   (* 2c. Ambient robustness: AO across ambient temperatures. *)
   let ambient_sweep =
-    Util.Parallel.map
+    Util.Pool.map
       (fun ambient ->
         let p =
           Core.Platform.grid ~ambient ~rows:1 ~cols:3

@@ -10,7 +10,7 @@ let run ?(t_max = 55.) ?(with_pco = true) () =
       Workload.Configs.core_counts
   in
   let rows =
-    Util.Parallel.map
+    Util.Pool.map
       (fun (cores, levels) -> Exp_common.run_policies ~with_pco ~cores ~levels ~t_max ())
       configs
   in

@@ -7,7 +7,7 @@ let run ?(with_pco = true) () =
       Workload.Configs.core_counts
   in
   let rows =
-    Util.Parallel.map
+    Util.Pool.map
       (fun (cores, t_max) -> Exp_common.run_policies ~with_pco ~cores ~levels:2 ~t_max ())
       configs
   in

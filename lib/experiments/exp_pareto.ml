@@ -12,7 +12,7 @@ let thresholds = List.init 11 (fun i -> 45. +. (2.5 *. float_of_int i))
 
 let run ?(cores = 3) () =
   let points =
-    Util.Parallel.map
+    Util.Pool.map
       (fun t_max ->
         let p = Workload.Configs.platform ~cores ~levels:5 ~t_max in
         let ao = Core.Ao.solve p in

@@ -11,7 +11,7 @@ let run ?(schedules = 40) ?(seed = 5) () =
   let pm = Power.Power_model.default in
   let levels = Power.Vf.table_iv 5 in
   let points =
-    Util.Parallel.map
+    Util.Pool.map
       (fun lateral_scale ->
         let model = Thermal.Hotspot.core_level ~lateral_scale fp in
         let violations =

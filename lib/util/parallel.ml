@@ -1,32 +1,6 @@
-let default_domains () =
-  Stdlib.min 8 (Stdlib.max 1 (Domain.recommended_domain_count () - 1))
-
-type 'b slot = Pending | Done of 'b | Failed of exn
+let default_domains () = Pool.size (Pool.get ())
 
 let map ?domains f xs =
-  let n = List.length xs in
-  let workers = Stdlib.min n (match domains with Some d -> d | None -> default_domains ()) in
-  if workers <= 1 || n <= 1 then List.map f xs
-  else begin
-    let input = Array.of_list xs in
-    let output = Array.make n Pending in
-    (* Static striping: worker w takes indices w, w+workers, ... Items in
-       a sweep have comparable cost, so striping balances well enough
-       without a work-stealing queue. *)
-    let worker w () =
-      let i = ref w in
-      while !i < n do
-        (output.(!i) <- (try Done (f input.(!i)) with e -> Failed e));
-        i := !i + workers
-      done
-    in
-    let handles = List.init workers (fun w -> Domain.spawn (worker w)) in
-    List.iter Domain.join handles;
-    Array.to_list
-      (Array.map
-         (function
-           | Done y -> y
-           | Failed e -> raise e
-           | Pending -> assert false)
-         output)
-  end
+  match domains with
+  | Some d when d <= 1 -> List.map f xs
+  | _ -> Pool.map f xs

@@ -1,19 +1,15 @@
-(** Simple fork-join parallelism over OCaml 5 domains.
+(** Legacy fork-join facade over the persistent domain pool ({!Pool}).
 
-    The experiment sweeps (Figs. 6/7, the sensitivity study) evaluate
-    many independent platform configurations; this module fans them out
-    across domains.  Work items must be self-contained (each sweep point
-    builds its own thermal model), which all experiment code here
-    satisfies. *)
+    Earlier revisions spawned fresh domains per call; the implementation
+    now delegates to the shared pool, which reuses resident workers.
+    Prefer {!Pool.map} in new code. *)
 
-(** [map ?domains f xs] applies [f] to every element, distributing the
-    list across up to [domains] worker domains (default: the machine's
-    recommended domain count, capped at 8).  Order is preserved.  If any
-    application raises, the exception is re-raised in the caller after
-    all domains join (the first one in list order wins).  With
-    [domains <= 1] or a single-element list this degrades to [List.map]
-    without spawning. *)
+(** [map ?domains f xs] applies [f] to every element on the shared pool,
+    preserving order and re-raising the first exception in list order.
+    [domains] is kept for compatibility as a concurrency *hint*:
+    [domains <= 1] forces sequential [List.map]; any other value runs on
+    the shared pool at the pool's own size. *)
 val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 
-(** [default_domains ()] is the worker count {!map} would use. *)
+(** [default_domains ()] is the shared pool's participant count. *)
 val default_domains : unit -> int

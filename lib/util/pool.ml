@@ -1,0 +1,206 @@
+(* A persistent work-sharing domain pool.
+
+   Worker domains are spawned once (lazily, on the first parallel
+   submission) and reused for every subsequent job, so the policy search
+   loops can fan out hundreds of small evaluation batches without paying
+   a Domain.spawn per batch.  A job is an indexed task set [0, n); the
+   participants (the submitting domain plus the resident workers) claim
+   chunks of indices off a shared atomic counter until the range is
+   exhausted.  Task functions never raise across the domain boundary:
+   results and exceptions are captured per slot and the first exception
+   in index order is re-raised in the submitter once the job completes,
+   matching what the sequential fallback would have raised. *)
+
+(* True while the current domain is executing pool tasks.  A nested
+   submission from inside a task (e.g. an experiment sweep mapping over
+   platforms whose policy solvers themselves use the pool) must not wait
+   on the pool it is running on — that deadlocks a 1-worker pool and
+   oversubscribes any other — so [map] degrades to sequential when set. *)
+let busy_key = Domain.DLS.new_key (fun () -> false)
+
+type job = {
+  run : int -> unit;  (* captures its own exceptions; must not raise *)
+  length : int;
+  chunk : int;
+  next : int Atomic.t;  (* next unclaimed index *)
+  completed : int Atomic.t;  (* tasks finished, = length when done *)
+}
+
+type t = {
+  size : int;  (* total participants: the submitter + (size - 1) workers *)
+  lock : Mutex.t;
+  work_available : Condition.t;
+  work_done : Condition.t;
+  mutable current : (int * job) option;  (* epoch-stamped active job *)
+  mutable epoch : int;
+  mutable stopped : bool;
+  mutable spawned : bool;
+  mutable workers : unit Domain.t list;
+  submit_lock : Mutex.t;  (* serializes whole jobs from distinct domains *)
+}
+
+let size t = t.size
+
+let default_size () =
+  match Option.bind (Sys.getenv_opt "FOSC_DOMAINS") int_of_string_opt with
+  | Some d -> Stdlib.max 1 d
+  | None -> Stdlib.min 8 (Stdlib.max 1 (Domain.recommended_domain_count ()))
+
+let create ?size () =
+  let size =
+    match size with
+    | Some s -> if s < 1 then invalid_arg "Pool.create: size < 1" else s
+    | None -> default_size ()
+  in
+  {
+    size;
+    lock = Mutex.create ();
+    work_available = Condition.create ();
+    work_done = Condition.create ();
+    current = None;
+    epoch = 0;
+    stopped = false;
+    spawned = false;
+    workers = [];
+    submit_lock = Mutex.create ();
+  }
+
+(* Claim and run chunks until the job's index range is exhausted.  Both
+   workers and the submitting domain share this loop (work-sharing: the
+   submitter is participant number [size]). *)
+let participate t job =
+  let saved = Domain.DLS.get busy_key in
+  Domain.DLS.set busy_key true;
+  Fun.protect
+    ~finally:(fun () -> Domain.DLS.set busy_key saved)
+    (fun () ->
+      let rec claim () =
+        let start = Atomic.fetch_and_add job.next job.chunk in
+        if start < job.length then begin
+          let stop = Stdlib.min job.length (start + job.chunk) in
+          for i = start to stop - 1 do
+            job.run i
+          done;
+          ignore (Atomic.fetch_and_add job.completed (stop - start));
+          claim ()
+        end
+      in
+      claim ());
+  (* Whoever retires the last task wakes the submitter.  The broadcast
+     happens under the lock, so it cannot slip between the submitter's
+     completion check and its wait. *)
+  if Atomic.get job.completed = job.length then begin
+    Mutex.lock t.lock;
+    Condition.broadcast t.work_done;
+    Mutex.unlock t.lock
+  end
+
+let rec worker_loop t last_epoch =
+  Mutex.lock t.lock;
+  let rec await () =
+    if t.stopped then None
+    else
+      match t.current with
+      | Some (epoch, job) when epoch <> last_epoch -> Some (epoch, job)
+      | _ ->
+          Condition.wait t.work_available t.lock;
+          await ()
+  in
+  let next = await () in
+  Mutex.unlock t.lock;
+  match next with
+  | None -> ()
+  | Some (epoch, job) ->
+      participate t job;
+      worker_loop t epoch
+
+let ensure_workers t =
+  if not t.spawned then begin
+    t.spawned <- true;
+    t.workers <-
+      List.init (t.size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t 0))
+  end
+
+(* Run [run] for every index in [0, length) across the pool.  Called with
+   [busy_key] unset (checked by the [map] wrappers). *)
+let run_job t ~chunk ~length run =
+  if length > 0 then begin
+    let job =
+      { run; length; chunk; next = Atomic.make 0; completed = Atomic.make 0 }
+    in
+    if t.size <= 1 then participate t job
+    else begin
+      Mutex.lock t.submit_lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.submit_lock)
+        (fun () ->
+          ensure_workers t;
+          Mutex.lock t.lock;
+          t.epoch <- t.epoch + 1;
+          t.current <- Some (t.epoch, job);
+          Condition.broadcast t.work_available;
+          Mutex.unlock t.lock;
+          participate t job;
+          Mutex.lock t.lock;
+          while Atomic.get job.completed < job.length do
+            Condition.wait t.work_done t.lock
+          done;
+          (* Drop the job so its closures (and captured inputs) are
+             collectable while the pool idles. *)
+          t.current <- None;
+          Mutex.unlock t.lock)
+    end
+  end
+
+let shutdown t =
+  Mutex.lock t.submit_lock;
+  Mutex.lock t.lock;
+  t.stopped <- true;
+  Condition.broadcast t.work_available;
+  Mutex.unlock t.lock;
+  let workers = t.workers in
+  t.workers <- [];
+  List.iter Domain.join workers;
+  Mutex.unlock t.submit_lock
+
+let global =
+  lazy
+    (let t = create () in
+     (* Join the resident domains on exit so the runtime never tears down
+        under a parked worker. *)
+     at_exit (fun () -> shutdown t);
+     t)
+
+let get () = Lazy.force global
+
+type 'b slot = Pending | Done of 'b | Failed of exn
+
+let map_array ?pool ?(chunk = 1) f xs =
+  if chunk < 1 then invalid_arg "Pool.map_array: chunk < 1";
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let pool = match pool with Some p -> p | None -> get () in
+    if n = 1 || pool.size <= 1 || Domain.DLS.get busy_key then Array.map f xs
+    else begin
+      let out = Array.make n Pending in
+      run_job pool ~chunk ~length:n (fun i ->
+          out.(i) <- (try Done (f xs.(i)) with e -> Failed e));
+      Array.map
+        (function
+          | Done y -> y
+          | Failed e -> raise e
+          | Pending -> assert false)
+        out
+    end
+  end
+
+let init ?pool ?chunk n f =
+  if n < 0 then invalid_arg "Pool.init: negative length";
+  map_array ?pool ?chunk f (Array.init n (fun i -> i))
+
+let map ?pool ?chunk f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ -> Array.to_list (map_array ?pool ?chunk f (Array.of_list xs))

@@ -1,0 +1,63 @@
+(** A persistent work-sharing domain pool.
+
+    Worker domains are spawned once and reused across submissions, so
+    hot loops (the AO m sweep, TPT candidate evaluations, the EXS
+    branch-and-bound, phase grids, experiment sweeps) can fan out many
+    small batches without a [Domain.spawn] per batch.  Tasks are claimed
+    in chunks off a shared atomic counter, and the submitting domain
+    itself participates in the work, so a 1-domain pool degrades to plain
+    sequential iteration with no synchronization.
+
+    Determinism: the pool only distributes *where* each independent task
+    runs — every [map]/[init] returns results in index order, and callers
+    reduce them with the same sequential fold they would have used, so a
+    pool-backed search returns bit-identical answers at any pool size.
+
+    Nested submissions (a task that itself calls into the pool) are
+    detected via a domain-local flag and run sequentially inline: no
+    deadlock, no oversubscription.  Exceptions raised by a task are
+    captured per index and the first one in index order is re-raised in
+    the submitter after the batch completes. *)
+
+type t
+
+(** [create ?size ()] makes a pool with [size] total participants (the
+    submitting domain plus [size - 1] resident worker domains; workers
+    are spawned lazily on first use).  [size] defaults to the
+    [FOSC_DOMAINS] environment variable when set, otherwise the
+    machine's recommended domain count capped at 8.  Raises
+    [Invalid_argument] when [size < 1]. *)
+val create : ?size:int -> unit -> t
+
+(** [get ()] is the process-wide shared pool (created on first use, shut
+    down automatically at exit). *)
+val get : unit -> t
+
+(** [size pool] is the total participant count, including the
+    submitter.  [size pool = 1] means the pool never runs anything
+    concurrently. *)
+val size : t -> int
+
+(** [default_size ()] is the participant count {!create} and {!get} use
+    when none is given: [FOSC_DOMAINS] when set (clamped to >= 1), else
+    the recommended domain count capped at 8. *)
+val default_size : unit -> int
+
+(** [map ?pool ?chunk f xs] applies [f] to every element of [xs] across
+    the pool (default: the shared {!get} pool), preserving order.
+    [chunk] (default 1) is how many consecutive indices a participant
+    claims at a time; raise it for very cheap [f].  Falls back to
+    sequential [List.map] semantics for empty/singleton lists, 1-sized
+    pools, and nested submissions. *)
+val map : ?pool:t -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [map_array ?pool ?chunk f xs] is {!map} over arrays. *)
+val map_array : ?pool:t -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [init ?pool ?chunk n f] is [map_array] over indices [0 .. n - 1]. *)
+val init : ?pool:t -> ?chunk:int -> int -> (int -> 'a) -> 'a array
+
+(** [shutdown pool] joins the pool's worker domains.  Subsequent
+    submissions to a shut-down pool run sequentially on the submitter.
+    The shared {!get} pool is shut down automatically at exit. *)
+val shutdown : t -> unit

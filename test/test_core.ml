@@ -173,6 +173,42 @@ let test_exs_infeasible_platform () =
   Alcotest.(check bool) "reports infeasible" false r.Core.Exs.feasible;
   check_close 1e-12 "zero throughput" 0. r.Core.Exs.throughput
 
+let test_exs_solvers_agree () =
+  (* All four solvers reduce with the same deterministic total order
+     (score, then lexicographically smallest digits), so they must agree
+     *exactly* on voltages/throughput/feasibility — across random
+     thresholds, including infeasible ones.  The (6, 4) shape's 4^6
+     space is large enough that [solve_par] takes its parallel branch on
+     the forced 4-domain pool even on a single-core host. *)
+  let pool = Util.Pool.create ~size:4 () in
+  let rng = Random.State.make [| 2016 |] in
+  List.iter
+    (fun (cores, levels) ->
+      for trial = 1 to 3 do
+        let t_max = 40. +. Random.State.float rng 50. in
+        let p = Workload.Configs.platform ~cores ~levels ~t_max in
+        let reference = Core.Exs.solve p in
+        let tag name =
+          Printf.sprintf "%s (%d cores, %d levels, %.2fC, trial %d)" name cores
+            levels t_max trial
+        in
+        List.iter
+          (fun (name, (r : Core.Exs.result)) ->
+            Alcotest.(check bool) (tag (name ^ " feasibility"))
+              reference.Core.Exs.feasible r.Core.Exs.feasible;
+            Alcotest.(check (array (float 0.))) (tag (name ^ " voltages"))
+              reference.Core.Exs.voltages r.Core.Exs.voltages;
+            Alcotest.(check (float 0.)) (tag (name ^ " throughput"))
+              reference.Core.Exs.throughput r.Core.Exs.throughput)
+          [
+            ("naive", Core.Exs.solve_naive p);
+            ("pruned", Core.Exs.solve_pruned p);
+            ("par", Core.Exs.solve_par ~pool p);
+          ]
+      done)
+    [ (2, 2); (3, 2); (3, 3); (2, 5); (9, 2); (6, 4) ];
+  Util.Pool.shutdown pool
+
 (* ------------------------------------------------------------------ tpt *)
 
 let config_for_tests () =
@@ -349,6 +385,8 @@ let () =
           Alcotest.test_case "pruned = flat" `Quick test_exs_pruned_matches_flat;
           Alcotest.test_case "motivation pattern" `Quick test_exs_motivation_pattern;
           Alcotest.test_case "infeasible platform" `Quick test_exs_infeasible_platform;
+          Alcotest.test_case "all solvers agree (incl. parallel)" `Quick
+            test_exs_solvers_agree;
         ] );
       ( "tpt",
         [
