@@ -35,6 +35,7 @@ let reproduce_all () =
    that experiment leans on. *)
 let tests () =
   let pm = Power.Power_model.default in
+  let seq_params = { Core.Solver.default_params with Core.Solver.par = false } in
   let model3 =
     Thermal.Hotspot.core_level
       (Thermal.Floorplan.grid ~rows:1 ~cols:3 ~core_width:4e-3 ~core_height:4e-3)
@@ -85,19 +86,44 @@ let tests () =
       (Staged.stage (fun () ->
            ignore
              (Sched.Peak.of_step_up model9 pm (Sched.Oscillate.oscillate 10 sched9))));
-    (* Figs. 6/7 + Table V: the policies themselves.  The unsuffixed
-       kernels force the sequential path (comparable across revisions);
-       the -par twins run the same search on the shared domain pool. *)
-    Test.make ~name:"fig6-7/lns-9core"
-      (Staged.stage (fun () -> ignore (Core.Lns.solve p9)));
-    Test.make ~name:"fig6-7/exs-6core-4lv"
-      (Staged.stage (fun () -> ignore (Core.Exs.solve p6_4)));
-    Test.make ~name:"fig6-7/exs-6core-4lv-par"
-      (Staged.stage (fun () -> ignore (Core.Exs.solve_par p6_4)));
-    Test.make ~name:"fig6-7/ao-3core"
-      (Staged.stage (fun () -> ignore (Core.Ao.solve ~par:false p3)));
-    Test.make ~name:"fig6-7/ao-3core-par"
-      (Staged.stage (fun () -> ignore (Core.Ao.solve p3)));
+    (* Figs. 6/7 + Table V: the policies themselves, pulled from the
+       registry exactly as the experiments run them.  Each kernel gets a
+       cache-disabled context (cache_size 0) so it measures the real
+       search, not memo-table replay.  The unsuffixed kernels force the
+       sequential path (comparable across revisions); the -par twins run
+       the same search on the shared domain pool. *)
+    (let lns = Core.Registry.find_exn "lns"
+     and ev9 = Core.Eval.create ~cache_size:0 p9 in
+     Test.make ~name:"fig6-7/lns-9core"
+       (Staged.stage (fun () -> ignore (Core.Solver.run ~params:seq_params lns ev9))));
+    (let exs = Core.Registry.find_exn "exs"
+     and ev6 = Core.Eval.create ~cache_size:0 p6_4 in
+     Test.make ~name:"fig6-7/exs-6core-4lv"
+       (Staged.stage (fun () -> ignore (Core.Solver.run ~params:seq_params exs ev6))));
+    (let exs = Core.Registry.find_exn "exs"
+     and ev6 = Core.Eval.create ~cache_size:0 p6_4 in
+     Test.make ~name:"fig6-7/exs-6core-4lv-par"
+       (Staged.stage (fun () -> ignore (Core.Solver.run exs ev6))));
+    (let ao = Core.Registry.find_exn "ao"
+     and ev3 = Core.Eval.create ~cache_size:0 p3 in
+     Test.make ~name:"fig6-7/ao-3core"
+       (Staged.stage (fun () -> ignore (Core.Solver.run ~params:seq_params ao ev3))));
+    (let ao = Core.Registry.find_exn "ao"
+     and ev3 = Core.Eval.create ~cache_size:0 p3 in
+     Test.make ~name:"fig6-7/ao-3core-par"
+       (Staged.stage (fun () -> ignore (Core.Solver.run ao ev3))));
+    (* Eval-cache payoff: the full comparison sweep with a fresh context
+       every run (cold) vs one shared context whose memo tables persist
+       across runs (warm).  The gap is the memoization win. *)
+    Test.make ~name:"ext/eval-cache-cold-3core"
+      (Staged.stage (fun () ->
+           ignore (Experiments.Exp_common.run_policies ~cores:3 ~levels:3 ~t_max:65. ())));
+    (let warm = Core.Eval.create (Workload.Configs.platform ~cores:3 ~levels:3 ~t_max:65.) in
+     Test.make ~name:"ext/eval-cache-warm-3core"
+       (Staged.stage (fun () ->
+            ignore
+              (Experiments.Exp_common.run_policies ~eval:warm ~cores:3 ~levels:3
+                 ~t_max:65. ()))));
     (* Numeric kernels under everything above. *)
     Test.make ~name:"kernel/propagator-9x9"
       (Staged.stage (fun () -> ignore (Thermal.Model.propagator model9 0.01)));
@@ -124,14 +150,26 @@ let tests () =
      Test.make ~name:"ext/peak-refined-3core"
        (Staged.stage (fun () ->
             ignore (Thermal.Matex.peak_refined model3 ~samples_per_segment:16 profile3))));
-    (let p3d = Workload.Configs.platform ~cores:3 ~levels:5 ~t_max:60. in
+    (let demand = Core.Registry.find_exn "demand"
+     and ev =
+       Core.Eval.create ~cache_size:0
+         (Workload.Configs.platform ~cores:3 ~levels:5 ~t_max:60.)
+     and demands = Some [| 1.0; 0.9; 0.8 |] in
      Test.make ~name:"ext/demand-3core"
        (Staged.stage (fun () ->
-            ignore (Core.Demand.solve ~par:false p3d ~demands:[| 1.0; 0.9; 0.8 |]))));
-    (let p3d = Workload.Configs.platform ~cores:3 ~levels:5 ~t_max:60. in
+            ignore
+              (Core.Solver.run
+                 ~params:{ Core.Solver.par = false; demands }
+                 demand ev))));
+    (let demand = Core.Registry.find_exn "demand"
+     and ev =
+       Core.Eval.create ~cache_size:0
+         (Workload.Configs.platform ~cores:3 ~levels:5 ~t_max:60.)
+     and demands = Some [| 1.0; 0.9; 0.8 |] in
      Test.make ~name:"ext/demand-3core-par"
        (Staged.stage (fun () ->
-            ignore (Core.Demand.solve p3d ~demands:[| 1.0; 0.9; 0.8 |]))));
+            ignore
+              (Core.Solver.run ~params:{ Core.Solver.par = true; demands } demand ev))));
     (* Fixed cost of one pool round-trip over trivial work: the
        cross-over point below which a sweep should stay sequential. *)
     (let xs = Array.init 64 (fun i -> i) in

@@ -1,84 +1,48 @@
 (* fosc-experiments: regenerate any table or figure of the paper from the
-   command line, optionally dumping CSV series next to the printed rows.
+   command line, optionally dumping CSV series / SVG figures next to the
+   printed rows.
 
      fosc-experiments motivation
      fosc-experiments fig3 --step 0.3 --csv-dir out/
-     fosc-experiments all *)
+     fosc-experiments policies --list
+     fosc-experiments policies --run ao --cores 3 --levels 5
+     fosc-experiments all
+
+   Every experiment registers one { name; doc; run } record below; the
+   Cmdliner plumbing (shared flags, CSV/SVG directory handling, the
+   [all] aggregate) is generated from that list, so adding an experiment
+   is one entry here rather than a hand-rolled subcommand. *)
 
 open Cmdliner
 
-let svg_dir_arg =
-  let doc = "Also render the experiment's figure as SVG into $(docv)." in
-  Arg.(value & opt (some string) None & info [ "svg-dir" ] ~docv:"DIR" ~doc)
+(* ------------------------------------------------- shared context/flags *)
 
-let csv_dir_arg =
-  let doc = "Also write the experiment's data series as CSV files into $(docv)." in
-  Arg.(value & opt (some string) None & info [ "csv-dir" ] ~docv:"DIR" ~doc)
+(* Every experiment receives the full flag set and reads what it needs;
+   unused flags are simply ignored, which keeps the driver uniform. *)
+type ctx = {
+  step : float;  (** Fig. 3 phase-grid resolution, seconds. *)
+  seed : int;  (** Random seed for generated schedules (figs. 4/5). *)
+  m_max : int;  (** Largest oscillation count for the Fig. 5 sweep. *)
+  t_max : float;  (** Temperature threshold for the Fig. 6 sweep. *)
+  csv_dir : string option;
+  svg_dir : string option;
+}
 
-let ensure_dir = function
-  | None -> None
-  | Some dir ->
-      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-      Some dir
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  dir
 
-let in_dir dir file = Filename.concat dir file
-
-let run_motivation csv_dir =
-  ignore (ensure_dir csv_dir);
-  Experiments.Exp_motivation.print (Experiments.Exp_motivation.run ())
-
-let run_fig2 csv_dir =
-  ignore (ensure_dir csv_dir);
-  Experiments.Exp_fig2.print (Experiments.Exp_fig2.run ())
-
-let run_fig3 step csv_dir svg_dir =
-  let r = Experiments.Exp_fig3.run ~step () in
-  Experiments.Exp_fig3.print r;
-  (match ensure_dir csv_dir with
-  | Some dir -> Experiments.Exp_fig3.to_csv (in_dir dir "fig3_peak_surface.csv") r
-  | None -> ());
-  match ensure_dir svg_dir with
-  | Some dir ->
-      let svg =
-        Util.Svg_plot.heatmap ~title:"Fig. 3: peak temperature vs phase offsets"
-          ~x_label:"x2 (s)" ~y_label:"x3 (s)" r.Experiments.Exp_fig3.peaks
-      in
-      Util.Svg_plot.write (in_dir dir "fig3.svg") svg
+(* [csv ctx file write] / [svg ctx file render]: run the dump only when
+   the matching --csv-dir/--svg-dir flag was given, creating the
+   directory on first use — the boilerplate every experiment shared. *)
+let csv ctx file write =
+  match ctx.csv_dir with
+  | Some dir -> write (Filename.concat (ensure_dir dir) file)
   | None -> ()
 
-let run_fig4 seed csv_dir =
-  let r = Experiments.Exp_fig4.run ~seed () in
-  Experiments.Exp_fig4.print r;
-  match ensure_dir csv_dir with
-  | Some dir ->
-      Experiments.Exp_fig4.to_csv
-        ~warmup_path:(in_dir dir "fig4_warmup.csv")
-        ~stable_path:(in_dir dir "fig4_stable.csv")
-        r
-  | None -> ()
-
-let run_fig5 seed m_max csv_dir svg_dir =
-  let r = Experiments.Exp_fig5.run ~seed ~m_max () in
-  Experiments.Exp_fig5.print r;
-  (match ensure_dir csv_dir with
-  | Some dir -> Experiments.Exp_fig5.to_csv (in_dir dir "fig5_peak_vs_m.csv") r
-  | None -> ());
-  match ensure_dir svg_dir with
-  | Some dir ->
-      let svg =
-        Util.Svg_plot.line_chart ~title:"Fig. 5: peak temperature vs m (9 cores)"
-          ~x_label:"m" ~y_label:"peak temperature (C)"
-          [
-            {
-              Util.Svg_plot.label = "peak";
-              points =
-                List.map
-                  (fun (m, p) -> (float_of_int m, p))
-                  r.Experiments.Exp_fig5.series;
-            };
-          ]
-      in
-      Util.Svg_plot.write (in_dir dir "fig5.svg") svg
+let svg ctx file render =
+  match ctx.svg_dir with
+  | Some dir -> Util.Svg_plot.write (Filename.concat (ensure_dir dir) file) (render ())
   | None -> ()
 
 let policy_series rows ~x_of =
@@ -95,202 +59,321 @@ let policy_series rows ~x_of =
     series "PCO" (fun (r : Experiments.Exp_common.policy_row) -> r.pco);
   ]
 
-let run_fig6 t_max csv_dir svg_dir =
-  let r = Experiments.Exp_fig6.run ~t_max () in
-  Experiments.Exp_fig6.print r;
-  (match ensure_dir csv_dir with
-  | Some dir -> Experiments.Exp_fig6.to_csv (in_dir dir "fig6_throughput.csv") r
+(* Fig. 6/7 share the one-SVG-panel-per-core-count rendering. *)
+let per_core_panels ctx ~file_prefix ~title ~x_label ~x_of rows =
+  List.iter
+    (fun cores ->
+      let panel =
+        List.filter
+          (fun (row : Experiments.Exp_common.policy_row) -> row.cores = cores)
+          rows
+      in
+      svg ctx
+        (Printf.sprintf "%s_%dcores.svg" file_prefix cores)
+        (fun () ->
+          Util.Svg_plot.line_chart ~title:(title cores) ~x_label
+            ~y_label:"throughput" (policy_series panel ~x_of)))
+    Workload.Configs.core_counts
+
+(* --------------------------------------------------- experiment registry *)
+
+type experiment = { name : string; doc : string; run : ctx -> unit }
+
+let experiments =
+  [
+    {
+      name = "motivation";
+      doc = "Section III example, Tables II/III";
+      run = (fun _ -> Experiments.Exp_motivation.print (Experiments.Exp_motivation.run ()));
+    };
+    {
+      name = "fig2";
+      doc = "Fig. 2: single-core oscillation counterexample";
+      run = (fun _ -> Experiments.Exp_fig2.print (Experiments.Exp_fig2.run ()));
+    };
+    {
+      name = "fig3";
+      doc = "Fig. 3: step-up bound over phase-shifted schedules";
+      run =
+        (fun ctx ->
+          let r = Experiments.Exp_fig3.run ~step:ctx.step () in
+          Experiments.Exp_fig3.print r;
+          csv ctx "fig3_peak_surface.csv" (fun path -> Experiments.Exp_fig3.to_csv path r);
+          svg ctx "fig3.svg" (fun () ->
+              Util.Svg_plot.heatmap ~title:"Fig. 3: peak temperature vs phase offsets"
+                ~x_label:"x2 (s)" ~y_label:"x3 (s)" r.Experiments.Exp_fig3.peaks));
+    };
+    {
+      name = "fig4";
+      doc = "Fig. 4: 6-core step-up temperature trace";
+      run =
+        (fun ctx ->
+          let r = Experiments.Exp_fig4.run ~seed:ctx.seed () in
+          Experiments.Exp_fig4.print r;
+          match ctx.csv_dir with
+          | Some dir ->
+              let dir = ensure_dir dir in
+              Experiments.Exp_fig4.to_csv
+                ~warmup_path:(Filename.concat dir "fig4_warmup.csv")
+                ~stable_path:(Filename.concat dir "fig4_stable.csv")
+                r
+          | None -> ());
+    };
+    {
+      name = "fig5";
+      doc = "Fig. 5: 9-core peak vs oscillation count";
+      run =
+        (fun ctx ->
+          let r = Experiments.Exp_fig5.run ~seed:ctx.seed ~m_max:ctx.m_max () in
+          Experiments.Exp_fig5.print r;
+          csv ctx "fig5_peak_vs_m.csv" (fun path -> Experiments.Exp_fig5.to_csv path r);
+          svg ctx "fig5.svg" (fun () ->
+              Util.Svg_plot.line_chart
+                ~title:"Fig. 5: peak temperature vs m (9 cores)" ~x_label:"m"
+                ~y_label:"peak temperature (C)"
+                [
+                  {
+                    Util.Svg_plot.label = "peak";
+                    points =
+                      List.map
+                        (fun (m, p) -> (float_of_int m, p))
+                        r.Experiments.Exp_fig5.series;
+                  };
+                ]));
+    };
+    {
+      name = "fig6";
+      doc = "Fig. 6: throughput across cores x levels";
+      run =
+        (fun ctx ->
+          let r = Experiments.Exp_fig6.run ~t_max:ctx.t_max () in
+          Experiments.Exp_fig6.print r;
+          csv ctx "fig6_throughput.csv" (fun path -> Experiments.Exp_fig6.to_csv path r);
+          per_core_panels ctx ~file_prefix:"fig6"
+            ~title:(Printf.sprintf "Fig. 6: throughput vs levels (%d cores)")
+            ~x_label:"voltage levels"
+            ~x_of:(fun row -> float_of_int row.levels)
+            r.Experiments.Exp_fig6.rows);
+    };
+    {
+      name = "fig7";
+      doc = "Fig. 7: throughput vs temperature threshold";
+      run =
+        (fun ctx ->
+          let r = Experiments.Exp_fig7.run () in
+          Experiments.Exp_fig7.print r;
+          csv ctx "fig7_throughput_vs_tmax.csv" (fun path ->
+              Experiments.Exp_fig7.to_csv path r);
+          per_core_panels ctx ~file_prefix:"fig7"
+            ~title:(Printf.sprintf "Fig. 7: throughput vs T_max (%d cores)")
+            ~x_label:"T_max (C)"
+            ~x_of:(fun row -> row.t_max)
+            r.Experiments.Exp_fig7.rows);
+    };
+    {
+      name = "table5";
+      doc = "Table V: computation-time comparison";
+      run =
+        (fun ctx ->
+          let r = Experiments.Exp_table5.run () in
+          Experiments.Exp_table5.print r;
+          csv ctx "table5_times.csv" (fun path -> Experiments.Exp_table5.to_csv path r));
+    };
+    {
+      name = "ablations";
+      doc = "Design-choice ablations (DESIGN.md)";
+      run = (fun _ -> Experiments.Exp_ablations.print (Experiments.Exp_ablations.run ()));
+    };
+    {
+      name = "sensitivity";
+      doc = "Theorem-1 exceedance vs coupling strength";
+      run =
+        (fun ctx ->
+          let r = Experiments.Exp_sensitivity.run () in
+          Experiments.Exp_sensitivity.print r;
+          csv ctx "sensitivity_theorem1.csv" (fun path ->
+              Experiments.Exp_sensitivity.to_csv path r));
+    };
+    {
+      name = "tasks";
+      doc = "Task-level thermal capacity by partitioning strategy";
+      run =
+        (fun ctx ->
+          let r = Experiments.Exp_tasks.run () in
+          Experiments.Exp_tasks.print r;
+          csv ctx "tasks_capacity.csv" (fun path -> Experiments.Exp_tasks.to_csv path r));
+    };
+    {
+      name = "pareto";
+      doc = "Throughput/energy frontier under AO";
+      run =
+        (fun ctx ->
+          let r = Experiments.Exp_pareto.run () in
+          Experiments.Exp_pareto.print r;
+          csv ctx "pareto_frontier.csv" (fun path -> Experiments.Exp_pareto.to_csv path r);
+          svg ctx "pareto.svg" (fun () -> Experiments.Exp_pareto.to_svg r));
+    };
+    {
+      name = "stacking3d";
+      doc = "Planar vs 3D-stacked platform comparison";
+      run =
+        (fun ctx ->
+          let r = Experiments.Exp_3d.run () in
+          Experiments.Exp_3d.print r;
+          csv ctx "stacking3d.csv" (fun path -> Experiments.Exp_3d.to_csv path r));
+    };
+  ]
+
+(* -------------------------------------------------- policies subcommand *)
+
+let print_policy_list ~markdown =
+  if markdown then begin
+    print_endline "| policy | set | description |";
+    print_endline "|--------|-----|-------------|";
+    List.iter
+      (fun (p : Core.Solver.t) ->
+        Printf.printf "| `%s` | %s | %s |\n" p.Core.Solver.name
+          (if p.Core.Solver.comparison then "comparison" else "extension")
+          p.Core.Solver.doc)
+      Core.Registry.all
+  end
+  else begin
+    let t = Util.Table.create [ "policy"; "set"; "description" ] in
+    List.iter
+      (fun (p : Core.Solver.t) ->
+        Util.Table.add_row t
+          [
+            p.Core.Solver.name;
+            (if p.Core.Solver.comparison then "comparison" else "extension");
+            p.Core.Solver.doc;
+          ])
+      Core.Registry.all;
+    Util.Table.print t
+  end
+
+let run_one_policy ~name ~cores ~levels ~t_max ~seq =
+  let policy = Core.Registry.find_exn name in
+  let ev = Core.Eval.create (Workload.Configs.platform ~cores ~levels ~t_max) in
+  let params = { Core.Solver.default_params with Core.Solver.par = not seq } in
+  let o = Core.Solver.run ~params policy ev in
+  Printf.printf "%s — %s\n" policy.Core.Solver.name policy.Core.Solver.doc;
+  Printf.printf "platform: %d cores, %d levels, T_max %.1f C\n\n" cores levels t_max;
+  Printf.printf "throughput   %.4f\n" o.Core.Solver.throughput;
+  Printf.printf "peak         %.2f C\n" o.Core.Solver.peak;
+  Printf.printf "wall time    %.4f s\n" o.Core.Solver.wall_time;
+  Printf.printf "evaluations  %d\n" o.Core.Solver.evaluations;
+  Printf.printf "speeds       [%s]\n"
+    (String.concat "; "
+       (Array.to_list (Array.map (Printf.sprintf "%.4f") o.Core.Solver.voltages)));
+  (match o.Core.Solver.schedule with
+  | Some s -> Format.printf "schedule:@\n%a@?" Sched.Schedule.pp s
   | None -> ());
-  match ensure_dir svg_dir with
-  | Some dir ->
-      (* One panel per core count, throughput vs level count. *)
-      List.iter
-        (fun cores ->
-          let rows =
-            List.filter
-              (fun (row : Experiments.Exp_common.policy_row) -> row.cores = cores)
-              r.Experiments.Exp_fig6.rows
-          in
-          let svg =
-            Util.Svg_plot.line_chart
-              ~title:(Printf.sprintf "Fig. 6: throughput vs levels (%d cores)" cores)
-              ~x_label:"voltage levels" ~y_label:"throughput"
-              (policy_series rows ~x_of:(fun row -> float_of_int row.levels))
-          in
-          Util.Svg_plot.write (in_dir dir (Printf.sprintf "fig6_%dcores.svg" cores)) svg)
-        Workload.Configs.core_counts
-  | None -> ()
+  let stats = Core.Eval.stats ev in
+  Printf.printf
+    "eval cache   %.0f%% hit rate (steady %d/%d, step-up %d/%d hits/lookups)\n"
+    (100. *. Core.Eval.hit_rate ev)
+    stats.Core.Eval.steady.Sched.Peak.Cache.hits
+    (stats.Core.Eval.steady.Sched.Peak.Cache.hits
+    + stats.Core.Eval.steady.Sched.Peak.Cache.misses)
+    stats.Core.Eval.stepup.Sched.Peak.Cache.hits
+    (stats.Core.Eval.stepup.Sched.Peak.Cache.hits
+    + stats.Core.Eval.stepup.Sched.Peak.Cache.misses)
 
-let run_fig7 csv_dir svg_dir =
-  let r = Experiments.Exp_fig7.run () in
-  Experiments.Exp_fig7.print r;
-  (match ensure_dir csv_dir with
-  | Some dir -> Experiments.Exp_fig7.to_csv (in_dir dir "fig7_throughput_vs_tmax.csv") r
-  | None -> ());
-  match ensure_dir svg_dir with
-  | Some dir ->
-      List.iter
-        (fun cores ->
-          let rows =
-            List.filter
-              (fun (row : Experiments.Exp_common.policy_row) -> row.cores = cores)
-              r.Experiments.Exp_fig7.rows
-          in
-          let svg =
-            Util.Svg_plot.line_chart
-              ~title:(Printf.sprintf "Fig. 7: throughput vs T_max (%d cores)" cores)
-              ~x_label:"T_max (C)" ~y_label:"throughput"
-              (policy_series rows ~x_of:(fun row -> row.t_max))
-          in
-          Util.Svg_plot.write (in_dir dir (Printf.sprintf "fig7_%dcores.svg" cores)) svg)
-        Workload.Configs.core_counts
-  | None -> ()
+let policies_cmd =
+  let list_flag =
+    Arg.(value & flag & info [ "list" ] ~doc:"List the registered policies.")
+  in
+  let markdown_flag =
+    Arg.(
+      value & flag
+      & info [ "markdown" ] ~doc:"With $(b,--list), print a Markdown table.")
+  in
+  let run_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "run" ] ~docv:"NAME" ~doc:"Run one registered policy by name.")
+  in
+  let cores_arg =
+    Arg.(value & opt int 3 & info [ "cores" ] ~docv:"N" ~doc:"Core count (2, 3, 6 or 9).")
+  in
+  let levels_arg =
+    Arg.(value & opt int 5 & info [ "levels" ] ~docv:"L" ~doc:"Voltage levels (2..5).")
+  in
+  let t_max_arg =
+    Arg.(
+      value & opt float 65. & info [ "t-max" ] ~docv:"CELSIUS" ~doc:"Peak threshold.")
+  in
+  let seq_flag =
+    Arg.(
+      value & flag
+      & info [ "seq" ] ~doc:"Run the policy's search sequentially (par = false).")
+  in
+  let run list markdown run_name cores levels t_max seq =
+    match run_name with
+    | Some name -> run_one_policy ~name ~cores ~levels ~t_max ~seq
+    | None ->
+        ignore list;
+        print_policy_list ~markdown
+  in
+  Cmd.v
+    (Cmd.info "policies"
+       ~doc:"List the solver registry or run one policy on a standard platform")
+    Term.(
+      const run $ list_flag $ markdown_flag $ run_arg $ cores_arg $ levels_arg
+      $ t_max_arg $ seq_flag)
 
-let run_table5 csv_dir =
-  let r = Experiments.Exp_table5.run () in
-  Experiments.Exp_table5.print r;
-  match ensure_dir csv_dir with
-  | Some dir -> Experiments.Exp_table5.to_csv (in_dir dir "table5_times.csv") r
-  | None -> ()
+(* ------------------------------------------------------------ Cmdliner *)
 
-let run_ablations csv_dir =
-  ignore (ensure_dir csv_dir);
-  Experiments.Exp_ablations.print (Experiments.Exp_ablations.run ())
-
-let run_sensitivity csv_dir =
-  let r = Experiments.Exp_sensitivity.run () in
-  Experiments.Exp_sensitivity.print r;
-  match ensure_dir csv_dir with
-  | Some dir -> Experiments.Exp_sensitivity.to_csv (in_dir dir "sensitivity_theorem1.csv") r
-  | None -> ()
-
-let run_tasks csv_dir =
-  let r = Experiments.Exp_tasks.run () in
-  Experiments.Exp_tasks.print r;
-  match ensure_dir csv_dir with
-  | Some dir -> Experiments.Exp_tasks.to_csv (in_dir dir "tasks_capacity.csv") r
-  | None -> ()
-
-let run_pareto csv_dir svg_dir =
-  let r = Experiments.Exp_pareto.run () in
-  Experiments.Exp_pareto.print r;
-  (match ensure_dir csv_dir with
-  | Some dir -> Experiments.Exp_pareto.to_csv (in_dir dir "pareto_frontier.csv") r
-  | None -> ());
-  match ensure_dir svg_dir with
-  | Some dir -> Util.Svg_plot.write (in_dir dir "pareto.svg") (Experiments.Exp_pareto.to_svg r)
-  | None -> ()
-
-let run_3d csv_dir =
-  let r = Experiments.Exp_3d.run () in
-  Experiments.Exp_3d.print r;
-  match ensure_dir csv_dir with
-  | Some dir -> Experiments.Exp_3d.to_csv (in_dir dir "stacking3d.csv") r
-  | None -> ()
-
-let run_everything step seed m_max t_max csv_dir svg_dir =
-  run_motivation csv_dir;
-  run_fig2 csv_dir;
-  run_fig3 step csv_dir svg_dir;
-  run_fig4 seed csv_dir;
-  run_fig5 seed m_max csv_dir svg_dir;
-  run_fig6 t_max csv_dir svg_dir;
-  run_fig7 csv_dir svg_dir;
-  run_table5 csv_dir;
-  run_ablations csv_dir;
-  run_sensitivity csv_dir;
-  run_tasks csv_dir;
-  run_pareto csv_dir svg_dir;
-  run_3d csv_dir
-
-let step_arg =
-  let doc = "Sweep resolution in seconds for the Fig. 3 phase grid." in
-  Arg.(value & opt float 0.6 & info [ "step" ] ~docv:"SECONDS" ~doc)
-
-let seed_arg =
-  let doc = "Random seed for the generated schedules." in
-  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
-
-let m_max_arg =
-  let doc = "Largest oscillation count for the Fig. 5 sweep." in
-  Arg.(value & opt int 50 & info [ "m-max" ] ~docv:"M" ~doc)
-
-let t_max_arg =
-  let doc = "Peak-temperature threshold (degrees C) for the Fig. 6 sweep." in
-  Arg.(value & opt float 55. & info [ "t-max" ] ~docv:"CELSIUS" ~doc)
+let ctx_term =
+  let step =
+    Arg.(
+      value & opt float 0.6
+      & info [ "step" ] ~docv:"SECONDS" ~doc:"Sweep resolution for the Fig. 3 phase grid.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed for the generated schedules.")
+  in
+  let m_max =
+    Arg.(
+      value & opt int 50
+      & info [ "m-max" ] ~docv:"M" ~doc:"Largest oscillation count for the Fig. 5 sweep.")
+  in
+  let t_max =
+    Arg.(
+      value & opt float 55.
+      & info [ "t-max" ] ~docv:"CELSIUS"
+          ~doc:"Peak-temperature threshold (degrees C) for the Fig. 6 sweep.")
+  in
+  let csv_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv-dir" ] ~docv:"DIR"
+          ~doc:"Also write the experiment's data series as CSV files into $(docv).")
+  in
+  let svg_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "svg-dir" ] ~docv:"DIR"
+          ~doc:"Also render the experiment's figure as SVG into $(docv).")
+  in
+  let make step seed m_max t_max csv_dir svg_dir =
+    { step; seed; m_max; t_max; csv_dir; svg_dir }
+  in
+  Term.(const make $ step $ seed $ m_max $ t_max $ csv_dir $ svg_dir)
 
 let () =
-  let motivation =
-    Cmd.v
-      (Cmd.info "motivation" ~doc:"Section III example, Tables II/III")
-      Term.(const run_motivation $ csv_dir_arg)
-  in
-  let fig2 =
-    Cmd.v
-      (Cmd.info "fig2" ~doc:"Fig. 2: single-core oscillation counterexample")
-      Term.(const run_fig2 $ csv_dir_arg)
-  in
-  let fig3 =
-    Cmd.v
-      (Cmd.info "fig3" ~doc:"Fig. 3: step-up bound over phase-shifted schedules")
-      Term.(const run_fig3 $ step_arg $ csv_dir_arg $ svg_dir_arg)
-  in
-  let fig4 =
-    Cmd.v
-      (Cmd.info "fig4" ~doc:"Fig. 4: 6-core step-up temperature trace")
-      Term.(const run_fig4 $ seed_arg $ csv_dir_arg)
-  in
-  let fig5 =
-    Cmd.v
-      (Cmd.info "fig5" ~doc:"Fig. 5: 9-core peak vs oscillation count")
-      Term.(const run_fig5 $ seed_arg $ m_max_arg $ csv_dir_arg $ svg_dir_arg)
-  in
-  let fig6 =
-    Cmd.v
-      (Cmd.info "fig6" ~doc:"Fig. 6: throughput across cores x levels")
-      Term.(const run_fig6 $ t_max_arg $ csv_dir_arg $ svg_dir_arg)
-  in
-  let fig7 =
-    Cmd.v
-      (Cmd.info "fig7" ~doc:"Fig. 7: throughput vs temperature threshold")
-      Term.(const run_fig7 $ csv_dir_arg $ svg_dir_arg)
-  in
-  let table5 =
-    Cmd.v
-      (Cmd.info "table5" ~doc:"Table V: computation-time comparison")
-      Term.(const run_table5 $ csv_dir_arg)
-  in
-  let ablations =
-    Cmd.v
-      (Cmd.info "ablations" ~doc:"Design-choice ablations (DESIGN.md)")
-      Term.(const run_ablations $ csv_dir_arg)
-  in
-  let sensitivity =
-    Cmd.v
-      (Cmd.info "sensitivity" ~doc:"Theorem-1 exceedance vs coupling strength")
-      Term.(const run_sensitivity $ csv_dir_arg)
-  in
-  let tasks =
-    Cmd.v
-      (Cmd.info "tasks" ~doc:"Task-level thermal capacity by partitioning strategy")
-      Term.(const run_tasks $ csv_dir_arg)
-  in
-  let pareto =
-    Cmd.v
-      (Cmd.info "pareto" ~doc:"Throughput/energy frontier under AO")
-      Term.(const run_pareto $ csv_dir_arg $ svg_dir_arg)
-  in
-  let stacking3d =
-    Cmd.v
-      (Cmd.info "stacking3d" ~doc:"Planar vs 3D-stacked platform comparison")
-      Term.(const run_3d $ csv_dir_arg)
+  let cmd_of_experiment e =
+    Cmd.v (Cmd.info e.name ~doc:e.doc) Term.(const e.run $ ctx_term)
   in
   let all =
     Cmd.v
       (Cmd.info "all" ~doc:"Every experiment in paper order")
-      Term.(
-        const run_everything $ step_arg $ seed_arg $ m_max_arg $ t_max_arg
-        $ csv_dir_arg $ svg_dir_arg)
+      Term.(const (fun ctx -> List.iter (fun e -> e.run ctx) experiments) $ ctx_term)
   in
   let info =
     Cmd.info "fosc-experiments" ~version:"1.0.0"
@@ -302,4 +385,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ motivation; fig2; fig3; fig4; fig5; fig6; fig7; table5; ablations; sensitivity; tasks; pareto; stacking3d; all ]))
+          (List.map cmd_of_experiment experiments @ [ policies_cmd; all ])))

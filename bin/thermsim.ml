@@ -39,12 +39,22 @@ let write_csv csv model trace =
               (Linalg.Vec.max s.Thermal.Trace.core_temps))
         trace
 
-let model_of ~layered fp =
-  if layered then Thermal.Hotspot.layered fp else Thermal.Hotspot.core_level fp
+(* The one place a floorplan becomes a compact model: every subcommand
+   goes through here, so --export-dir applies uniformly. *)
+let model_of ?export_dir ~layered fp =
+  let model =
+    if layered then Thermal.Hotspot.layered fp else Thermal.Hotspot.core_level fp
+  in
+  (match export_dir with
+  | Some dir ->
+      let paths = Thermal.Export.write_model ~dir ~prefix:"model" model in
+      Printf.printf "model matrices exported: %s\n" (String.concat ", " paths)
+  | None -> ());
+  model
 
-let run_replay ~flp ~ptrace ~interval ~layered ~csv =
+let run_replay ?export_dir ~flp ~ptrace ~interval ~layered ~csv () =
   let fp = Thermal.Flp.of_file flp in
-  let model = model_of ~layered fp in
+  let model = model_of ?export_dir ~layered fp in
   let trace_in = Thermal.Ptrace.of_file ptrace in
   let names = Array.map (fun b -> b.Thermal.Floorplan.name) fp.Thermal.Floorplan.blocks in
   let column_map = Thermal.Ptrace.columns_for_model trace_in names in
@@ -83,8 +93,8 @@ let run_two_mode ~model ~layered ~v_low ~v_high ~high_ratio ~period ~periods ~cs
   | None -> ());
   write_csv csv model trace
 
-let run_synthetic ~fp ~layered ~duration ~interval ~seed ~csv =
-  let model = model_of ~layered fp in
+let run_synthetic ?export_dir ~fp ~layered ~duration ~interval ~seed ~csv () =
+  let model = model_of ?export_dir ~layered fp in
   let names = Array.map (fun b -> b.Thermal.Floorplan.name) fp.Thermal.Floorplan.blocks in
   let rng = Random.State.make [| seed |] in
   let trace_in =
@@ -104,18 +114,6 @@ let run_synthetic ~fp ~layered ~duration ~interval ~seed ~csv =
 
 let run rows cols layered v_low v_high high_ratio period periods csv flp ptrace
     interval synthetic seed gantt export_dir =
-  let maybe_export model =
-    match export_dir with
-    | Some dir ->
-        let paths = Thermal.Export.write_model ~dir ~prefix:"model" model in
-        Printf.printf "model matrices exported: %s\n" (String.concat ", " paths)
-    | None -> ()
-  in
-  let model_of ~layered fp =
-    let m = model_of ~layered fp in
-    maybe_export m;
-    m
-  in
   match (flp, ptrace, synthetic) with
   | _, Some _, Some _ ->
       prerr_endline "fosc-thermsim: --ptrace and --synthetic are exclusive";
@@ -126,22 +124,23 @@ let run rows cols layered v_low v_high high_ratio period periods csv flp ptrace
         | Some path -> Thermal.Flp.of_file path
         | None -> Thermal.Floorplan.grid ~rows ~cols ~core_width:4e-3 ~core_height:4e-3
       in
-      run_synthetic ~fp ~layered ~duration ~interval ~seed ~csv
+      run_synthetic ?export_dir ~fp ~layered ~duration ~interval ~seed ~csv ()
   | flp, ptrace, None ->
   match (flp, ptrace) with
-  | Some flp, Some ptrace -> run_replay ~flp ~ptrace ~interval ~layered ~csv
+  | Some flp, Some ptrace ->
+      run_replay ?export_dir ~flp ~ptrace ~interval ~layered ~csv ()
   | Some flp, None ->
       let fp = Thermal.Flp.of_file flp in
-      run_two_mode ~model:(model_of ~layered fp) ~layered ~v_low ~v_high ~high_ratio
-        ~period ~periods ~csv ~gantt ~banner:(fun () ->
+      run_two_mode ~model:(model_of ?export_dir ~layered fp) ~layered ~v_low ~v_high
+        ~high_ratio ~period ~periods ~csv ~gantt ~banner:(fun () ->
           Printf.printf "floorplan: %s (%d blocks)\n" flp (Thermal.Floorplan.n_blocks fp))
   | None, Some _ ->
       prerr_endline "fosc-thermsim: --ptrace requires --flp";
       exit 2
   | None, None ->
       let fp = Thermal.Floorplan.grid ~rows ~cols ~core_width:4e-3 ~core_height:4e-3 in
-      run_two_mode ~model:(model_of ~layered fp) ~layered ~v_low ~v_high ~high_ratio
-        ~period ~periods ~csv ~gantt ~banner:(fun () ->
+      run_two_mode ~model:(model_of ?export_dir ~layered fp) ~layered ~v_low ~v_high
+        ~high_ratio ~period ~periods ~csv ~gantt ~banner:(fun () ->
           Printf.printf "platform: %dx%d cores\n" rows cols)
 
 let pos_int name default doc = Arg.(value & opt int default & info [ name ] ~docv:"N" ~doc)

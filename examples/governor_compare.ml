@@ -76,10 +76,12 @@ let () =
   describe "static all-high"
     (Runtime.Governor.simulate platform (Runtime.Governor.Static (Array.make n top)) ());
 
-  let ao = Core.Ao.solve platform in
+  let ao =
+    Core.Solver.run (Core.Registry.find_exn "ao") (Core.Eval.create platform)
+  in
   Printf.printf
     "\nAO (proactive, this paper):        THR %.4f  peak %.2f C  guaranteed <= T_max\n"
-    ao.Core.Ao.throughput ao.Core.Ao.peak;
+    ao.Core.Solver.throughput ao.Core.Solver.peak;
   Printf.printf
     "\nreactive control either overshoots T_max (small guard, noise) or gives up\n\
      throughput (large guard); AO holds the constraint by construction at the\n\

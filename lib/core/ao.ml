@@ -40,7 +40,7 @@ let config_for_m (p : Platform.t) ~base_period ~v_low ~v_high ~ratio m =
     offset = Array.make n 0.;
   }
 
-let solve ?(base_period = 0.1) ?(m_cap = 512) ?t_unit ?(fill = false)
+let solve ?eval ?(base_period = 0.1) ?(m_cap = 512) ?t_unit ?(fill = false)
     ?(adjust = `Greedy) ?(par = true) (p : Platform.t) =
   let n = Platform.n_cores p in
   let ideal = Ideal.solve p in
@@ -63,8 +63,10 @@ let solve ?(base_period = 0.1) ?(m_cap = 512) ?t_unit ?(fill = false)
      evaluation is independent, so fan them across the pool and run the
      original (ordered, tie-keeps-smallest-m) reduction over the array. *)
   let peaks =
-    let eval i = Tpt.peak p (config_for_m p ~base_period ~v_low ~v_high ~ratio (i + 1)) in
-    if par then Util.Pool.init m_max eval else Array.init m_max eval
+    let eval_m i =
+      Tpt.peak p ?eval (config_for_m p ~base_period ~v_low ~v_high ~ratio (i + 1))
+    in
+    if par then Util.Pool.init m_max eval_m else Array.init m_max eval_m
   in
   let best_m = ref 1 in
   let best_peak = ref infinity in
@@ -81,19 +83,19 @@ let solve ?(base_period = 0.1) ?(m_cap = 512) ?t_unit ?(fill = false)
   let config0 = config_for_m p ~base_period ~v_low ~v_high ~ratio !best_m in
   let config, steps =
     match adjust with
-    | `Greedy -> Tpt.adjust_to_constraint p ?t_unit ~par config0
-    | `Bisection -> Tpt.adjust_by_bisection p config0
+    | `Greedy -> Tpt.adjust_to_constraint p ?eval ?t_unit ~par config0
+    | `Bisection -> Tpt.adjust_by_bisection p ?eval config0
   in
   (* Theorem 1 is only approximate under strong coupling: re-verify with
      the dense evaluator and, if the cheap search undershot, keep
      adjusting against the dense peak (a no-op when already feasible). *)
   let config, safety_steps =
     if Tpt.peak p ~dense:true config > p.t_max +. 1e-9 then
-      Tpt.adjust_to_constraint p ?t_unit ~dense:true ~par config
+      Tpt.adjust_to_constraint p ?eval ?t_unit ~dense:true ~par config
     else (config, 0)
   in
   let config, fill_steps =
-    if fill then Tpt.fill_headroom p ?t_unit ~par config else (config, 0)
+    if fill then Tpt.fill_headroom p ?eval ?t_unit ~par config else (config, 0)
   in
   let steps = steps + safety_steps in
   Log.debug (fun f -> f "TPT adjustment: %d exchanges (+%d dense)" steps safety_steps);
@@ -104,7 +106,30 @@ let solve ?(base_period = 0.1) ?(m_cap = 512) ?t_unit ?(fill = false)
     m = !best_m;
     m_max;
     throughput = Tpt.throughput p config;
-    peak = Tpt.peak p config;
+    peak = Tpt.peak p ?eval config;
     ideal;
     adjustment_steps = steps + fill_steps;
+  }
+
+type Solver.details += Details of result
+
+let policy =
+  {
+    Solver.name = "ao";
+    doc = "Aligned oscillation (Algorithm 2): m-oscillating step-up schedule + TPT";
+    comparison = true;
+    solve =
+      (fun ev (prm : Solver.params) ->
+        Solver.timed_outcome ev (fun () ->
+            let p = Eval.platform ev in
+            let r = solve ~eval:ev ~par:prm.Solver.par p in
+            {
+              Solver.voltages = Solver.delivered_speeds p r.schedule;
+              schedule = Some r.schedule;
+              throughput = r.throughput;
+              peak = r.peak;
+              wall_time = 0.;
+              evaluations = 0;
+              details = Details r;
+            }));
   }

@@ -40,8 +40,13 @@ type result = {
       throughput — see the ablations);
     - [par] (default [true]) evaluates the m sweep and the TPT candidate
       scans on the shared {!Util.Pool}; reductions stay sequential, so
-      the result is identical at any pool size. *)
+      the result is identical at any pool size;
+    - [eval] memoizes every cheap step-up peak evaluation in the shared
+      context's schedule-keyed table ({!Tpt.peak}) — bit-identical
+      results, large savings when searches revisit candidates or PCO
+      re-runs AO on the same context. *)
 val solve :
+  ?eval:Eval.t ->
   ?base_period:float ->
   ?m_cap:int ->
   ?t_unit:float ->
@@ -50,3 +55,11 @@ val solve :
   ?par:bool ->
   Platform.t ->
   result
+
+type Solver.details += Details of result
+
+(** [policy] is AO's registry adapter: runs {!solve} on the context's
+    platform (pool-parallel per [params], memoized through the context)
+    and reports the delivered per-core speeds, schedule, throughput and
+    peak — bit-identical to the direct {!solve} call it wraps. *)
+val policy : Solver.t

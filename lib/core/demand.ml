@@ -8,7 +8,8 @@ type result = {
   delivered : float array;
 }
 
-let solve ?(base_period = 0.1) ?(m_cap = 512) ?(par = true) (p : Platform.t) ~demands =
+let solve ?eval ?(base_period = 0.1) ?(m_cap = 512) ?(par = true) (p : Platform.t)
+    ~demands =
   let n = Platform.n_cores p in
   if Array.length demands <> n then
     invalid_arg "Demand.solve: demands arity differs from core count";
@@ -57,8 +58,8 @@ let solve ?(base_period = 0.1) ?(m_cap = 512) ?(par = true) (p : Platform.t) ~de
      across the pool, then reduce in m order exactly as before (ties
      keep the smallest m). *)
   let peaks =
-    let eval i = Tpt.peak p (config_for (i + 1)) in
-    if par then Util.Pool.init m_max eval else Array.init m_max eval
+    let eval_m i = Tpt.peak p ?eval (config_for (i + 1)) in
+    if par then Util.Pool.init m_max eval_m else Array.init m_max eval_m
   in
   let best_m = ref 1 and best_peak = ref infinity in
   for m = 1 to m_max do
@@ -78,4 +79,37 @@ let solve ?(base_period = 0.1) ?(m_cap = 512) ?(par = true) (p : Platform.t) ~de
     peak;
     margin = p.t_max -. peak;
     delivered = Sched.Throughput.per_core ~tau:p.tau schedule;
+  }
+
+type Solver.details += Details of result
+
+let policy =
+  {
+    Solver.name = "demand";
+    doc = "Feasibility dual: meet given per-core speed demands under T_max";
+    comparison = false;
+    solve =
+      (fun ev (prm : Solver.params) ->
+        Solver.timed_outcome ev (fun () ->
+            let p = Eval.platform ev in
+            (* Without explicit demands, ask for the ideal continuous
+               assignment — the hardest demand vector that is still
+               sustainable in principle. *)
+            let demands =
+              match prm.Solver.demands with
+              | Some d -> d
+              | None -> (Ideal.solve p).Ideal.voltages
+            in
+            let r = solve ~eval:ev ~par:prm.Solver.par p ~demands in
+            {
+              Solver.voltages = Array.copy r.delivered;
+              schedule = Some r.schedule;
+              throughput =
+                Array.fold_left ( +. ) 0. r.delivered
+                /. float_of_int (Array.length r.delivered);
+              peak = r.peak;
+              wall_time = 0.;
+              evaluations = 0;
+              details = Details r;
+            }));
   }

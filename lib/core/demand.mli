@@ -30,11 +30,21 @@ type result = {
     speed — over-provisioning is allowed, under-provisioning is not).
     [par] (default [true]) fans the m sweep across the shared
     {!Util.Pool}; the reduction is sequential, so the chosen [m] and
-    schedule are identical at any pool size. *)
+    schedule are identical at any pool size.  [eval] memoizes the
+    sweep's step-up peak evaluations in the shared context. *)
 val solve :
+  ?eval:Eval.t ->
   ?base_period:float ->
   ?m_cap:int ->
   ?par:bool ->
   Platform.t ->
   demands:float array ->
   result
+
+type Solver.details += Details of result
+
+(** [policy] is the registry adapter: demands come from
+    [params.demands], defaulting to the ideal continuous assignment;
+    [voltages] are the delivered per-core speeds and [throughput] their
+    mean.  Bit-identical to the direct {!solve} on the same demands. *)
+val policy : Solver.t

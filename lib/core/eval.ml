@@ -1,0 +1,49 @@
+type t = {
+  platform : Platform.t;
+  pool : Util.Pool.t;
+  steady_cache : Sched.Peak.Cache.t;
+  stepup_cache : Sched.Peak.Cache.t;
+}
+
+type stats = {
+  steady : Sched.Peak.Cache.stats;
+  stepup : Sched.Peak.Cache.stats;
+}
+
+let create ?pool ?(cache_size = 1024) platform =
+  let pool = match pool with Some p -> p | None -> Util.Pool.get () in
+  {
+    platform;
+    pool;
+    steady_cache = Sched.Peak.Cache.create ~max_entries:cache_size ();
+    stepup_cache = Sched.Peak.Cache.create ~max_entries:cache_size ();
+  }
+
+let platform t = t.platform
+let pool t = t.pool
+
+let steady_peak t voltages =
+  Sched.Peak.steady_constant_cached t.steady_cache t.platform.Platform.model
+    t.platform.Platform.power voltages
+
+let step_up_peak t s =
+  Sched.Peak.of_step_up_cached t.stepup_cache t.platform.Platform.model
+    t.platform.Platform.power s
+
+let stats t =
+  {
+    steady = Sched.Peak.Cache.stats t.steady_cache;
+    stepup = Sched.Peak.Cache.stats t.stepup_cache;
+  }
+
+let hit_rate t =
+  let s = stats t in
+  let hits = s.steady.Sched.Peak.Cache.hits + s.stepup.Sched.Peak.Cache.hits in
+  let total =
+    hits + s.steady.Sched.Peak.Cache.misses + s.stepup.Sched.Peak.Cache.misses
+  in
+  if total = 0 then 0. else float_of_int hits /. float_of_int total
+
+let clear t =
+  Sched.Peak.Cache.clear t.steady_cache;
+  Sched.Peak.Cache.clear t.stepup_cache

@@ -1,0 +1,59 @@
+(** A shared evaluation context: everything a policy solve needs to
+    price candidate schedules on one platform, created once and reused.
+
+    The context bundles the {!Platform.t} (whose thermal model carries
+    the modal/MatEx workspace all evaluators run on), the {!Util.Pool}
+    handle searches fan out on, and two bounded memo tables
+    ({!Sched.Peak.Cache}):
+
+    - constant-voltage steady-state peaks, keyed by the (bit-exact)
+      voltage vector — the evaluator behind LNS rounding, EXS
+      feasibility, TSP discretization and Ideal verification;
+    - step-up end-of-period peaks, keyed by a canonical schedule digest
+      — the evaluator behind AO's m sweep, the TPT adjustment loops and
+      Demand's sweep.
+
+    Because keys capture the exact inputs, a hit returns bit-identically
+    what a fresh evaluation would have computed, so solves behave the
+    same with the cache on, off, or shared — only faster.  Sharing one
+    context across policies ([Registry.all] consumers do) is where the
+    win compounds: PCO replays AO's entire search from cache, and
+    sweeps that revisit a platform skip their repeated evaluations. *)
+
+type t
+
+type stats = {
+  steady : Sched.Peak.Cache.stats;  (** Constant-voltage table counters. *)
+  stepup : Sched.Peak.Cache.stats;  (** Step-up schedule table counters. *)
+}
+
+(** [create ?pool ?cache_size platform] builds a context.  [pool]
+    defaults to the shared {!Util.Pool.get} pool; [cache_size] (default
+    1024) bounds each memo table, with [0] disabling memoization — the
+    cache-off mode differential tests run against. *)
+val create : ?pool:Util.Pool.t -> ?cache_size:int -> Platform.t -> t
+
+(** [platform t] is the platform the context evaluates on. *)
+val platform : t -> Platform.t
+
+(** [pool t] is the domain pool searches should fan out on. *)
+val pool : t -> Util.Pool.t
+
+(** [steady_peak t voltages] is the memoized
+    {!Sched.Peak.steady_constant} of the context's platform. *)
+val steady_peak : t -> float array -> float
+
+(** [step_up_peak t s] is the memoized {!Sched.Peak.of_step_up} of the
+    context's platform.  [s] must be step-up (raises [Invalid_argument]
+    otherwise, like the uncached evaluator). *)
+val step_up_peak : t -> Sched.Schedule.t -> float
+
+(** [stats t] snapshots both tables' hit/miss/entry/eviction counters. *)
+val stats : t -> stats
+
+(** [hit_rate t] is the fraction of all lookups (both tables) answered
+    from cache, 0 when nothing has been looked up. *)
+val hit_rate : t -> float
+
+(** [clear t] empties both tables and zeroes their counters. *)
+val clear : t -> unit

@@ -297,3 +297,35 @@ let solve_par ?pool ?(par = true) (p : Platform.t) =
     | Some (score, digits) -> best_result p (Some digits) score st.levels evaluated
     | None -> best_result p None neg_infinity st.levels evaluated
   end
+
+type Solver.details += Details of result
+
+let policy =
+  {
+    Solver.name = "exs";
+    doc = "Exhaustive search over discrete assignments (Algorithm 1 baseline)";
+    comparison = true;
+    solve =
+      (fun ev (prm : Solver.params) ->
+        let o =
+          Solver.timed_outcome ev (fun () ->
+              let p = Eval.platform ev in
+              let r =
+                if prm.Solver.par then solve_par ~pool:(Eval.pool ev) p else solve p
+              in
+              {
+                Solver.voltages = Array.copy r.voltages;
+                schedule = None;
+                throughput = r.throughput;
+                peak = r.peak;
+                wall_time = 0.;
+                evaluations = 0;
+                details = Details r;
+              })
+        in
+        (* EXS's own enumeration count is the meaningful evaluation
+           metric (its inner loop never touches the memo tables). *)
+        match o.Solver.details with
+        | Details r -> { o with Solver.evaluations = r.evaluated }
+        | _ -> o);
+  }

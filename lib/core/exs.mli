@@ -56,3 +56,12 @@ val solve_pruned : Platform.t -> result
     back to {!solve_pruned} when [par] is [false], the pool has a
     single participant, or the search space is tiny. *)
 val solve_par : ?pool:Util.Pool.t -> ?par:bool -> Platform.t -> result
+
+type Solver.details += Details of result
+
+(** [policy] is EXS's registry adapter: {!solve_par} on the context's
+    pool when [params.par] holds, {!solve} otherwise.  All EXS solvers
+    agree bit-for-bit on [voltages]/[throughput]/[peak]; the outcome's
+    [evaluations] reports the solver's enumeration count (which alone
+    may vary with scheduling on the parallel path). *)
+val policy : Solver.t

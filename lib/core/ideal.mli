@@ -20,3 +20,11 @@ type result = {
 (** [solve ?refine platform] computes the ideal assignment.  [refine]
     defaults to [true]. *)
 val solve : ?refine:bool -> Platform.t -> result
+
+type Solver.details += Details of result
+
+(** [policy] is the registry adapter: the continuous assignment as
+    [voltages] (no schedule), with [peak] its steady-state peak
+    evaluated through the context's memo table — [T_max] exactly unless
+    clamping left headroom. *)
+val policy : Solver.t

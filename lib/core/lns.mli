@@ -13,7 +13,14 @@ type result = {
   peak : float;  (** Steady-state peak temperature, degrees C. *)
 }
 
-(** [solve platform] runs LNS.  The returned [peak] is always at most
-    the steady peak of the ideal assignment (hence at most [t_max] when
-    the platform is feasible). *)
-val solve : Platform.t -> result
+(** [solve ?eval platform] runs LNS.  The returned [peak] is always at
+    most the steady peak of the ideal assignment (hence at most [t_max]
+    when the platform is feasible).  [eval] memoizes the steady-peak
+    evaluation in the shared context's voltage-keyed table. *)
+val solve : ?eval:Eval.t -> Platform.t -> result
+
+type Solver.details += Details of result
+
+(** [policy] is LNS's registry adapter — the constant discrete
+    assignment as [voltages], no schedule, bit-identical to {!solve}. *)
+val policy : Solver.t

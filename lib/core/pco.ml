@@ -11,11 +11,11 @@ type result = {
 let scan_peak (p : Platform.t) c =
   Sched.Peak.of_any p.model p.power ~samples_per_segment:16 (Tpt.schedule_of_config c)
 
-let solve ?base_period ?m_cap ?t_unit ?(offsets_per_core = 8) ?(rounds = 1)
+let solve ?eval ?base_period ?m_cap ?t_unit ?(offsets_per_core = 8) ?(rounds = 1)
     ?(par = true) (p : Platform.t) =
   if offsets_per_core < 1 then invalid_arg "Pco.solve: offsets_per_core < 1";
   if rounds < 1 then invalid_arg "Pco.solve: rounds < 1";
-  let ao = Ao.solve ?base_period ?m_cap ?t_unit ~par p in
+  let ao = Ao.solve ?eval ?base_period ?m_cap ?t_unit ~par p in
   let n = Platform.n_cores p in
   let config = ref ao.Ao.config in
   (* Greedy per-core phase search: core 0 stays put (only relative phase
@@ -57,7 +57,7 @@ let solve ?base_period ?m_cap ?t_unit ?(offsets_per_core = 8) ?(rounds = 1)
   done;
   (* De-phasing can only have lowered the peak; convert the headroom back
      into throughput. *)
-  let filled, fill_steps = Tpt.fill_headroom p ?t_unit ~par !config in
+  let filled, fill_steps = Tpt.fill_headroom p ?eval ?t_unit ~par !config in
   let schedule = Tpt.schedule_of_config filled in
   {
     config = filled;
@@ -67,4 +67,27 @@ let solve ?base_period ?m_cap ?t_unit ?(offsets_per_core = 8) ?(rounds = 1)
     peak = scan_peak p filled;
     ao;
     fill_steps;
+  }
+
+type Solver.details += Details of result
+
+let policy =
+  {
+    Solver.name = "pco";
+    doc = "Phase-conscious oscillation: AO plus greedy per-core phase staggering";
+    comparison = true;
+    solve =
+      (fun ev (prm : Solver.params) ->
+        Solver.timed_outcome ev (fun () ->
+            let p = Eval.platform ev in
+            let r = solve ~eval:ev ~par:prm.Solver.par p in
+            {
+              Solver.voltages = Solver.delivered_speeds p r.schedule;
+              schedule = Some r.schedule;
+              throughput = r.throughput;
+              peak = r.peak;
+              wall_time = 0.;
+              evaluations = 0;
+              details = Details r;
+            }));
   }

@@ -29,8 +29,13 @@ type result = {
     early cores re-phase against the offsets later cores chose.  [par]
     (default [true]) evaluates each core's phase grid — and the
     underlying AO run and headroom fill — on the shared {!Util.Pool};
-    selections stay sequential, so results match the sequential path. *)
+    selections stay sequential, so results match the sequential path.
+    [eval] memoizes the step-up evaluations of the inner AO run and the
+    headroom fill; on a context that already ran AO, the whole seed
+    search replays from cache (the phase-grid dense scans are not
+    memoized). *)
 val solve :
+  ?eval:Eval.t ->
   ?base_period:float ->
   ?m_cap:int ->
   ?t_unit:float ->
@@ -39,3 +44,9 @@ val solve :
   ?par:bool ->
   Platform.t ->
   result
+
+type Solver.details += Details of result
+
+(** [policy] is PCO's registry adapter — delivered per-core speeds as
+    [voltages], bit-identical to the direct {!solve}. *)
+val policy : Solver.t

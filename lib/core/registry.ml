@@ -1,0 +1,30 @@
+let all : Solver.t list =
+  [
+    Lns.policy;
+    Exs.policy;
+    Ao.policy;
+    Pco.policy;
+    Ideal.policy;
+    Tsp.policy;
+    Demand.policy;
+    Sprint.policy;
+  ]
+
+let () =
+  (* Names are registry keys; a duplicate would shadow silently. *)
+  let names = List.map (fun (p : Solver.t) -> p.Solver.name) all in
+  let sorted = List.sort_uniq String.compare names in
+  if List.length sorted <> List.length names then
+    invalid_arg "Registry: duplicate policy name"
+
+let comparison () = List.filter (fun (p : Solver.t) -> p.Solver.comparison) all
+let names () = List.map (fun (p : Solver.t) -> p.Solver.name) all
+let find name = List.find_opt (fun (p : Solver.t) -> p.Solver.name = name) all
+
+let find_exn name =
+  match find name with
+  | Some p -> p
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Registry.find_exn: unknown policy %S (known: %s)" name
+           (String.concat ", " (names ())))

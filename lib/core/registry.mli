@@ -1,0 +1,29 @@
+(** The policy registry: every solver in the library as a first-class
+    {!Solver.t}, in canonical order.
+
+    This is the single list experiments ({!Exp_common.run_policies} via
+    the comparison subset), the CLI ([fosc-experiments policies]),
+    examples and benches iterate — adding a policy module plus one
+    entry here makes it appear everywhere.  The [doc] strings are the
+    source of truth for user-facing listings (the README's policy table
+    is generated from them). *)
+
+(** All registered policies.  Order is meaningful: the paper's
+    comparison set first (LNS, EXS, AO, PCO — AO before PCO so a shared
+    context lets PCO replay AO's search from cache), then the bounds and
+    extensions (Ideal, TSP, Demand, Sprint). *)
+val all : Solver.t list
+
+(** [comparison ()] is the subset with [comparison = true] — the
+    LNS/EXS/AO/PCO set of the paper's figures, in table order. *)
+val comparison : unit -> Solver.t list
+
+(** [names ()] lists the registered names in {!all} order. *)
+val names : unit -> string list
+
+(** [find name] looks a policy up by name. *)
+val find : string -> Solver.t option
+
+(** [find_exn name] is {!find} or [Invalid_argument] naming the known
+    policies. *)
+val find_exn : string -> Solver.t

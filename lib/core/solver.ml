@@ -1,0 +1,44 @@
+type details = ..
+type details += No_details
+
+type params = { par : bool; demands : float array option }
+
+let default_params = { par = true; demands = None }
+
+type outcome = {
+  voltages : float array;
+  schedule : Sched.Schedule.t option;
+  throughput : float;
+  peak : float;
+  wall_time : float;
+  evaluations : int;
+  details : details;
+}
+
+type t = {
+  name : string;
+  doc : string;
+  comparison : bool;
+  solve : Eval.t -> params -> outcome;
+}
+
+let run ?(params = default_params) policy eval = policy.solve eval params
+
+(* Shared adapter plumbing: time the typed solve and count the peak
+   evaluations it pushed through the context's memo tables (hits +
+   misses, both tables).  Policies with their own richer counter (EXS's
+   enumeration count) override [evaluations] afterwards. *)
+let timed_outcome (eval : Eval.t) build =
+  let lookups () =
+    let s = Eval.stats eval in
+    s.Eval.steady.Sched.Peak.Cache.hits
+    + s.Eval.steady.Sched.Peak.Cache.misses
+    + s.Eval.stepup.Sched.Peak.Cache.hits
+    + s.Eval.stepup.Sched.Peak.Cache.misses
+  in
+  let before = lookups () in
+  let outcome, wall_time = Util.Timer.time_it build in
+  { outcome with wall_time; evaluations = lookups () - before }
+
+let delivered_speeds (p : Platform.t) schedule =
+  Sched.Throughput.per_core ~tau:p.Platform.tau schedule

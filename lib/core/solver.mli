@@ -1,0 +1,80 @@
+(** The common policy interface every solver in this library plugs into.
+
+    A policy is a first-class value: a name, a one-line doc string (the
+    registry's source of truth for user-facing listings), and a [solve]
+    function from a shared evaluation context ({!Eval.t}) and common
+    {!params} to one common {!outcome} record.  Each policy module keeps
+    its typed [solve] — richer arguments, richer result — and registers
+    a thin adapter here; {!Registry.all} collects them so experiments,
+    the CLI, examples and benches drive any policy uniformly.
+
+    Adapters are parity-exact: the adapter runs the very same typed
+    solve (through the context's memo tables, which return bit-identical
+    values), so [outcome] fields equal what the direct call computes —
+    the property [test/test_solver.ml] pins for every registered
+    policy at any pool size. *)
+
+(** Solver-specific result payloads.  Each policy module extends this
+    with one constructor wrapping its typed result (e.g.
+    [Ao.Details of Ao.result]), so consumers can recover the full record
+    by matching while generic drivers ignore it. *)
+type details = ..
+
+type details += No_details  (** For solvers with nothing extra to say. *)
+
+type params = {
+  par : bool;
+      (** Run the policy's search on the context's domain pool (results
+          are bit-identical at any pool size).  Default [true]. *)
+  demands : float array option;
+      (** Per-core net-speed demands for the [demand] policy (ignored by
+          the others).  [None] lets the adapter derive the ideal
+          continuous assignment as the demand vector. *)
+}
+
+(** [default_params] = [{ par = true; demands = None }]. *)
+val default_params : params
+
+type outcome = {
+  voltages : float array;
+      (** Per-core speeds of the solution: the discrete assignment for
+          constant policies (LNS/EXS/TSP), the continuous assignment for
+          Ideal, and the delivered net per-core speeds (work per second,
+          stalls charged) for oscillating policies (AO/PCO/Demand/
+          Sprint). *)
+  schedule : Sched.Schedule.t option;
+      (** The materialized periodic schedule; [None] for policies whose
+          answer is a constant assignment. *)
+  throughput : float;  (** Chip-wide throughput, the paper's Eq. (5). *)
+  peak : float;  (** Stable-status peak temperature, degrees C. *)
+  wall_time : float;  (** Seconds the solve took. *)
+  evaluations : int;
+      (** Peak evaluations the solve pushed through the context's memo
+          tables (hits + misses); EXS reports its enumeration count
+          instead. *)
+  details : details;  (** The policy's full typed result. *)
+}
+
+type t = {
+  name : string;  (** Unique registry key, lowercase (e.g. ["ao"]). *)
+  doc : string;  (** One-line description for listings. *)
+  comparison : bool;
+      (** Member of the paper's LNS/EXS/AO/PCO comparison set that
+          [Exp_common.run_policies] iterates. *)
+  solve : Eval.t -> params -> outcome;
+}
+
+(** [run ?params policy eval] is [policy.solve eval params] with
+    {!default_params} filled in. *)
+val run : ?params:params -> t -> Eval.t -> outcome
+
+(** [timed_outcome eval build] runs [build ()] and returns its outcome
+    with [wall_time] set to the elapsed seconds and [evaluations] to the
+    number of memo-table lookups (both tables) the build performed on
+    [eval] — the shared plumbing of every adapter. *)
+val timed_outcome : Eval.t -> (unit -> outcome) -> outcome
+
+(** [delivered_speeds platform schedule] is
+    {!Sched.Throughput.per_core} with the platform's [tau] — the
+    [voltages] view oscillating policies report. *)
+val delivered_speeds : Platform.t -> Sched.Schedule.t -> float array

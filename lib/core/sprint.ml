@@ -6,7 +6,7 @@ type plan = {
   sprint_gain : float;
 }
 
-let plan ?(margin = 0.5) (p : Platform.t) =
+let plan ?eval ?(margin = 0.5) (p : Platform.t) =
   if margin < 0. then invalid_arg "Sprint.plan: negative margin";
   let n = Platform.n_cores p in
   let v_top = Power.Vf.highest p.levels in
@@ -21,7 +21,7 @@ let plan ?(margin = 0.5) (p : Platform.t) =
     | Some t -> t
     | None -> infinity
   in
-  let steady = Ao.solve p in
+  let steady = Ao.solve ?eval p in
   let burst_work, sprint_gain =
     if Float.is_finite burst_duration then
       let work = v_top *. burst_duration in
@@ -29,3 +29,28 @@ let plan ?(margin = 0.5) (p : Platform.t) =
     else (infinity, 0.)
   in
   { burst_voltages; burst_duration; burst_work; steady; sprint_gain }
+
+type Solver.details += Details of plan
+
+let policy =
+  {
+    Solver.name = "sprint";
+    doc = "Computational sprinting: exact safe burst, then AO's sustainable schedule";
+    comparison = false;
+    solve =
+      (fun ev (_ : Solver.params) ->
+        Solver.timed_outcome ev (fun () ->
+            let p = Eval.platform ev in
+            let r = plan ~eval:ev p in
+            (* The sustained solution is the steady AO schedule; the burst
+               is a transient prefix the details record. *)
+            {
+              Solver.voltages = Solver.delivered_speeds p r.steady.Ao.schedule;
+              schedule = Some r.steady.Ao.schedule;
+              throughput = r.steady.Ao.throughput;
+              peak = r.steady.Ao.peak;
+              wall_time = 0.;
+              evaluations = 0;
+              details = Details r;
+            }));
+  }

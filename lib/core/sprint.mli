@@ -28,7 +28,15 @@ type plan = {
           burst window — what sprinting buys; 0 for infinite bursts. *)
 }
 
-(** [plan ?margin platform] computes the sprint plan.  [margin] (default
-    0.5 C) backs the burst threshold off [t_max] to absorb the handover
-    transient. *)
-val plan : ?margin:float -> Platform.t -> plan
+(** [plan ?eval ?margin platform] computes the sprint plan.  [margin]
+    (default 0.5 C) backs the burst threshold off [t_max] to absorb the
+    handover transient.  [eval] memoizes the inner AO run's step-up
+    evaluations. *)
+val plan : ?eval:Eval.t -> ?margin:float -> Platform.t -> plan
+
+type Solver.details += Details of plan
+
+(** [policy] is the registry adapter: it reports the *sustained* AO
+    solution (speeds, schedule, throughput, peak) while [Details]
+    carries the full plan including the burst. *)
+val policy : Solver.t

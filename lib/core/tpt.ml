@@ -36,10 +36,18 @@ let schedule_of_config c =
 
 (* Both evaluators run on the modal engine (Thermal.Modal via
    Sched.Peak), so the O(candidates * segments) calls of the adjustment
-   loops below cost O(n) per sample instead of a propagator build. *)
-let peak (p : Platform.t) ?(dense = false) c =
+   loops below cost O(n) per sample instead of a propagator build.  The
+   cheap step-up branch additionally memoizes through the evaluation
+   context when one is supplied for this platform: searches revisit the
+   same candidate schedules constantly (the m sweep re-derives configs,
+   PCO re-runs AO, fill/adjust walk back over probed exchanges), and a
+   hit returns the bit-identical float a fresh solve would have. *)
+let peak (p : Platform.t) ?eval ?(dense = false) c =
   let s = schedule_of_config c in
-  if is_aligned c && not dense then Sched.Peak.of_step_up p.model p.power s
+  if is_aligned c && not dense then
+    match eval with
+    | Some ev when Eval.platform ev == p -> Eval.step_up_peak ev s
+    | Some _ | None -> Sched.Peak.of_step_up p.model p.power s
   else Sched.Peak.of_any p.model p.power ~samples_per_segment:16 s
 
 (* Stable-status end-of-period core temperatures (the quantity the TPT
@@ -72,14 +80,15 @@ let with_high_time c i dt =
 let eval_candidates ~par n f =
   if par then Util.Pool.init n f else Array.init n f
 
-let adjust_to_constraint (p : Platform.t) ?t_unit ?(dense = false) ?(par = true) c =
+let adjust_to_constraint (p : Platform.t) ?eval ?t_unit ?(dense = false) ?(par = true)
+    c =
   validate c;
   let t_unit = match t_unit with Some u -> u | None -> c.period /. 100. in
   if t_unit <= 0. then invalid_arg "Tpt.adjust_to_constraint: non-positive t_unit";
   let n = Array.length c.v_low in
   let rec loop c steps =
     let temps = hot_metric p c in
-    let current_peak = peak p ~dense c in
+    let current_peak = peak p ?eval ~dense c in
     if current_peak <= p.t_max +. 1e-9 then (c, steps)
     else begin
       let hottest = Linalg.Vec.argmax temps in
@@ -112,14 +121,14 @@ let adjust_to_constraint (p : Platform.t) ?t_unit ?(dense = false) ?(par = true)
 let scale_high_times c s =
   { c with high_time = Array.map (fun h -> h *. s) c.high_time }
 
-let adjust_by_bisection (p : Platform.t) ?(tol = 1e-3) c =
+let adjust_by_bisection (p : Platform.t) ?eval ?(tol = 1e-3) c =
   validate c;
-  if peak p c <= p.t_max +. 1e-9 then (c, 1)
+  if peak p ?eval c <= p.t_max +. 1e-9 then (c, 1)
   else begin
     let evals = ref 1 in
     let feasible s =
       incr evals;
-      peak p (scale_high_times c s) <= p.t_max +. 1e-9
+      peak p ?eval (scale_high_times c s) <= p.t_max +. 1e-9
     in
     if not (feasible 0.) then (scale_high_times c 0., !evals)
     else begin
@@ -132,7 +141,7 @@ let adjust_by_bisection (p : Platform.t) ?(tol = 1e-3) c =
     end
   end
 
-let fill_headroom (p : Platform.t) ?t_unit ?(par = true) c =
+let fill_headroom (p : Platform.t) ?eval ?t_unit ?(par = true) c =
   validate c;
   let t_unit = match t_unit with Some u -> u | None -> c.period /. 100. in
   if t_unit <= 0. then invalid_arg "Tpt.fill_headroom: non-positive t_unit";
@@ -146,7 +155,7 @@ let fill_headroom (p : Platform.t) ?t_unit ?(par = true) c =
     else begin
       let candidate_peaks =
         eval_candidates ~par n (fun j ->
-            if raisable c j t_unit then Some (peak p (with_high_time c j t_unit))
+            if raisable c j t_unit then Some (peak p ?eval (with_high_time c j t_unit))
             else None)
       in
       (* Among raisable cores, pick the largest throughput gain per degree
@@ -169,7 +178,7 @@ let fill_headroom (p : Platform.t) ?t_unit ?(par = true) c =
           loop (with_high_time c j t_unit) candidate_peak (steps + 1)
     end
   in
-  loop c (peak p c) 0
+  loop c (peak p ?eval c) 0
 
 let throughput (p : Platform.t) c =
   Sched.Throughput.with_overhead ~tau:p.tau (schedule_of_config c)

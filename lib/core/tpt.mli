@@ -28,14 +28,16 @@ val validate : config -> unit
     then high (step-up order), then is rotated by its offset. *)
 val schedule_of_config : config -> Sched.Schedule.t
 
-(** [peak platform ?dense c] evaluates the stable-status peak
+(** [peak platform ?eval ?dense c] evaluates the stable-status peak
     temperature: end-of-period when every offset is 0 (step-up,
     Theorem 1) and [dense] is [false], a dense scan otherwise.  The
     dense evaluator exists because Theorem 1 is only approximate under
     strong inter-core coupling (see EXPERIMENTS.md): AO runs its search
-    with the cheap evaluator and re-verifies the final answer
-    densely. *)
-val peak : Platform.t -> ?dense:bool -> config -> float
+    with the cheap evaluator and re-verifies the final answer densely.
+    When [eval] wraps this same platform, the cheap step-up branch is
+    memoized through the context's schedule-keyed table — bit-identical
+    values, shared across every search probing the same candidates. *)
+val peak : Platform.t -> ?eval:Eval.t -> ?dense:bool -> config -> float
 
 (** [adjust_to_constraint platform ?t_unit c] is the Algorithm 2 loop:
     returns the adjusted config and the number of [t_unit] exchanges.
@@ -44,9 +46,16 @@ val peak : Platform.t -> ?dense:bool -> config -> float
     violating — callers should have checked {!Platform.feasible}.
     [par] (default [true]) fans each step's per-core candidate
     evaluations across the shared {!Util.Pool}; the selection reduction
-    stays sequential, so the result is identical at any pool size. *)
+    stays sequential, so the result is identical at any pool size.
+    [eval] memoizes the step-up peak evaluations as in {!peak}. *)
 val adjust_to_constraint :
-  Platform.t -> ?t_unit:float -> ?dense:bool -> ?par:bool -> config -> config * int
+  Platform.t ->
+  ?eval:Eval.t ->
+  ?t_unit:float ->
+  ?dense:bool ->
+  ?par:bool ->
+  config ->
+  config * int
 
 (** [adjust_by_bisection platform ?tol c] is the fast alternative to the
     greedy loop: scale every core's high time by a common factor
@@ -56,14 +65,16 @@ val adjust_to_constraint :
     *between* cores, so it can concede slightly more throughput — the
     ablation quantifies the trade.  Returns the adjusted config and the
     number of peak evaluations. *)
-val adjust_by_bisection : Platform.t -> ?tol:float -> config -> config * int
+val adjust_by_bisection :
+  Platform.t -> ?eval:Eval.t -> ?tol:float -> config -> config * int
 
 (** [fill_headroom platform ?t_unit c] converts low time back to high
     time while the peak stays below [t_max], greedily choosing the core
     with the best throughput-gain-per-degree index; stops when no single
-    exchange fits.  Returns the new config and exchange count.  [par] is
-    as in {!adjust_to_constraint}. *)
-val fill_headroom : Platform.t -> ?t_unit:float -> ?par:bool -> config -> config * int
+    exchange fits.  Returns the new config and exchange count.  [par]
+    and [eval] are as in {!adjust_to_constraint}. *)
+val fill_headroom :
+  Platform.t -> ?eval:Eval.t -> ?t_unit:float -> ?par:bool -> config -> config * int
 
 (** [throughput platform c] is the net chip-wide throughput of the
     config's schedule, charging the platform's [tau] per transition. *)

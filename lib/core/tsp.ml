@@ -6,7 +6,7 @@ type result = {
   peak : float;
 }
 
-let solve (p : Platform.t) =
+let solve ?eval (p : Platform.t) =
   let n = Platform.n_cores p in
   (* Steady core temperatures are affine in the uniform power:
      T(p) = offset + slope * p, with slope from a unit uniform load. *)
@@ -29,5 +29,30 @@ let solve (p : Platform.t) =
     continuous_voltage;
     voltages;
     throughput = v;
-    peak = Sched.Peak.steady_constant p.model p.power voltages;
+    peak =
+      (match eval with
+      | Some ev when Eval.platform ev == p -> Eval.steady_peak ev voltages
+      | Some _ | None -> Sched.Peak.steady_constant p.model p.power voltages);
+  }
+
+type Solver.details += Details of result
+
+let policy =
+  {
+    Solver.name = "tsp";
+    doc = "Thermal Safe Power baseline: one worst-case uniform power budget";
+    comparison = false;
+    solve =
+      (fun ev (_ : Solver.params) ->
+        Solver.timed_outcome ev (fun () ->
+            let r = solve ~eval:ev (Eval.platform ev) in
+            {
+              Solver.voltages = Array.copy r.voltages;
+              schedule = None;
+              throughput = r.throughput;
+              peak = r.peak;
+              wall_time = 0.;
+              evaluations = 0;
+              details = Details r;
+            }));
   }

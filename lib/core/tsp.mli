@@ -23,7 +23,14 @@ type result = {
   peak : float;  (** Steady peak of the discretized assignment. *)
 }
 
-(** [solve platform] computes the thermal-safe power budget and its
-    discretized schedule.  Raises [Invalid_argument] if even zero power
-    overshoots (impossible for [t_max] above ambient). *)
-val solve : Platform.t -> result
+(** [solve ?eval platform] computes the thermal-safe power budget and
+    its discretized schedule.  Raises [Invalid_argument] if even zero
+    power overshoots (impossible for [t_max] above ambient).  [eval]
+    memoizes the final steady-peak evaluation. *)
+val solve : ?eval:Eval.t -> Platform.t -> result
+
+type Solver.details += Details of result
+
+(** [policy] is TSP's registry adapter — the uniform discrete
+    assignment as [voltages], bit-identical to {!solve}. *)
+val policy : Solver.t

@@ -13,30 +13,42 @@ type policy_row = {
   exs_evaluated : int;
 }
 
-let run_policies ?(with_pco = true) ~cores ~levels ~t_max () =
-  let p = Workload.Configs.platform ~cores ~levels ~t_max in
-  let lns, lns_time = Util.Timer.time_it (fun () -> Core.Lns.solve p) in
-  let exs, exs_time = Util.Timer.time_it (fun () -> Core.Exs.solve p) in
-  let ao, ao_time = Util.Timer.time_it (fun () -> Core.Ao.solve p) in
-  let pco_thr, pco_time =
-    if with_pco then
-      let r, t = Util.Timer.time_it (fun () -> Core.Pco.solve p) in
-      (r.Core.Pco.throughput, t)
-    else (ao.Core.Ao.throughput, ao_time)
+let run_comparison ?(with_pco = true) ?eval ~cores ~levels ~t_max () =
+  let ev =
+    match eval with
+    | Some ev -> ev
+    | None -> Core.Eval.create (Workload.Configs.platform ~cores ~levels ~t_max)
   in
+  List.filter_map
+    (fun (p : Core.Solver.t) ->
+      if (not with_pco) && p.Core.Solver.name = "pco" then None
+      else Some (p.Core.Solver.name, Core.Solver.run p ev))
+    (Core.Registry.comparison ())
+
+let run_policies ?(with_pco = true) ?eval ~cores ~levels ~t_max () =
+  let outcomes = run_comparison ~with_pco ?eval ~cores ~levels ~t_max () in
+  let get name =
+    match List.assoc_opt name outcomes with
+    | Some o -> o
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Exp_common.run_policies: %S missing from the registry" name)
+  in
+  let lns = get "lns" and exs = get "exs" and ao = get "ao" in
+  let pco = if with_pco then get "pco" else ao in
   {
     cores;
     levels;
     t_max;
-    lns = lns.Core.Lns.throughput;
-    exs = exs.Core.Exs.throughput;
-    ao = ao.Core.Ao.throughput;
-    pco = pco_thr;
-    lns_time;
-    exs_time;
-    ao_time;
-    pco_time;
-    exs_evaluated = exs.Core.Exs.evaluated;
+    lns = lns.Core.Solver.throughput;
+    exs = exs.Core.Solver.throughput;
+    ao = ao.Core.Solver.throughput;
+    pco = pco.Core.Solver.throughput;
+    lns_time = lns.Core.Solver.wall_time;
+    exs_time = exs.Core.Solver.wall_time;
+    ao_time = ao.Core.Solver.wall_time;
+    pco_time = pco.Core.Solver.wall_time;
+    exs_evaluated = exs.Core.Solver.evaluations;
   }
 
 let improvement a b = if b <= 0. then 0. else (a -. b) /. b *. 100.

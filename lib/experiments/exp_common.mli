@@ -1,6 +1,6 @@
-(** Shared plumbing for the experiment reproductions: run all four
-    policies on one platform and collect throughputs, peaks and wall
-    times. *)
+(** Shared plumbing for the experiment reproductions: run the paper's
+    comparison policies from {!Core.Registry} on one platform and
+    collect throughputs, peaks and wall times. *)
 
 type policy_row = {
   cores : int;
@@ -14,15 +14,37 @@ type policy_row = {
   exs_time : float;
   ao_time : float;
   pco_time : float;
-  exs_evaluated : int;  (** Combinations EXS enumerated. *)
+  exs_evaluated : int;  (** Nodes/combinations EXS examined. *)
 }
 
-(** [run_policies ?with_pco ~cores ~levels ~t_max ()] builds the paper's
-    standard platform and times all policies on it.  With
-    [with_pco = false] (for the biggest sweeps) the PCO columns copy
-    AO's. *)
+(** [run_comparison ?with_pco ?eval ~cores ~levels ~t_max ()] runs every
+    {!Core.Registry.comparison} policy on the paper's standard platform
+    through one shared evaluation context, returning [(name, outcome)]
+    in registry order.  [eval] substitutes an existing context (whose
+    platform must match the requested shape) so repeated sweeps reuse
+    its memo tables; by default a fresh context is created — within
+    which PCO already replays AO's search from cache.  With
+    [with_pco = false] (for the biggest sweeps) PCO is skipped. *)
+val run_comparison :
+  ?with_pco:bool ->
+  ?eval:Core.Eval.t ->
+  cores:int ->
+  levels:int ->
+  t_max:float ->
+  unit ->
+  (string * Core.Solver.outcome) list
+
+(** [run_policies ?with_pco ?eval ~cores ~levels ~t_max ()] is
+    {!run_comparison} flattened into the fixed row the figures consume.
+    With [with_pco = false] the PCO columns copy AO's. *)
 val run_policies :
-  ?with_pco:bool -> cores:int -> levels:int -> t_max:float -> unit -> policy_row
+  ?with_pco:bool ->
+  ?eval:Core.Eval.t ->
+  cores:int ->
+  levels:int ->
+  t_max:float ->
+  unit ->
+  policy_row
 
 (** [improvement a b] is [(a - b) / b * 100.], the percentage by which
     [a] exceeds [b] (0 when [b] is not positive). *)

@@ -1,3 +1,112 @@
+(* A bounded, thread-safe memo table for peak evaluations.  Keys are the
+   exact IEEE-754 bit patterns of the quantities that determine the
+   answer (voltage vectors, schedule state intervals), so a hit returns
+   the very float a fresh evaluation would have computed — memoization
+   never perturbs a search trajectory.  Insertion order is tracked in a
+   queue and the oldest entry is evicted at capacity, mirroring the
+   propagator cache's policy.  A mutex guards every table access: pool
+   workers evaluating candidates concurrently may race to compute the
+   same key, in which case both compute the (identical) value and one
+   insert wins. *)
+module Cache = struct
+  type stats = { hits : int; misses : int; entries : int; evictions : int }
+
+  type t = {
+    max_entries : int;
+    table : (string, float) Hashtbl.t;
+    order : string Queue.t;
+    lock : Mutex.t;
+    mutable hits : int;
+    mutable misses : int;
+    mutable evictions : int;
+  }
+
+  let create ?(max_entries = 1024) () =
+    if max_entries < 0 then invalid_arg "Peak.Cache.create: negative max_entries";
+    {
+      max_entries;
+      table = Hashtbl.create (Stdlib.min 64 (Stdlib.max 1 max_entries));
+      order = Queue.create ();
+      lock = Mutex.create ();
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+    }
+
+  let stats t =
+    Mutex.protect t.lock (fun () ->
+        {
+          hits = t.hits;
+          misses = t.misses;
+          entries = Hashtbl.length t.table;
+          evictions = t.evictions;
+        })
+
+  let clear t =
+    Mutex.protect t.lock (fun () ->
+        Hashtbl.reset t.table;
+        Queue.clear t.order;
+        t.hits <- 0;
+        t.misses <- 0;
+        t.evictions <- 0)
+
+  (* [v +. 0.] canonicalizes -0. to +0. so equal voltages share a key. *)
+  let add_float b v = Buffer.add_int64_le b (Int64.bits_of_float (v +. 0.))
+
+  let key_of_voltages voltages =
+    let b = Buffer.create (8 * Array.length voltages) in
+    Array.iter (add_float b) voltages;
+    Buffer.contents b
+
+  (* Canonical schedule digest: the period followed by every state
+     interval's duration and per-core voltages.  Two schedules with the
+     same global state-interval decomposition heat the chip identically,
+     so sharing their entry is exact, not approximate. *)
+  let key_of_schedule s =
+    let intervals = Schedule.state_intervals s in
+    let b = Buffer.create (16 + (16 * List.length intervals)) in
+    add_float b (Schedule.period s);
+    List.iter
+      (fun (duration, voltages) ->
+        add_float b duration;
+        Array.iter (add_float b) voltages)
+      intervals;
+    Buffer.contents b
+
+  let find_or_add t key compute =
+    if t.max_entries = 0 then begin
+      (* Disabled cache: every lookup is a miss; nothing is stored. *)
+      Mutex.protect t.lock (fun () -> t.misses <- t.misses + 1);
+      compute ()
+    end
+    else
+      let cached =
+        Mutex.protect t.lock (fun () ->
+            match Hashtbl.find_opt t.table key with
+            | Some v ->
+                t.hits <- t.hits + 1;
+                Some v
+            | None ->
+                t.misses <- t.misses + 1;
+                None)
+      in
+      match cached with
+      | Some v -> v
+      | None ->
+          let v = compute () in
+          Mutex.protect t.lock (fun () ->
+              if not (Hashtbl.mem t.table key) then begin
+                if Hashtbl.length t.table >= t.max_entries then begin
+                  let victim = Queue.pop t.order in
+                  Hashtbl.remove t.table victim;
+                  t.evictions <- t.evictions + 1
+                end;
+                Hashtbl.add t.table key v;
+                Queue.push key t.order
+              end);
+          v
+end
+
 let profile model pm s =
   if Schedule.n_cores s <> Thermal.Model.n_cores model then
     invalid_arg
@@ -26,3 +135,11 @@ let stable_end_core_temps model pm s =
 let steady_constant model pm voltages =
   let psi = Power.Power_model.psi_vector pm voltages in
   Linalg.Vec.max (Thermal.Model.steady_core_temps model psi)
+
+let steady_constant_cached cache model pm voltages =
+  Cache.find_or_add cache
+    (Cache.key_of_voltages voltages)
+    (fun () -> steady_constant model pm voltages)
+
+let of_step_up_cached cache model pm s =
+  Cache.find_or_add cache (Cache.key_of_schedule s) (fun () -> of_step_up model pm s)

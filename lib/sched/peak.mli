@@ -8,6 +8,57 @@
     loop (AO's m sweep, TPT adjustment, PCO phase search) pays O(n) per
     sample rather than a propagator build. *)
 
+(** A bounded, thread-safe memo table for peak evaluations, the storage
+    behind the cached entry points below (an evaluation context —
+    [Core.Eval] — bundles one table per evaluator family).
+
+    Keys are built from the exact IEEE-754 bit patterns of everything
+    that determines the answer, so a hit returns bit-identically what a
+    fresh evaluation would have computed: memoization never changes a
+    search trajectory, only its cost.  At capacity the oldest entry is
+    evicted (insertion order).  All operations are mutex-protected, so
+    pool workers may share one table; concurrent misses on the same key
+    compute the identical value redundantly and one insert wins. *)
+module Cache : sig
+  type t
+
+  type stats = {
+    hits : int;  (** Lookups answered from the table. *)
+    misses : int;  (** Lookups that had to compute. *)
+    entries : int;  (** Current resident entries. *)
+    evictions : int;  (** Entries dropped at capacity. *)
+  }
+
+  (** [create ?max_entries ()] makes an empty table holding at most
+      [max_entries] values (default 1024).  [max_entries = 0] disables
+      storage entirely — every lookup computes and counts as a miss —
+      which is how callers run a cache-off differential check.  Raises
+      [Invalid_argument] when negative. *)
+  val create : ?max_entries:int -> unit -> t
+
+  (** [stats t] is a consistent snapshot of the counters. *)
+  val stats : t -> stats
+
+  (** [clear t] empties the table and zeroes the counters. *)
+  val clear : t -> unit
+
+  (** [key_of_voltages vs] is the canonical key of a constant-voltage
+      assignment: the concatenated bit patterns of its entries ([-0.]
+      canonicalized to [0.]). *)
+  val key_of_voltages : float array -> string
+
+  (** [key_of_schedule s] is the canonical digest of a schedule: period
+      plus every global state interval's duration and voltage vector.
+      Schedules with equal state-interval decompositions heat the chip
+      identically, so sharing their entry is exact. *)
+  val key_of_schedule : Schedule.t -> string
+
+  (** [find_or_add t key compute] returns the cached value for [key] or
+      runs [compute], stores the result (evicting the oldest entry at
+      capacity) and returns it. *)
+  val find_or_add : t -> string -> (unit -> float) -> float
+end
+
 (** [profile model pm s] converts a schedule into the piecewise-constant
     power profile of its state intervals.  Raises [Invalid_argument] when
     the schedule's core count differs from the thermal model's. *)
@@ -51,3 +102,18 @@ val stable_end_core_temps :
     the hottest entry of [T^inf] under per-core voltages — Algorithm 1's
     feasibility test. *)
 val steady_constant : Thermal.Model.t -> Power.Power_model.t -> float array -> float
+
+(** [steady_constant_cached cache model pm voltages] is
+    {!steady_constant} memoized in [cache] under
+    {!Cache.key_of_voltages}.  The caller owns the pairing of [cache]
+    with ([model], [pm]): one table must never mix platforms. *)
+val steady_constant_cached :
+  Cache.t -> Thermal.Model.t -> Power.Power_model.t -> float array -> float
+
+(** [of_step_up_cached cache model pm s] is {!of_step_up} memoized in
+    [cache] under {!Cache.key_of_schedule} — the dominant cost of AO's
+    m sweep and TPT loop, where searches repeatedly revisit the same
+    candidate schedules.  Same platform-pairing contract as
+    {!steady_constant_cached}. *)
+val of_step_up_cached :
+  Cache.t -> Thermal.Model.t -> Power.Power_model.t -> Schedule.t -> float
