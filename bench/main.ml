@@ -112,6 +112,26 @@ let tests () =
      and ev3 = Core.Eval.create ~cache_size:0 p3 in
      Test.make ~name:"fig6-7/ao-3core-par"
        (Staged.stage (fun () -> ignore (Core.Solver.run ao ev3))));
+    (* Response-engine payoff on the policy search itself: AO through a
+       shared context whose lazily built engine (and the per-model
+       engine cache behind it) stays warm across runs, with the memo
+       tables disabled so the kernel measures evaluation, not replay. *)
+    (let ao = Core.Registry.find_exn "ao"
+     and ev3 = Core.Eval.create ~cache_size:0 p3 in
+     ignore (Core.Eval.engine ev3);
+     Test.make ~name:"ext/ao-3core-response"
+       (Staged.stage (fun () -> ignore (Core.Solver.run ~params:seq_params ao ev3))));
+    (* Superposed streaming stable-status peak vs the LU reference on
+       the same 9-core profile — the per-candidate cost the response
+       engine removes. *)
+    Test.make ~name:"ext/peak-superpose-vs-lu/superpose"
+      (Staged.stage (fun () ->
+           ignore (Thermal.Matex.end_of_period_peak model9 profile9)));
+    Test.make ~name:"ext/peak-superpose-vs-lu/lu"
+      (Staged.stage (fun () ->
+           ignore
+             (Thermal.Model.max_core_temp model9
+                (Thermal.Matex.Reference.stable_start model9 profile9))));
     (* Eval-cache payoff: the full comparison sweep with a fresh context
        every run (cold) vs one shared context whose memo tables persist
        across runs (warm).  The gap is the memoization win. *)
@@ -185,13 +205,42 @@ let tests () =
                  ~duration:1. ()))));
   ]
 
-let run_bechamel () =
+let run_bechamel ?(only = []) () =
   Experiments.Exp_common.section "PART 2: Bechamel micro-benchmarks (time per run, OLS)";
+  let selected =
+    match only with
+    | [] -> tests ()
+    | subs ->
+        List.filter
+          (fun t ->
+            let name = Test.name t in
+            List.exists
+              (fun sub ->
+                (* Substring match, so --only fig6-7 picks a family. *)
+                let nl = String.length name and sl = String.length sub in
+                let rec at i = i + sl <= nl && (String.sub name i sl = sub || at (i + 1)) in
+                sl > 0 && at 0)
+              subs)
+          (tests ())
+  in
+  if selected = [] then begin
+    prerr_endline "bench: --only matched no benchmarks";
+    exit 2
+  end;
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.3) () in
-  let grouped = Test.make_grouped ~name:"fosc" (tests ()) in
-  let raw = Benchmark.all cfg instances grouped in
+  (* One grouped run per test, with a compaction in between: the
+     allocation-heavy kernels (the eval-cache sweeps promote hundreds of
+     kilobytes per run) otherwise leave a swollen major heap that taxes
+     whichever kernel happens to run after them. *)
+  let raw = Hashtbl.create 64 in
+  List.iter
+    (fun t ->
+      Gc.compact ();
+      Hashtbl.iter (Hashtbl.replace raw)
+        (Benchmark.all cfg instances (Test.make_grouped ~name:"fosc" [ t ])))
+    selected;
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows =
     Hashtbl.fold
@@ -246,21 +295,169 @@ let write_json path rows =
   close_out oc;
   Printf.printf "wrote OLS estimates to %s\n" path
 
+(* Parse the flat { "name": ns, ... } JSON that {!write_json} emits —
+   string keys, float or null values, no nesting.  A dependency-free
+   hand parser is all that format needs. *)
+let parse_baseline path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  let pos = ref 0 in
+  let fail msg = failwith (Printf.sprintf "%s:%d: %s" path !pos msg) in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let skip_ws () =
+    while !pos < len && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      incr pos
+    done
+  in
+  let expect c =
+    skip_ws ();
+    if peek () = Some c then incr pos else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 32 in
+    let rec go () =
+      if !pos >= len then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> incr pos
+      | '\\' ->
+          if !pos + 1 >= len then fail "dangling escape";
+          Buffer.add_char b s.[!pos + 1];
+          pos := !pos + 2;
+          go ()
+      | c ->
+          Buffer.add_char b c;
+          incr pos;
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_value () =
+    skip_ws ();
+    let start = !pos in
+    while
+      !pos < len
+      && match s.[!pos] with ',' | '}' | ' ' | '\t' | '\n' | '\r' -> false | _ -> true
+    do
+      incr pos
+    done;
+    match String.sub s start (!pos - start) with
+    | "null" -> None
+    | tok -> (
+        match float_of_string_opt tok with
+        | Some v -> Some v
+        | None -> fail (Printf.sprintf "bad number %S" tok))
+  in
+  expect '{';
+  let entries = ref [] in
+  skip_ws ();
+  if peek () = Some '}' then incr pos
+  else begin
+    let rec members () =
+      let key = parse_string () in
+      expect ':';
+      (match parse_value () with
+      | Some v -> entries := (key, v) :: !entries
+      | None -> ());
+      skip_ws ();
+      match peek () with
+      | Some ',' ->
+          incr pos;
+          members ()
+      | Some '}' -> incr pos
+      | _ -> fail "expected ',' or '}'"
+    in
+    members ()
+  end;
+  List.rev !entries
+
+(* Compare current rows against a baseline file; kernels present on only
+   one side are reported but never gate.  Returns the names that
+   regressed by more than [max_regression] percent. *)
+let check_regressions ~baseline ~max_regression rows =
+  Experiments.Exp_common.section
+    (Printf.sprintf "regression gate vs %s (max +%.1f%%)" baseline max_regression);
+  let base = parse_baseline baseline in
+  let t = Util.Table.create [ "benchmark"; "baseline"; "current"; "delta"; "status" ] in
+  let pretty ns =
+    if ns > 1e9 then Printf.sprintf "%.3f s" (ns /. 1e9)
+    else if ns > 1e6 then Printf.sprintf "%.3f ms" (ns /. 1e6)
+    else if ns > 1e3 then Printf.sprintf "%.3f us" (ns /. 1e3)
+    else Printf.sprintf "%.0f ns" ns
+  in
+  let regressed = ref [] in
+  List.iter
+    (fun (name, ns) ->
+      if not (Float.is_nan ns) then
+        match List.assoc_opt name base with
+        | None -> Util.Table.add_row t [ name; "-"; pretty ns; "-"; "new" ]
+        | Some old ->
+            let delta = 100. *. ((ns /. old) -. 1.) in
+            let status =
+              if delta > max_regression then begin
+                regressed := name :: !regressed;
+                "REGRESSED"
+              end
+              else "ok"
+            in
+            Util.Table.add_row t
+              [ name; pretty old; pretty ns; Printf.sprintf "%+.1f%%" delta; status ])
+    rows;
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name rows) then
+        Util.Table.add_row t [ name; "(not run)"; "-"; "-"; "skipped" ])
+    base;
+  Util.Table.print t;
+  List.rev !regressed
+
 let usage () =
-  prerr_endline "usage: main.exe [--json <path>]";
+  prerr_endline
+    "usage: main.exe [--json <path>] [--baseline <path>] [--max-regression <pct>]\n\
+    \                [--only <substr>[,<substr>...]]";
   exit 2
 
 let () =
   let json_path = ref None in
+  let baseline = ref None in
+  let max_regression = ref 25. in
+  let only = ref [] in
   let rec parse = function
     | [] -> ()
     | "--json" :: path :: rest ->
         json_path := Some path;
         parse rest
+    | "--baseline" :: path :: rest ->
+        baseline := Some path;
+        parse rest
+    | "--max-regression" :: pct :: rest ->
+        (match float_of_string_opt pct with
+        | Some v when v >= 0. -> max_regression := v
+        | _ -> usage ());
+        parse rest
+    | "--only" :: subs :: rest ->
+        only := String.split_on_char ',' subs;
+        parse rest
     | _ -> usage ()
   in
   parse (List.tl (Array.to_list Sys.argv));
-  reproduce_all ();
-  let rows = run_bechamel () in
+  (* --only runs a quick targeted subset: skip the Part 1 reproduction. *)
+  if !only = [] then reproduce_all ();
+  let rows = run_bechamel ~only:!only () in
   (match !json_path with Some path -> write_json path rows | None -> ());
-  print_newline ()
+  (match !baseline with
+  | None -> print_newline ()
+  | Some baseline ->
+      let regressed =
+        check_regressions ~baseline ~max_regression:!max_regression rows
+      in
+      print_newline ();
+      if regressed <> [] then begin
+        Printf.eprintf "bench: %d benchmark(s) regressed more than %.1f%%:\n"
+          (List.length regressed) !max_regression;
+        List.iter (Printf.eprintf "  %s\n") regressed;
+        exit 1
+      end)

@@ -277,7 +277,14 @@ let run_one_policy ~name ~cores ~levels ~t_max ~seq =
     + stats.Core.Eval.steady.Sched.Peak.Cache.misses)
     stats.Core.Eval.stepup.Sched.Peak.Cache.hits
     (stats.Core.Eval.stepup.Sched.Peak.Cache.hits
-    + stats.Core.Eval.stepup.Sched.Peak.Cache.misses)
+    + stats.Core.Eval.stepup.Sched.Peak.Cache.misses);
+  let r = Core.Eval.response_stats ev in
+  Printf.printf
+    "response eng %d build%s, %d superposition evals, exp table %d/%d hits/lookups\n"
+    r.Thermal.Modal.builds
+    (if r.Thermal.Modal.builds = 1 then "" else "s")
+    r.Thermal.Modal.superpose_evals r.Thermal.Modal.exp_hits
+    (r.Thermal.Modal.exp_hits + r.Thermal.Modal.exp_misses)
 
 let policies_cmd =
   let list_flag =

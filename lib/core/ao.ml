@@ -13,11 +13,21 @@ type result = {
   adjustment_steps : int;
 }
 
+(* The per-core ramp repayment delta_i — loop-invariant across the m
+   sweep, so computed once.  Cores whose ideal voltage coincides with a
+   level run constant and incur no overhead. *)
+let deltas_of (p : Platform.t) ~v_low ~v_high =
+  Array.init (Array.length v_low) (fun i ->
+      if v_high.(i) -. v_low.(i) < 1e-12 then 0.
+      else Sched.Oscillate.delta ~tau:p.tau ~v_low:v_low.(i) ~v_high:v_high.(i))
+
 (* The mini-period config for oscillation count [m]: per-core high time
    r_H * (t_p / m) extended by delta_i to repay the two transition stalls
-   (Section V).  Cores whose ideal voltage coincides with a level run
-   constant and incur no overhead. *)
-let config_for_m (p : Platform.t) ~base_period ~v_low ~v_high ~ratio m =
+   (Section V). *)
+let config_for_m (p : Platform.t) ~base_period ~v_low ~v_high ~ratio ?deltas m =
+  let deltas =
+    match deltas with Some d -> d | None -> deltas_of p ~v_low ~v_high
+  in
   let mini = base_period /. float_of_int m in
   let n = Array.length v_low in
   let high_time =
@@ -27,10 +37,7 @@ let config_for_m (p : Platform.t) ~base_period ~v_low ~v_high ~ratio m =
           mini
         else if ratio.(i) >= 1. -. 1e-12 then mini
         else if ratio.(i) <= 1e-12 then 0.
-        else begin
-          let d = Sched.Oscillate.delta ~tau:p.tau ~v_low:v_low.(i) ~v_high:v_high.(i) in
-          Float.min mini ((ratio.(i) *. mini) +. d)
-        end)
+        else Float.min mini ((ratio.(i) *. mini) +. deltas.(i)))
   in
   {
     Tpt.period = mini;
@@ -62,11 +69,30 @@ let solve ?eval ?(base_period = 0.1) ?(m_cap = 512) ?t_unit ?(fill = false)
      extension bites, so keep the m with the lowest peak.  Every m's
      evaluation is independent, so fan them across the pool and run the
      original (ordered, tie-keeps-smallest-m) reduction over the array. *)
+  let deltas = deltas_of p ~v_low ~v_high in
   let peaks =
+    (* Straight to the fused aligned evaluator: the high-time expressions
+       mirror [config_for_m] term for term, so each candidate's digest —
+       and peak — is bit-identical to evaluating the built config, without
+       allocating one per m. *)
     let eval_m i =
-      Tpt.peak p ?eval (config_for_m p ~base_period ~v_low ~v_high ~ratio (i + 1))
+      let mini = base_period /. float_of_int (i + 1) in
+      let high_ratio =
+        Array.init n (fun j ->
+            let ht =
+              if v_high.(j) -. v_low.(j) < 1e-12 then mini
+              else if ratio.(j) >= 1. -. 1e-12 then mini
+              else if ratio.(j) <= 1e-12 then 0.
+              else Float.min mini ((ratio.(j) *. mini) +. deltas.(j))
+            in
+            Float.max 0. (Float.min 1. (ht /. mini)))
+      in
+      Tpt.peak_aligned p ?eval ~period:mini ~low:v_low ~high:v_high ~high_ratio ()
     in
-    if par then Util.Pool.init m_max eval_m else Array.init m_max eval_m
+    (* Chunked claims: a 3-core candidate evaluation is under a
+       microsecond, so per-index claiming would spend comparable time on
+       the shared counter as on the work. *)
+    if par then Util.Pool.init ~chunk:16 m_max eval_m else Array.init m_max eval_m
   in
   let best_m = ref 1 in
   let best_peak = ref infinity in

@@ -3,6 +3,11 @@ type t = {
   pool : Util.Pool.t;
   steady_cache : Sched.Peak.Cache.t;
   stepup_cache : Sched.Peak.Cache.t;
+  engine : Thermal.Modal.t Lazy.t;
+      (* The platform's response engine.  [Thermal.Modal.make] memoizes
+         per model, so forcing this returns the same engine every direct
+         (eval-less) call resolves — all paths superpose over identical
+         unit-response tables and stay bit-compatible. *)
 }
 
 type stats = {
@@ -17,24 +22,33 @@ let create ?pool ?(cache_size = 1024) platform =
     pool;
     steady_cache = Sched.Peak.Cache.create ~max_entries:cache_size ();
     stepup_cache = Sched.Peak.Cache.create ~max_entries:cache_size ();
+    engine = lazy (Thermal.Modal.make platform.Platform.model);
   }
 
 let platform t = t.platform
 let pool t = t.pool
+let engine t = Lazy.force t.engine
 
 let steady_peak t voltages =
-  Sched.Peak.steady_constant_cached t.steady_cache t.platform.Platform.model
-    t.platform.Platform.power voltages
+  Sched.Peak.steady_constant_cached ~engine:(Lazy.force t.engine) t.steady_cache
+    t.platform.Platform.model t.platform.Platform.power voltages
 
 let step_up_peak t s =
-  Sched.Peak.of_step_up_cached t.stepup_cache t.platform.Platform.model
-    t.platform.Platform.power s
+  Sched.Peak.of_step_up_cached ~engine:(Lazy.force t.engine) t.stepup_cache
+    t.platform.Platform.model t.platform.Platform.power s
+
+let two_mode_peak t ~period ~low ~high ~high_ratio =
+  Sched.Peak.of_two_mode_cached ~engine:(Lazy.force t.engine) t.stepup_cache
+    t.platform.Platform.model t.platform.Platform.power ~period ~low ~high
+    ~high_ratio
 
 let stats t =
   {
     steady = Sched.Peak.Cache.stats t.steady_cache;
     stepup = Sched.Peak.Cache.stats t.stepup_cache;
   }
+
+let response_stats t = Thermal.Modal.stats (Lazy.force t.engine)
 
 let hit_rate t =
   let s = stats t in

@@ -39,6 +39,13 @@ val platform : t -> Platform.t
 (** [pool t] is the domain pool searches should fan out on. *)
 val pool : t -> Util.Pool.t
 
+(** [engine t] is the platform's {!Thermal.Modal} response engine,
+    built lazily on first use.  {!Thermal.Modal.make} memoizes per
+    model, so this is the same engine any direct (eval-less) evaluator
+    call resolves — every path superposes over identical unit-response
+    tables, keeping cached and uncached results bit-compatible. *)
+val engine : t -> Thermal.Modal.t
+
 (** [steady_peak t voltages] is the memoized
     {!Sched.Peak.steady_constant} of the context's platform. *)
 val steady_peak : t -> float array -> float
@@ -48,8 +55,29 @@ val steady_peak : t -> float array -> float
     otherwise, like the uncached evaluator). *)
 val step_up_peak : t -> Sched.Schedule.t -> float
 
+(** [two_mode_peak t ~period ~low ~high ~high_ratio] is the memoized
+    {!Sched.Peak.of_two_mode} — the fused aligned two-mode candidate
+    evaluator.  It shares the step-up memo table (and its exact
+    schedule digest), so fused and schedule-based evaluations of the
+    same candidate replay each other's entries. *)
+val two_mode_peak :
+  t ->
+  period:float ->
+  low:float array ->
+  high:float array ->
+  high_ratio:float array ->
+  float
+
 (** [stats t] snapshots both tables' hit/miss/entry/eviction counters. *)
 val stats : t -> stats
+
+(** [response_stats t] snapshots the response-engine counters
+    (superposition evaluations, decay-table hits/misses, and the
+    process-wide engine build count).  Engines are shared per model, so
+    the per-engine counters reflect every evaluation on this platform
+    since its engine was built, not just this context's.  Forces the
+    engine if it has not been used yet. *)
+val response_stats : t -> Thermal.Modal.stats
 
 (** [hit_rate t] is the fraction of all lookups (both tables) answered
     from cache, 0 when nothing has been looked up. *)

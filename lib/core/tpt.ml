@@ -42,20 +42,61 @@ let schedule_of_config c =
    same candidate schedules constantly (the m sweep re-derives configs,
    PCO re-runs AO, fill/adjust walk back over probed exchanges), and a
    hit returns the bit-identical float a fresh solve would have. *)
+(* The response engine to evaluate on: the context's lazily-held engine
+   when one is supplied for this platform (skips the per-model cache
+   lookup and its lock on every candidate), otherwise resolved inside
+   the evaluator. *)
+let engine_of (p : Platform.t) eval =
+  match eval with
+  | Some ev when Eval.platform ev == p -> Some (Eval.engine ev)
+  | Some _ | None -> None
+
+(* The clamped high-time ratio [schedule_of_config] hands to
+   [Schedule.two_mode] — the fused evaluators take the same value so
+   their decomposition is bit-identical to the schedule's. *)
+let two_mode_ratio c =
+  Array.init (Array.length c.v_low) (fun i ->
+      Float.max 0. (Float.min 1. (c.high_time.(i) /. c.period)))
+
+(* The fused aligned-candidate evaluator without the config round-trip:
+   sweeps that derive [(period, ratios)] directly (AO's m sweep) skip
+   building and validating a config's five arrays per candidate.
+   [high_ratio] must be the clamped value [two_mode_ratio] would
+   produce, so the digest — and the returned float — matches the
+   config path bit-for-bit. *)
+let peak_aligned (p : Platform.t) ?eval ~period ~low ~high ~high_ratio () =
+  match eval with
+  | Some ev when Eval.platform ev == p ->
+      Eval.two_mode_peak ev ~period ~low ~high ~high_ratio
+  | Some _ | None ->
+      Sched.Peak.of_two_mode p.model p.power ~period ~low ~high ~high_ratio
+
 let peak (p : Platform.t) ?eval ?(dense = false) c =
-  let s = schedule_of_config c in
-  if is_aligned c && not dense then
-    match eval with
-    | Some ev when Eval.platform ev == p -> Eval.step_up_peak ev s
-    | Some _ | None -> Sched.Peak.of_step_up p.model p.power s
-  else Sched.Peak.of_any p.model p.power ~samples_per_segment:16 s
+  if is_aligned c && not dense then begin
+    (* Fused path: aligned two-mode candidates are evaluated straight
+       from the config — no Schedule.t, no state-interval merge — which
+       is most of a candidate's cost on small platforms. *)
+    validate c;
+    let high_ratio = two_mode_ratio c in
+    peak_aligned p ?eval ~period:c.period ~low:c.v_low ~high:c.v_high
+      ~high_ratio ()
+  end
+  else
+    Sched.Peak.of_any ?engine:(engine_of p eval) p.model p.power
+      ~samples_per_segment:16 (schedule_of_config c)
 
 (* Stable-status end-of-period core temperatures (the quantity the TPT
    index differentiates).  For shifted configs we fall back to the peak
    itself as the scalar being reduced. *)
-let hot_metric (p : Platform.t) c =
-  let s = schedule_of_config c in
-  Sched.Peak.stable_end_core_temps p.model p.power s
+let hot_metric (p : Platform.t) ?eval c =
+  if is_aligned c then begin
+    validate c;
+    Sched.Peak.two_mode_end_core_temps ?engine:(engine_of p eval) p.model p.power
+      ~period:c.period ~low:c.v_low ~high:c.v_high ~high_ratio:(two_mode_ratio c)
+  end
+  else
+    Sched.Peak.stable_end_core_temps ?engine:(engine_of p eval) p.model p.power
+      (schedule_of_config c)
 
 (* A core can give up high time as long as ANY remains — the final
    exchange may be smaller than t_unit (with_high_time clamps at 0), so
@@ -76,9 +117,11 @@ let with_high_time c i dt =
    schedule evaluation) across the shared domain pool.  The reduction
    over the returned array stays sequential and ordered, so the choice —
    and the whole adjustment trajectory — is identical at any pool size.
-   [par:false] keeps everything on the calling domain. *)
+   [par:false] keeps everything on the calling domain, as do small fans:
+   on a handful of cores a fused candidate evaluation is ~1 us, far
+   below the cost of waking the pool for one job. *)
 let eval_candidates ~par n f =
-  if par then Util.Pool.init n f else Array.init n f
+  if par && n >= 8 then Util.Pool.init n f else Array.init n f
 
 let adjust_to_constraint (p : Platform.t) ?eval ?t_unit ?(dense = false) ?(par = true)
     c =
@@ -87,7 +130,7 @@ let adjust_to_constraint (p : Platform.t) ?eval ?t_unit ?(dense = false) ?(par =
   if t_unit <= 0. then invalid_arg "Tpt.adjust_to_constraint: non-positive t_unit";
   let n = Array.length c.v_low in
   let rec loop c steps =
-    let temps = hot_metric p c in
+    let temps = hot_metric p ?eval c in
     let current_peak = peak p ?eval ~dense c in
     if current_peak <= p.t_max +. 1e-9 then (c, steps)
     else begin
@@ -95,7 +138,7 @@ let adjust_to_constraint (p : Platform.t) ?eval ?t_unit ?(dense = false) ?(par =
       let candidate_temps =
         eval_candidates ~par n (fun j ->
             if adjustable c j t_unit then
-              Some (hot_metric p (with_high_time c j (-.t_unit))).(hottest)
+              Some (hot_metric p ?eval (with_high_time c j (-.t_unit))).(hottest)
             else None)
       in
       (* TPT index: peak reduction at the hottest core per unit of

@@ -39,6 +39,22 @@ val schedule_of_config : config -> Sched.Schedule.t
     values, shared across every search probing the same candidates. *)
 val peak : Platform.t -> ?eval:Eval.t -> ?dense:bool -> config -> float
 
+(** [peak_aligned p ?eval ~period ~low ~high ~high_ratio ()] is the
+    fused aligned two-mode evaluator {!peak} dispatches to, without the
+    config round-trip — for sweeps that derive the span shape directly.
+    [high_ratio] must already be clamped to [0, 1] the way {!peak}
+    clamps [high_time /. period], so the memoization digest (and the
+    returned float) is bit-identical to the config path. *)
+val peak_aligned :
+  Platform.t ->
+  ?eval:Eval.t ->
+  period:float ->
+  low:float array ->
+  high:float array ->
+  high_ratio:float array ->
+  unit ->
+  float
+
 (** [adjust_to_constraint platform ?t_unit c] is the Algorithm 2 loop:
     returns the adjusted config and the number of [t_unit] exchanges.
     [t_unit] defaults to [c.period / 100].  Gives up (returning the

@@ -9,12 +9,17 @@
     mode); the default model uses constants calibrated against McPAT's
     65 nm trends (see DESIGN.md section 5). *)
 
+type psi_cache
+(** Internal bounded memo of psi vectors (see {!psi_vector_memo});
+    created by {!constant}, one per model. *)
+
 type t = {
   alpha : float -> float;
       (** Voltage-dependent leakage base, W.  Constant per mode. *)
   gamma : float -> float;
       (** Dynamic-power coefficient, W/V^3.  Constant per mode. *)
   beta : float;  (** Leakage/temperature slope, W/K. *)
+  psi_memo : psi_cache;  (** Memoized psi vectors, keyed by bit digest. *)
 }
 
 (** [default] — [alpha v = 0.5], [gamma v = 9.0], [beta = 0.05]:
@@ -36,6 +41,13 @@ val psi : t -> float -> float
 (** [psi_vector pm voltages] maps {!psi} over a per-core voltage
     vector. *)
 val psi_vector : t -> float array -> float array
+
+(** [psi_vector_memo pm voltages] is {!psi_vector} memoized per exact
+    voltage bit digest ([-0.] canonicalized to [+0.]) in a bounded FIFO
+    table inside [pm] — the evaluation hot path prices the same voltage
+    vectors thousands of times.  The returned array is shared across
+    hits: treat it as read-only. *)
+val psi_vector_memo : t -> float array -> float array
 
 (** [total pm ~v ~temp] is the full Eq. (1) power at voltage [v] and
     absolute temperature [temp] — used in reports, not in the thermal

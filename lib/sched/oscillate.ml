@@ -28,8 +28,15 @@ let with_ramps ~steps ~tau s =
   let ramp_core segments =
     match segments with
     | [] | [ _ ] -> segments
-    | _ :: _ ->
-        let last = List.nth segments (List.length segments - 1) in
+    | first :: _ ->
+        (* The voltage in force just before the first segment is the last
+           segment's (the schedule is cyclic); one fold finds it without
+           the quadratic List.nth walk. *)
+        let last_voltage =
+          List.fold_left
+            (fun _ seg -> seg.Schedule.voltage)
+            first.Schedule.voltage segments
+        in
         (* The voltage in force just before each segment starts (cyclic). *)
         let rec build prev = function
           | [] -> []
@@ -59,7 +66,7 @@ let with_ramps ~steps ~tau s =
               in
               out @ build seg.Schedule.voltage rest
         in
-        build last.Schedule.voltage segments
+        build last_voltage segments
   in
   Schedule.make ~period:(Schedule.period s)
     (Array.init (Schedule.n_cores s) (fun i -> ramp_core (Schedule.core_segments s i)))

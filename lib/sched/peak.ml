@@ -25,7 +25,10 @@ module Cache = struct
     if max_entries < 0 then invalid_arg "Peak.Cache.create: negative max_entries";
     {
       max_entries;
-      table = Hashtbl.create (Stdlib.min 64 (Stdlib.max 1 max_entries));
+      (* Sized for the configured capacity up front: growth rehashes
+         re-hash every stored digest, which a cold policy search pays
+         right in its candidate loop. *)
+      table = Hashtbl.create (Stdlib.max 16 (Stdlib.min max_entries 65536));
       order = Queue.create ();
       lock = Mutex.create ();
       hits = 0;
@@ -73,37 +76,52 @@ module Cache = struct
       intervals;
     Buffer.contents b
 
+  let disabled t = t.max_entries = 0
+
+  (* The hot-path table operations take the lock directly: the critical
+     sections cannot raise (Hashtbl/Queue operations on live structures),
+     and [Mutex.protect]'s closure + unwind bookkeeping is measurable at
+     candidate-evaluation frequency. *)
+
+  let count_miss t =
+    Mutex.lock t.lock;
+    t.misses <- t.misses + 1;
+    Mutex.unlock t.lock
+
+  let find t key =
+    Mutex.lock t.lock;
+    let cached = Hashtbl.find_opt t.table key in
+    (match cached with
+    | Some _ -> t.hits <- t.hits + 1
+    | None -> t.misses <- t.misses + 1);
+    Mutex.unlock t.lock;
+    cached
+
+  let add t key v =
+    Mutex.lock t.lock;
+    if not (Hashtbl.mem t.table key) then begin
+      if Hashtbl.length t.table >= t.max_entries then begin
+        let victim = Queue.pop t.order in
+        Hashtbl.remove t.table victim;
+        t.evictions <- t.evictions + 1
+      end;
+      Hashtbl.add t.table key v;
+      Queue.push key t.order
+    end;
+    Mutex.unlock t.lock
+
   let find_or_add t key compute =
     if t.max_entries = 0 then begin
       (* Disabled cache: every lookup is a miss; nothing is stored. *)
-      Mutex.protect t.lock (fun () -> t.misses <- t.misses + 1);
+      count_miss t;
       compute ()
     end
     else
-      let cached =
-        Mutex.protect t.lock (fun () ->
-            match Hashtbl.find_opt t.table key with
-            | Some v ->
-                t.hits <- t.hits + 1;
-                Some v
-            | None ->
-                t.misses <- t.misses + 1;
-                None)
-      in
-      match cached with
+      match find t key with
       | Some v -> v
       | None ->
           let v = compute () in
-          Mutex.protect t.lock (fun () ->
-              if not (Hashtbl.mem t.table key) then begin
-                if Hashtbl.length t.table >= t.max_entries then begin
-                  let victim = Queue.pop t.order in
-                  Hashtbl.remove t.table victim;
-                  t.evictions <- t.evictions + 1
-                end;
-                Hashtbl.add t.table key v;
-                Queue.push key t.order
-              end);
+          add t key v;
           v
 end
 
@@ -114,32 +132,267 @@ let profile model pm s =
          (Schedule.n_cores s) (Thermal.Model.n_cores model));
   List.map
     (fun (duration, voltages) ->
-      { Thermal.Matex.duration; psi = Power.Power_model.psi_vector pm voltages })
+      { Thermal.Matex.duration; psi = Power.Power_model.psi_vector_memo pm voltages })
     (Schedule.state_intervals s)
 
-let of_step_up model pm s =
+(* ------------------------------------------ fused two-mode evaluation *)
+
+(* The policy hot path (AO's m sweep, the TPT loops) evaluates ALIGNED
+   two-mode candidates: every core low for part of the period, high for
+   the rest, no offsets.  Building a Schedule.t and merging its state
+   intervals per candidate costs several times the thermal solve, so the
+   evaluators below replicate [Schedule.two_mode] + [state_intervals]
+   span-for-span — the same ratio clamps, the same 1e-12 boundary
+   coalescing, the same midpoint voltage reads — and stream the spans
+   straight into the response engine.  The replication is exact, so the
+   results (and the cache digests) are bit-interchangeable with the
+   schedule-based path. *)
+
+(* Per-domain scratch for the decomposition: boundary points, per-core
+   shapes and the power vector handed to the engine — a candidate
+   evaluation allocates nothing.  [psi] is kept at exactly the current
+   core count (the engine checks arity); switching platforms of a
+   different width on one domain re-sizes, which is rare and cheap. *)
+type two_mode_scratch = {
+  mutable pts : float array;  (* sorted, coalesced boundary points *)
+  mutable lens : float array;  (* leading low-segment length per core *)
+  mutable consts : int array;  (* -1 all-low, +1 all-high, 0 two-mode *)
+  mutable psi : float array;  (* the span's power vector *)
+}
+
+let two_mode_scratch_key =
+  Domain.DLS.new_key (fun () ->
+      { pts = [||]; lens = [||]; consts = [||]; psi = [||] })
+
+let two_mode_scratch n =
+  let s = Domain.DLS.get two_mode_scratch_key in
+  if Array.length s.psi <> n then begin
+    s.pts <- Array.make ((2 * n) + 2) 0.;
+    s.lens <- Array.make n 0.;
+    s.consts <- Array.make n 0;
+    s.psi <- Array.make n 0.
+  end;
+  s
+
+(* Fill [s] with the merged state-interval decomposition; returns the
+   kept boundary-point count.  Replicates [Schedule.two_mode]'s ratio
+   validation and clamps and [state_intervals]' sorted-point 1e-12
+   coalescing EXACTLY, so the spans — and everything computed from them
+   — are bit-identical to the schedule-based path. *)
+let two_mode_decompose s ~period ~low ~high ~high_ratio =
+  let n = Array.length low in
+  if Array.length high <> n || Array.length high_ratio <> n then
+    invalid_arg "Schedule.two_mode: array length mismatch";
+  let pts = s.pts in
+  pts.(0) <- 0.;
+  pts.(1) <- period;
+  let npts = ref 2 in
+  for i = 0 to n - 1 do
+    let r = high_ratio.(i) in
+    if r < -1e-12 || r > 1. +. 1e-12 then
+      invalid_arg
+        (Printf.sprintf "Schedule.two_mode: ratio %g for core %d not in [0,1]" r i);
+    let lh = Float.max 0. (Float.min period (r *. period)) in
+    let ll = period -. lh in
+    if lh <= 1e-12 then begin
+      s.consts.(i) <- -1;
+      pts.(!npts) <- period;
+      incr npts
+    end
+    else if ll <= 1e-12 then begin
+      s.consts.(i) <- 1;
+      pts.(!npts) <- period;
+      incr npts
+    end
+    else begin
+      s.consts.(i) <- 0;
+      s.lens.(i) <- ll;
+      pts.(!npts) <- ll;
+      incr npts;
+      pts.(!npts) <- ll +. lh;
+      incr npts
+    end
+  done;
+  (* Insertion sort: at most [2n + 2] points, no comparator closure. *)
+  for k = 1 to !npts - 1 do
+    let v = pts.(k) in
+    let j = ref (k - 1) in
+    while !j >= 0 && pts.(!j) > v do
+      pts.(!j + 1) <- pts.(!j);
+      decr j
+    done;
+    pts.(!j + 1) <- v
+  done;
+  (* Coalesce boundaries closer than 1e-12 against the last KEPT point
+     (sort_uniq + the fold in [state_intervals] collapse to this). *)
+  let kept = ref 1 in
+  for k = 1 to !npts - 1 do
+    if pts.(k) -. pts.(!kept - 1) >= 1e-12 then begin
+      pts.(!kept) <- pts.(k);
+      incr kept
+    end
+  done;
+  !kept
+
+(* The voltage core [i] runs during the span whose normalized midpoint
+   is [t] — the read [Schedule.voltage_at] would perform. *)
+let[@inline] two_mode_voltage s ~low ~high t i =
+  let c = s.consts.(i) in
+  if c = -1 then low.(i)
+  else if c = 1 then high.(i)
+  else if t < s.lens.(i) then low.(i)
+  else high.(i)
+
+(* The exact normalization [voltage_at] applies to the span midpoint
+   before its walk. *)
+let[@inline] two_mode_mid ~period t0 t1 =
+  let mid = (t0 +. t1) /. 2. in
+  Float.rem (Float.rem mid period +. period) period
+
+(* Streamed end-of-period stable status of an ALREADY-DECOMPOSED
+   two-mode candidate (spans in [s]), left in the engine's per-domain
+   scratch.  Per-span powers are computed straight from
+   [Power_model.psi] into the scratch vector: the same floats
+   [psi_vector] would produce, without the key digest a memo lookup
+   would build. *)
+let two_mode_stable_z_decomposed eng pm s ~period ~low ~high kept =
+  let n = Array.length low in
+  Thermal.Modal.stable_begin eng;
+  for k = 0 to kept - 2 do
+    let t0 = s.pts.(k) and t1 = s.pts.(k + 1) in
+    let t = two_mode_mid ~period t0 t1 in
+    for i = 0 to n - 1 do
+      s.psi.(i) <- Power.Power_model.psi pm (two_mode_voltage s ~low ~high t i)
+    done;
+    Thermal.Modal.stable_feed eng ~duration:(t1 -. t0) ~psi:s.psi
+  done;
+  Thermal.Modal.stable_solve eng ~t_p:period
+
+let two_mode_stable_z eng pm ~period ~low ~high ~high_ratio =
+  let s = two_mode_scratch (Array.length low) in
+  let kept = two_mode_decompose s ~period ~low ~high ~high_ratio in
+  two_mode_stable_z_decomposed eng pm s ~period ~low ~high kept
+
+let resolve_engine ?engine model =
+  match engine with
+  | Some e ->
+      if Thermal.Modal.model e != model then
+        invalid_arg "Peak: engine belongs to a different model";
+      e
+  | None -> Thermal.Modal.make model
+
+let of_two_mode ?engine model pm ~period ~low ~high ~high_ratio =
+  let eng = resolve_engine ?engine model in
+  Thermal.Modal.max_core_temp eng
+    (two_mode_stable_z eng pm ~period ~low ~high ~high_ratio)
+
+let two_mode_end_core_temps ?engine model pm ~period ~low ~high ~high_ratio =
+  let eng = resolve_engine ?engine model in
+  Thermal.Modal.core_temps eng
+    (two_mode_stable_z eng pm ~period ~low ~high ~high_ratio)
+
+(* The same digest [Cache.key_of_schedule] produces for the equivalent
+   schedule: period, then every span's duration and voltages (as
+   little-endian IEEE-754 bits, -0. canonicalized) — so fused and
+   schedule-based lookups share entries exactly.  Built from the
+   already-decomposed scratch into a per-domain byte buffer: the only
+   allocation is the final key string itself. *)
+let key_bytes_key = Domain.DLS.new_key (fun () -> Bytes.create 256)
+
+let two_mode_key_decomposed s ~period ~low ~high kept =
+  let n = Array.length low in
+  let len = 8 * (1 + ((kept - 1) * (1 + n))) in
+  let b =
+    let b = Domain.DLS.get key_bytes_key in
+    if Bytes.length b >= len then b
+    else begin
+      let b = Bytes.create len in
+      Domain.DLS.set key_bytes_key b;
+      b
+    end
+  in
+  Bytes.set_int64_le b 0 (Int64.bits_of_float (period +. 0.));
+  let off = ref 8 in
+  for k = 0 to kept - 2 do
+    let t0 = s.pts.(k) and t1 = s.pts.(k + 1) in
+    Bytes.set_int64_le b !off (Int64.bits_of_float (t1 -. t0 +. 0.));
+    off := !off + 8;
+    let t = two_mode_mid ~period t0 t1 in
+    for i = 0 to n - 1 do
+      Bytes.set_int64_le b !off
+        (Int64.bits_of_float (two_mode_voltage s ~low ~high t i +. 0.));
+      off := !off + 8
+    done
+  done;
+  Bytes.sub_string b 0 len
+
+let of_two_mode_cached ?engine cache model pm ~period ~low ~high ~high_ratio =
+  if Cache.disabled cache then begin
+    Cache.count_miss cache;
+    of_two_mode ?engine model pm ~period ~low ~high ~high_ratio
+  end
+  else begin
+    (* One decomposition serves both the key and (on a miss) the
+       evaluation — nothing between the [find] and the feed loop touches
+       this domain's scratch. *)
+    let eng = resolve_engine ?engine model in
+    let s = two_mode_scratch (Array.length low) in
+    let kept = two_mode_decompose s ~period ~low ~high ~high_ratio in
+    let key = two_mode_key_decomposed s ~period ~low ~high kept in
+    match Cache.find cache key with
+    | Some v -> v
+    | None ->
+        let v =
+          Thermal.Modal.max_core_temp eng
+            (two_mode_stable_z_decomposed eng pm s ~period ~low ~high kept)
+        in
+        Cache.add cache key v;
+        v
+  end
+
+let of_step_up ?engine model pm s =
   if not (Stepup.is_step_up s) then invalid_arg "Peak.of_step_up: schedule is not step-up";
-  Thermal.Matex.end_of_period_peak model (profile model pm s)
+  Thermal.Matex.end_of_period_peak ?engine model (profile model pm s)
 
-let of_any model pm ?(samples_per_segment = 32) s =
-  Thermal.Matex.peak_scan model ~samples_per_segment (profile model pm s)
+let of_any ?engine model pm ?(samples_per_segment = 32) s =
+  Thermal.Matex.peak_scan ?engine model ~samples_per_segment (profile model pm s)
 
-let of_any_refined model pm ?(samples_per_segment = 32) s =
-  Thermal.Matex.peak_refined model ~samples_per_segment (profile model pm s)
+let of_any_refined ?engine model pm ?(samples_per_segment = 32) s =
+  Thermal.Matex.peak_refined ?engine model ~samples_per_segment (profile model pm s)
 
-let stable_end_core_temps model pm s =
-  (* Modal fast path: the stable status is solved per mode and only the
-     core rows of the eigenbasis are applied — no full-state rebuild. *)
-  Thermal.Matex.stable_core_temps model (profile model pm s)
+let stable_end_core_temps ?engine model pm s =
+  (* Modal fast path: the stable status is streamed per mode through the
+     response engine's scratch and only the core rows of the eigenbasis
+     are applied — no full-state rebuild, no LU. *)
+  Thermal.Matex.stable_core_temps ?engine model (profile model pm s)
 
-let steady_constant model pm voltages =
-  let psi = Power.Power_model.psi_vector pm voltages in
-  Linalg.Vec.max (Thermal.Model.steady_core_temps model psi)
+let steady_constant ?engine model pm voltages =
+  (* Superposition on the engine's core-row response table — the O(n^2)
+     LU-backed [Model.steady_core_temps] survives as the reference. *)
+  let eng =
+    match engine with
+    | Some e ->
+        if Thermal.Modal.model e != model then
+          invalid_arg "Peak.steady_constant: engine belongs to a different model";
+        e
+    | None -> Thermal.Modal.make model
+  in
+  Thermal.Modal.steady_peak eng (Power.Power_model.psi_vector_memo pm voltages)
 
-let steady_constant_cached cache model pm voltages =
-  Cache.find_or_add cache
-    (Cache.key_of_voltages voltages)
-    (fun () -> steady_constant model pm voltages)
+(* The cached entry points build their (exact, bit-pattern) key lazily:
+   when the caller's memo table is disabled there is no point digesting
+   the schedule, only the miss is recorded. *)
+let steady_constant_cached ?engine cache model pm voltages =
+  if Cache.disabled cache then
+    Cache.find_or_add cache "" (fun () -> steady_constant ?engine model pm voltages)
+  else
+    Cache.find_or_add cache
+      (Cache.key_of_voltages voltages)
+      (fun () -> steady_constant ?engine model pm voltages)
 
-let of_step_up_cached cache model pm s =
-  Cache.find_or_add cache (Cache.key_of_schedule s) (fun () -> of_step_up model pm s)
+let of_step_up_cached ?engine cache model pm s =
+  if Cache.disabled cache then
+    Cache.find_or_add cache "" (fun () -> of_step_up ?engine model pm s)
+  else
+    Cache.find_or_add cache (Cache.key_of_schedule s)
+      (fun () -> of_step_up ?engine model pm s)

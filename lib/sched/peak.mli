@@ -65,16 +65,25 @@ end
 val profile :
   Thermal.Model.t -> Power.Power_model.t -> Schedule.t -> Thermal.Matex.profile
 
-(** [of_step_up model pm s] is the stable-status peak temperature of the
-    step-up schedule [s] — evaluated only at the period boundary, which
-    Theorem 1 proves is where the peak lives.  Raises [Invalid_argument]
-    if [s] is not step-up. *)
-val of_step_up : Thermal.Model.t -> Power.Power_model.t -> Schedule.t -> float
+(** [of_step_up ?engine model pm s] is the stable-status peak temperature
+    of the step-up schedule [s] — evaluated only at the period boundary,
+    which Theorem 1 proves is where the peak lives, streamed through the
+    response engine (zero LU solves, zero per-candidate allocation).
+    [engine] may pass the model's cached engine explicitly; raises
+    [Invalid_argument] if [s] is not step-up or the engine belongs to a
+    different model. *)
+val of_step_up :
+  ?engine:Thermal.Modal.t ->
+  Thermal.Model.t ->
+  Power.Power_model.t ->
+  Schedule.t ->
+  float
 
 (** [of_any model pm ?samples_per_segment s] is the stable-status peak of
     an arbitrary periodic schedule, by dense scanning (default 32 samples
     per state interval). *)
 val of_any :
+  ?engine:Thermal.Modal.t ->
   Thermal.Model.t ->
   Power.Power_model.t ->
   ?samples_per_segment:int ->
@@ -86,6 +95,7 @@ val of_any :
     ({!Thermal.Matex.peak_refined}) — the most accurate evaluator, used
     for final verification. *)
 val of_any_refined :
+  ?engine:Thermal.Modal.t ->
   Thermal.Model.t ->
   Power.Power_model.t ->
   ?samples_per_segment:int ->
@@ -96,19 +106,81 @@ val of_any_refined :
     temperatures at the stable-status period boundary — what AO's TPT
     loop reads to find the hottest core. *)
 val stable_end_core_temps :
-  Thermal.Model.t -> Power.Power_model.t -> Schedule.t -> Linalg.Vec.t
+  ?engine:Thermal.Modal.t ->
+  Thermal.Model.t ->
+  Power.Power_model.t ->
+  Schedule.t ->
+  Linalg.Vec.t
 
-(** [steady_constant model pm voltages] is the constant-schedule peak:
-    the hottest entry of [T^inf] under per-core voltages — Algorithm 1's
-    feasibility test. *)
-val steady_constant : Thermal.Model.t -> Power.Power_model.t -> float array -> float
+(** [of_two_mode ?engine model pm ~period ~low ~high ~high_ratio] is
+    {!of_step_up} of [Schedule.two_mode ~period ~low ~high ~high_ratio]
+    evaluated WITHOUT constructing the schedule: the aligned two-mode
+    state intervals are derived directly (replicating the schedule
+    decomposition bit-for-bit) and streamed through the response engine.
+    This is the policy hot path — AO's m sweep and the TPT loops price
+    thousands of these candidates.  Bit-identical to the schedule-based
+    evaluation. *)
+val of_two_mode :
+  ?engine:Thermal.Modal.t ->
+  Thermal.Model.t ->
+  Power.Power_model.t ->
+  period:float ->
+  low:float array ->
+  high:float array ->
+  high_ratio:float array ->
+  float
+
+(** [two_mode_end_core_temps ?engine model pm ~period ~low ~high
+    ~high_ratio] are the stable-status period-boundary core temperatures
+    of the same fused candidate — {!stable_end_core_temps} without the
+    schedule. *)
+val two_mode_end_core_temps :
+  ?engine:Thermal.Modal.t ->
+  Thermal.Model.t ->
+  Power.Power_model.t ->
+  period:float ->
+  low:float array ->
+  high:float array ->
+  high_ratio:float array ->
+  Linalg.Vec.t
+
+(** [of_two_mode_cached ?engine cache model pm ...] memoizes
+    {!of_two_mode} under the SAME digest {!Cache.key_of_schedule} gives
+    the equivalent schedule, so fused and schedule-based lookups share
+    entries. *)
+val of_two_mode_cached :
+  ?engine:Thermal.Modal.t ->
+  Cache.t ->
+  Thermal.Model.t ->
+  Power.Power_model.t ->
+  period:float ->
+  low:float array ->
+  high:float array ->
+  high_ratio:float array ->
+  float
+
+(** [steady_constant ?engine model pm voltages] is the constant-schedule
+    peak: the hottest entry of [T^inf] under per-core voltages —
+    Algorithm 1's feasibility test — computed by superposition on the
+    engine's core-row response table (no LU solve). *)
+val steady_constant :
+  ?engine:Thermal.Modal.t ->
+  Thermal.Model.t ->
+  Power.Power_model.t ->
+  float array ->
+  float
 
 (** [steady_constant_cached cache model pm voltages] is
     {!steady_constant} memoized in [cache] under
     {!Cache.key_of_voltages}.  The caller owns the pairing of [cache]
     with ([model], [pm]): one table must never mix platforms. *)
 val steady_constant_cached :
-  Cache.t -> Thermal.Model.t -> Power.Power_model.t -> float array -> float
+  ?engine:Thermal.Modal.t ->
+  Cache.t ->
+  Thermal.Model.t ->
+  Power.Power_model.t ->
+  float array ->
+  float
 
 (** [of_step_up_cached cache model pm s] is {!of_step_up} memoized in
     [cache] under {!Cache.key_of_schedule} — the dominant cost of AO's
@@ -116,4 +188,9 @@ val steady_constant_cached :
     candidate schedules.  Same platform-pairing contract as
     {!steady_constant_cached}. *)
 val of_step_up_cached :
-  Cache.t -> Thermal.Model.t -> Power.Power_model.t -> Schedule.t -> float
+  ?engine:Thermal.Modal.t ->
+  Cache.t ->
+  Thermal.Model.t ->
+  Power.Power_model.t ->
+  Schedule.t ->
+  float

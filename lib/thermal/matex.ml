@@ -29,10 +29,22 @@ let simulate model ~theta0 profile =
 
 (* ---------------------------------------------------- modal hot path *)
 
-(* Everything below runs in modal coordinates: one engine per call (an
-   O(1) view of the model's eigendata), one z_inf solve per segment, and
-   O(n) element-wise work per sample.  Model.step stays the reference
-   implementation (see {!Reference}). *)
+(* Everything below runs in modal coordinates on the per-model cached
+   response engine: equilibria by unit-response superposition (zero LU
+   solves per candidate), decay factors from the engine's per-duration
+   table, and O(n) element-wise work per sample.  Model.step stays the
+   reference implementation (see {!Reference}). *)
+
+(* Resolve the engine: callers that already hold the platform's cached
+   engine (Core.Eval) pass it straight through; a mismatched engine is a
+   caller bug, not something to paper over silently. *)
+let engine_for ?engine model =
+  match engine with
+  | Some e ->
+      if Modal.model e != model then
+        invalid_arg "Matex: engine belongs to a different model";
+      e
+  | None -> Modal.make model
 
 let segments_of eng profile =
   List.map (fun s -> Modal.segment eng ~duration:s.duration ~psi:s.psi) profile
@@ -56,10 +68,25 @@ let stable_boundaries model profile =
   let zs = stable_z_boundaries eng (segments_of eng profile) in
   Array.map (Modal.of_modal eng) zs
 
-let stable_core_temps model profile =
+(* Streaming stable status: fold the profile into the engine's
+   per-domain scratch — no segment list, no per-segment allocation, no
+   LU.  Numerically identical to [Modal.stable_z] over fresh segments
+   (same fold order, same expm1 denominators). *)
+let stable_z_streamed eng profile =
+  Modal.stable_begin eng;
+  let t_p =
+    List.fold_left
+      (fun acc s ->
+        Modal.stable_feed eng ~duration:s.duration ~psi:s.psi;
+        acc +. s.duration)
+      0. profile
+  in
+  Modal.stable_solve eng ~t_p
+
+let stable_core_temps ?engine model profile =
   validate model profile;
-  let eng = Modal.make model in
-  Modal.core_temps eng (Modal.stable_z eng (segments_of eng profile))
+  let eng = engine_for ?engine model in
+  Modal.core_temps eng (stable_z_streamed eng profile)
 
 let peak_at_boundaries model profile =
   validate model profile;
@@ -69,10 +96,10 @@ let peak_at_boundaries model profile =
     (fun acc z -> Float.max acc (Modal.max_core_temp eng z))
     neg_infinity zs
 
-let end_of_period_peak model profile =
+let end_of_period_peak ?engine model profile =
   validate model profile;
-  let eng = Modal.make model in
-  Modal.max_core_temp eng (Modal.stable_z eng (segments_of eng profile))
+  let eng = engine_for ?engine model in
+  Modal.max_core_temp eng (stable_z_streamed eng profile)
 
 (* Visit the [samples] interior/end states of [seg] starting from modal
    state [z]; returns the exact end-of-segment state (advanced in one
@@ -87,18 +114,24 @@ let scan_segment_z seg ~samples z visit =
   done;
   Modal.advance seg z
 
-let peak_scan model ?(samples_per_segment = 32) profile =
+let peak_scan ?engine model ?(samples_per_segment = 32) profile =
   validate model profile;
-  let eng = Modal.make model in
-  let segs = segments_of eng profile in
-  let z = ref (Modal.stable_z eng segs) in
-  let best = ref (Modal.max_core_temp eng !z) in
+  let eng = engine_for ?engine model in
+  (* Fully streamed: stable status, then a per-segment sub-step walk, all
+     in the engine's per-domain scratch — no segment list, no per-sample
+     state allocation.  Bit-identical to scanning freshly built segments
+     (same stable start, same sub-step update, same exact boundary
+     advance). *)
+  let z = stable_z_streamed eng profile in
+  let best = ref (Modal.max_core_temp eng z) in
+  Modal.scan_begin eng;
   List.iter
-    (fun seg ->
-      z :=
-        scan_segment_z seg ~samples:samples_per_segment !z (fun _ zc ->
-            best := Float.max !best (Modal.max_core_temp eng zc)))
-    segs;
+    (fun s ->
+      best :=
+        Float.max !best
+          (Modal.scan_feed eng ~samples:samples_per_segment ~duration:s.duration
+             ~psi:s.psi))
+    profile;
   !best
 
 let stable_core_trace model ~samples_per_segment profile =
@@ -142,9 +175,9 @@ let golden_max f a b tol =
   let x2 = a +. (golden *. (b -. a)) in
   go a b x1 x2 (f x1) (f x2)
 
-let peak_refined model ?(samples_per_segment = 32) ?(tol = 1e-4) profile =
+let peak_refined ?engine model ?(samples_per_segment = 32) ?(tol = 1e-4) profile =
   validate model profile;
-  let eng = Modal.make model in
+  let eng = engine_for ?engine model in
   let segs = segments_of eng profile in
   let z = ref (Modal.stable_z eng segs) in
   let best = ref (Modal.max_core_temp eng !z) in

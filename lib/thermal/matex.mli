@@ -9,11 +9,15 @@
     solving [(I - K) theta* = theta_one_period] where [K = e^{A t_p}] is
     the product of the segment propagators.
 
-    Every evaluator here runs on the {!Modal} engine: segments are
-    precomputed once ([z_inf] plus diagonal decay factors), each sample
-    is O(n) element-wise work, and the [(I - K)^{-1}] solve is a per-mode
-    division.  The pre-modal implementations survive in {!Reference} for
-    differential testing. *)
+    Every evaluator here runs on the per-model cached {!Modal} response
+    engine: equilibria come from unit-response superposition (zero LU
+    solves per profile), decay factors from the engine's per-duration
+    table, each sample is O(n) element-wise work, and the [(I - K)^{-1}]
+    solve is a per-mode division.  The step-up evaluators
+    ({!end_of_period_peak}, {!stable_core_temps}) additionally stream
+    through per-domain scratch buffers, so a candidate evaluation
+    allocates nothing.  The pre-modal implementations survive in
+    {!Reference} for differential testing. *)
 
 type segment = { duration : float; psi : Linalg.Vec.t }
 
@@ -45,10 +49,12 @@ val stable_boundaries : Model.t -> profile -> Linalg.Vec.t array
 
 (** [stable_core_temps model profile] are the absolute per-core
     temperatures at the stable-status period boundary — like
-    [Model.core_temps_of_theta] of {!stable_start}, but read directly
-    through the modal core rows without reconstructing the full node
-    state. *)
-val stable_core_temps : Model.t -> profile -> Linalg.Vec.t
+    [Model.core_temps_of_theta] of {!stable_start}, but streamed through
+    the response engine's scratch buffers: superposed equilibria, table
+    decay factors, and only the modal core rows applied at the end.
+    [engine] may pass the model's cached engine explicitly (raises
+    [Invalid_argument] if it belongs to a different model). *)
+val stable_core_temps : ?engine:Modal.t -> Model.t -> profile -> Linalg.Vec.t
 
 (** [peak_at_boundaries model profile] is the hottest absolute core
     temperature over the stable-status segment boundaries.  For a step-up
@@ -60,12 +66,14 @@ val peak_at_boundaries : Model.t -> profile -> float
     segment, default 32) and returns the hottest absolute core
     temperature found.  This is the safe evaluator for profiles that are
     not step-up, where the peak may fall strictly inside a segment. *)
-val peak_scan : Model.t -> ?samples_per_segment:int -> profile -> float
+val peak_scan : ?engine:Modal.t -> Model.t -> ?samples_per_segment:int -> profile -> float
 
 (** [end_of_period_peak model profile] is the hottest absolute core
     temperature at the stable-status period boundary — the quantity
-    Theorem 1 says bounds a step-up schedule. *)
-val end_of_period_peak : Model.t -> profile -> float
+    Theorem 1 says bounds a step-up schedule.  The candidate-evaluation
+    hot path: one streamed superposition pass, zero LU solves, zero
+    allocation beyond the per-domain scratch. *)
+val end_of_period_peak : ?engine:Modal.t -> Model.t -> profile -> float
 
 (** [stable_core_trace model ~samples_per_segment profile] samples the
     stable-status period densely and returns [(time, absolute core
@@ -81,7 +89,7 @@ val stable_core_trace :
     used where an exact interior peak matters (PCO verification,
     theorem-tolerance measurements). *)
 val peak_refined :
-  Model.t -> ?samples_per_segment:int -> ?tol:float -> profile -> float
+  ?engine:Modal.t -> Model.t -> ?samples_per_segment:int -> ?tol:float -> profile -> float
 
 (** [time_to_threshold model ?theta0 ?max_periods ?samples_per_segment
     ~threshold profile] repeats [profile] from state [theta0] (default:

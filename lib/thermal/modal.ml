@@ -1,6 +1,41 @@
 module Mat = Linalg.Mat
 module Vec = Linalg.Vec
 
+type stats = {
+  builds : int;
+  superpose_evals : int;
+  exp_hits : int;
+  exp_misses : int;
+}
+
+(* Per-domain scratch, sized to the engine.  Pool workers each see
+   their own set through Domain.DLS, so the streaming stable-status
+   evaluation below is allocation-free without any locking — and two
+   domains can never observe each other's partial sums.
+
+   The decay/gain memo lives here too, as a direct-mapped table: slot
+   [s] of [dkeys] holds a duration's bit pattern and the corresponding
+   [2n] floats of [dvals] hold (e^{lambda_j dt}, -expm1(lambda_j dt)).
+   Lock-free by construction (nothing is shared), and a miss is just
+   [n] exp/expm1 pairs computed in place — so a cold table costs barely
+   more than a warm one, where the old shared mutex-guarded table paid
+   an allocation, a queue insertion and two lock rounds per miss.
+   Collisions simply overwrite: recomputation is deterministic, so any
+   replacement policy returns bit-identical values. *)
+type scratch = {
+  d : float array;  (* accumulated periodic drive over one period *)
+  z_eq : float array;  (* superposed per-segment modal equilibrium *)
+  z_star : float array;  (* solved stable status *)
+  dkeys : int64 array;  (* slot -> duration bits; 0L = empty (dt > 0) *)
+  dvals : float array;  (* slot * 2n: n decays then n gains *)
+  mutable tally_hits : int;  (* decay-table counters, flushed to the *)
+  mutable tally_misses : int;  (* engine's atomics once per solve *)
+  z_cur : float array;  (* dense-scan cursor (exact segment boundaries) *)
+  z_smp : float array;  (* dense-scan sub-step walker *)
+}
+
+let decay_slots = 1024 (* power of two; see [decay_slot] *)
+
 type t = {
   model : Model.t;
   n : int;
@@ -9,16 +44,100 @@ type t = {
   w_inv : Mat.t;
   core_rows : Mat.t; (* n_cores x n: the core rows of W *)
   ambient : float;
+  (* ------------------------- linear-response superposition tables ---- *)
+  beta_tamb : float; (* leak_beta * T_amb, the per-core ambient drive *)
+  unit_rz : float array array;
+  (* row i: the modal unit response z_inf(e_i) under 1 W on core i,
+     solved once with the LU path at build time. *)
+  steady_rows : float array array;
+  (* row k: theta_inf responses read at core k, indexed by driving core
+     i — the constant-voltage steady peak needs only these entries. *)
+  scratch_key : scratch Domain.DLS.key;
+  superpose_evals : int Atomic.t;
+  exp_hits : int Atomic.t;
+  exp_misses : int Atomic.t;
 }
 
-let make model =
+let build_count = Atomic.make 0
+
+let build model =
   let lambda, w, w_inv = Model.modal_parts model in
   let n = Vec.dim lambda in
   let cores = Model.core_nodes model in
-  let core_rows =
-    Mat.init (Array.length cores) n (fun k j -> Mat.get w cores.(k) j)
+  let n_cores = Array.length cores in
+  let core_rows = Mat.init n_cores n (fun k j -> Mat.get w cores.(k) j) in
+  (* Unit responses via the reference LU path: theta_inf is affine in
+     psi (the leakage drive beta*T_amb enters every core node), so
+     subtracting the zero-power response isolates the pure per-core
+     linear part u_i = G'^{-1} e_{core_i}. *)
+  let u0 = Model.theta_inf model (Vec.zeros n_cores) in
+  let units =
+    Array.init n_cores (fun i ->
+        let e = Vec.zeros n_cores in
+        e.(i) <- 1.;
+        Vec.sub (Model.theta_inf model e) u0)
   in
-  { model; n; lambda; w; w_inv; core_rows; ambient = Model.ambient model }
+  Atomic.incr build_count;
+  {
+    model;
+    n;
+    lambda;
+    w;
+    w_inv;
+    core_rows;
+    ambient = Model.ambient model;
+    beta_tamb = Model.leak_beta model *. Model.ambient model;
+    unit_rz = Array.map (fun u -> Mat.matvec w_inv u) units;
+    steady_rows =
+      Array.init n_cores (fun k ->
+          Array.init n_cores (fun i -> units.(i).(cores.(k))));
+    scratch_key =
+      Domain.DLS.new_key (fun () ->
+          {
+            d = Array.make n 0.;
+            z_eq = Array.make n 0.;
+            z_star = Array.make n 0.;
+            dkeys = Array.make decay_slots 0L;
+            dvals = Array.make (decay_slots * 2 * n) 0.;
+            tally_hits = 0;
+            tally_misses = 0;
+            z_cur = Array.make n 0.;
+            z_smp = Array.make n 0.;
+          });
+    superpose_evals = Atomic.make 0;
+    exp_hits = Atomic.make 0;
+    exp_misses = Atomic.make 0;
+  }
+
+(* Engines are cached per model (physical identity): the unit-response
+   build costs one LU solve per core, and every policy evaluation on a
+   platform wants the same tables.  The registry is a small bounded FIFO
+   so processes that churn through many models (property tests) stay
+   bounded; an evicted engine keeps working for holders of the old
+   reference, it just stops being shared. *)
+let engines_capacity = 16
+let engines_lock = Mutex.create ()
+let engines : (Model.t * t) list ref = ref []
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: rest -> x :: take (n - 1) rest
+
+let make model =
+  Mutex.lock engines_lock;
+  match List.find_opt (fun (m, _) -> m == model) !engines with
+  | Some (_, eng) ->
+      Mutex.unlock engines_lock;
+      eng
+  | None ->
+      (* Built under the lock: construction is a handful of cached-LU
+         solves, and serializing first use per model keeps exactly one
+         engine (one stats stream, one exp table) per platform. *)
+      let eng = build model in
+      engines := (model, eng) :: take (engines_capacity - 1) !engines;
+      Mutex.unlock engines_lock;
+      eng
 
 let model t = t.model
 let n_modes t = t.n
@@ -29,10 +148,95 @@ let ambient_state t = Vec.zeros t.n
 
 let theta_inf t psi = Model.theta_inf t.model psi
 
-(* One cached LU solve per distinct psi a caller prepares (the
-   factorization lives in the model); everything downstream of this is
-   matmul- and LU-free. *)
-let z_inf t psi = Mat.matvec t.w_inv (theta_inf t psi)
+let stats t =
+  {
+    builds = Atomic.get build_count;
+    superpose_evals = Atomic.get t.superpose_evals;
+    exp_hits = Atomic.get t.exp_hits;
+    exp_misses = Atomic.get t.exp_misses;
+  }
+
+(* ------------------------------------------------ superposed responses *)
+
+let check_psi t psi =
+  if Vec.dim psi <> Array.length t.unit_rz then
+    invalid_arg "Modal: power vector arity differs from the engine's core count"
+
+(* z_inf(psi) = sum_i (psi_i + beta T_amb) z_inf(e_i): exact because the
+   thermal model is linear and theta_inf is affine in psi with the
+   leakage drive beta*T_amb entering every core identically. *)
+let z_inf_into t dst psi =
+  check_psi t psi;
+  Atomic.incr t.superpose_evals;
+  Array.fill dst 0 t.n 0.;
+  for i = 0 to Array.length t.unit_rz - 1 do
+    let row = t.unit_rz.(i) in
+    let c = psi.(i) +. t.beta_tamb in
+    for j = 0 to t.n - 1 do
+      Array.unsafe_set dst j
+        (Array.unsafe_get dst j +. (c *. Array.unsafe_get row j))
+    done
+  done
+
+let z_inf t psi =
+  let dst = Array.make t.n 0. in
+  z_inf_into t dst psi;
+  dst
+
+(* The constant-voltage steady peak by the same superposition, read
+   directly off the core-row response table: O(n_cores^2), no LU, no
+   allocation. *)
+let steady_peak t psi =
+  check_psi t psi;
+  Atomic.incr t.superpose_evals;
+  let nc = Array.length t.steady_rows in
+  let best = ref neg_infinity in
+  for k = 0 to nc - 1 do
+    let row = t.steady_rows.(k) in
+    let acc = ref 0. in
+    for i = 0 to nc - 1 do
+      acc := !acc +. ((psi.(i) +. t.beta_tamb) *. Array.unsafe_get row i)
+    done;
+    if !acc > !best then best := !acc
+  done;
+  !best +. t.ambient
+
+(* --------------------------------------------------- decay/gain table *)
+
+let compute_decay_gain t dt =
+  ( Array.map (fun l -> exp (l *. dt)) t.lambda,
+    Array.map (fun l -> -.Float.expm1 (l *. dt)) t.lambda )
+
+let decay_gain = compute_decay_gain
+
+(* Fibonacci-style multiplicative hash of a duration's bit pattern into
+   a direct-mapped slot.  The low mantissa bits of nearby durations are
+   the ones that differ, so the multiply spreads them across the high
+   bits we keep. *)
+let[@inline] decay_slot key =
+  Int64.to_int (Int64.shift_right_logical (Int64.mul key 0x9E3779B97F4A7C15L) 52)
+  land (decay_slots - 1)
+
+(* Ensure slot [slot] of the per-domain table holds [dt]'s decay/gain
+   row; returns the row's base offset into [s.dvals].  The counters
+   tally into the scratch (flushed by [stable_solve]) so the hot loop
+   performs no atomic traffic. *)
+let[@inline] decay_row t (s : scratch) dt =
+  let key = Int64.bits_of_float dt in
+  let slot = decay_slot key in
+  let base = slot * 2 * t.n in
+  if Array.unsafe_get s.dkeys slot = key then
+    s.tally_hits <- s.tally_hits + 1
+  else begin
+    s.tally_misses <- s.tally_misses + 1;
+    for j = 0 to t.n - 1 do
+      let x = Array.unsafe_get t.lambda j *. dt in
+      Array.unsafe_set s.dvals (base + j) (exp x);
+      Array.unsafe_set s.dvals (base + t.n + j) (-.Float.expm1 x)
+    done;
+    s.dkeys.(slot) <- key
+  end;
+  base
 
 let step t ~dt ~z ~psi =
   if Vec.dim z <> t.n then invalid_arg "Modal.step: bad state arity";
@@ -57,9 +261,108 @@ let max_core_temp t z =
   done;
   !best +. t.ambient
 
+(* --------------------------------------- streaming stable-status peak *)
+
+(* The candidate-evaluation hot path: fold a periodic profile's segments
+   through the per-domain scratch, then solve the per-mode fixed point.
+   Equivalent to [stable_z] over freshly built segments, but with zero
+   allocation, zero LU solves and table-amortized exponentials. *)
+
+let stable_begin t =
+  let s = Domain.DLS.get t.scratch_key in
+  Array.fill s.d 0 t.n 0.
+
+let stable_feed t ~duration ~psi =
+  if duration <= 0. then invalid_arg "Modal.stable_feed: non-positive duration";
+  let s = Domain.DLS.get t.scratch_key in
+  let base = decay_row t s duration in
+  z_inf_into t s.z_eq psi;
+  let dvals = s.dvals in
+  for j = 0 to t.n - 1 do
+    Array.unsafe_set s.d j
+      ((Array.unsafe_get dvals (base + j) *. Array.unsafe_get s.d j)
+      +. (Array.unsafe_get dvals (base + t.n + j) *. Array.unsafe_get s.z_eq j))
+  done
+
+let stable_solve t ~t_p =
+  (* z*_j = d_j / (1 - e^{lambda_j t_p}); the denominator is exactly the
+     gain factor of a [t_p]-long segment, so it shares the table. *)
+  let s = Domain.DLS.get t.scratch_key in
+  let base = decay_row t s t_p in
+  let dvals = s.dvals in
+  for j = 0 to t.n - 1 do
+    Array.unsafe_set s.z_star j
+      (Array.unsafe_get s.d j /. Array.unsafe_get dvals (base + t.n + j))
+  done;
+  (* One flush per candidate keeps the shared stats observable without
+     per-span atomic traffic from every pool worker. *)
+  if s.tally_hits <> 0 then begin
+    ignore (Atomic.fetch_and_add t.exp_hits s.tally_hits);
+    s.tally_hits <- 0
+  end;
+  if s.tally_misses <> 0 then begin
+    ignore (Atomic.fetch_and_add t.exp_misses s.tally_misses);
+    s.tally_misses <- 0
+  end;
+  s.z_star
+
+(* ------------------------------------------- streaming dense scan *)
+
+(* Allocation-free counterpart of the segment-list peak scan: after
+   [stable_solve], [scan_begin] seats the cursor on the stable start and
+   each [scan_feed] walks one segment in [samples] equal sub-steps
+   (identical update to [advance] on a [split] segment: z <- decay z +
+   gain z_eq), returning the hottest core temperature among the visited
+   states.  The cursor itself advances by the segment's full duration in
+   ONE exact step from the segment start, so boundary states accumulate
+   no sub-step rounding — exactly like the allocating scan it replaces,
+   whose results it reproduces bit-for-bit. *)
+
+let scan_begin t =
+  let s = Domain.DLS.get t.scratch_key in
+  Array.blit s.z_star 0 s.z_cur 0 t.n
+
+let scan_feed t ~samples ~duration ~psi =
+  if duration <= 0. then invalid_arg "Modal.scan_feed: non-positive duration";
+  if samples < 1 then invalid_arg "Modal.scan_feed: non-positive sample count";
+  let s = Domain.DLS.get t.scratch_key in
+  z_inf_into t s.z_eq psi;
+  let { Mat.rows; cols; data } = t.core_rows in
+  let best = ref neg_infinity in
+  (* Sub-step walk on [z_smp]; nothing in the loop touches the decay
+     table, so the row fetched here cannot be evicted mid-walk. *)
+  let sub_base = decay_row t s (duration /. float_of_int samples) in
+  Array.blit s.z_cur 0 s.z_smp 0 t.n;
+  for _ = 1 to samples do
+    for j = 0 to t.n - 1 do
+      Array.unsafe_set s.z_smp j
+        ((Array.unsafe_get s.dvals (sub_base + j) *. Array.unsafe_get s.z_smp j)
+        +. Array.unsafe_get s.dvals (sub_base + t.n + j)
+           *. Array.unsafe_get s.z_eq j)
+    done;
+    for k = 0 to rows - 1 do
+      let off = k * cols in
+      let acc = ref 0. in
+      for j = 0 to cols - 1 do
+        acc := !acc +. (Array.unsafe_get data (off + j) *. Array.unsafe_get s.z_smp j)
+      done;
+      if !acc > !best then best := !acc
+    done
+  done;
+  (* Exact full-duration boundary step from the segment start. *)
+  let full_base = decay_row t s duration in
+  for j = 0 to t.n - 1 do
+    Array.unsafe_set s.z_cur j
+      ((Array.unsafe_get s.dvals (full_base + j) *. Array.unsafe_get s.z_cur j)
+      +. Array.unsafe_get s.dvals (full_base + t.n + j) *. Array.unsafe_get s.z_eq j)
+  done;
+  !best +. t.ambient
+
+(* --------------------------------------------------------- segments *)
+
 type segment = {
   duration : float;
-  decay : Vec.t; (* e^{lambda_j * duration} *)
+  decay : Vec.t; (* e^{lambda_j * duration}; shared, read-only *)
   gain : Vec.t; (* 1 - decay, via expm1 for accuracy at slow modes *)
   z_eq : Vec.t; (* modal equilibrium of this segment's psi *)
   lambda : Vec.t;
@@ -67,13 +370,12 @@ type segment = {
 
 let segment (t : t) ~duration ~psi =
   if duration <= 0. then invalid_arg "Modal.segment: non-positive duration";
-  {
-    duration;
-    decay = Array.map (fun l -> exp (l *. duration)) t.lambda;
-    gain = Array.map (fun l -> -.Float.expm1 (l *. duration)) t.lambda;
-    z_eq = z_inf t psi;
-    lambda = t.lambda;
-  }
+  (* Computed fresh: the vectors escape into the segment record, and the
+     dense-scan paths that build segments are not the candidate hot
+     loop. *)
+  let decay, gain = compute_decay_gain t duration in
+  Atomic.incr t.exp_misses;
+  { duration; decay; gain; z_eq = z_inf t psi; lambda = t.lambda }
 
 let duration s = s.duration
 

@@ -8,24 +8,47 @@
 
     {[ z(t) = z_inf + e^{lambda t} . (z(0) - z_inf) ]}
 
-    with [z_inf = W^{-1} theta_inf(psi)].  A {!segment} precomputes
-    [z_inf] (one cached LU solve per distinct [psi] — the factorization
-    lives in the model) and the decay factors [e^{lambda_i dt}] once;
-    every sample afterwards is element-wise arithmetic — no matrix
-    exponential, no LU, no mutex.  Because all segments share one
-    eigenbasis, the periodic stable status [(I - K)^{-1} d] collapses to
-    a per-mode division ({!stable_z}).
+    with [z_inf = W^{-1} theta_inf(psi)].
 
-    An engine is an immutable O(1) view of the model's eigendata
-    (see {!Model.modal_parts}); create one per evaluation, share freely
-    across domains.  {!Model.step} remains the reference implementation —
-    the property tests diff the two paths. *)
+    On top of the modal basis the engine is a {e linear-response
+    superposition} engine: because the model is linear and
+    [theta_inf] is affine in [psi] (the leakage drive [beta T_amb]
+    enters every core identically),
+
+    {[ z_inf(psi) = sum_i (psi_i + beta T_amb) . z_inf(e_i) ]}
+
+    so the per-core unit responses [z_inf(e_i)] — solved once with the
+    reference LU path when the engine is built — turn every subsequent
+    equilibrium into an O(n * n_cores) multiply-add with zero LU solves.
+    Decay factors [e^{lambda dt}] are amortized in a per-duration table
+    (policy sweeps reuse a handful of durations thousands of times), and
+    the streaming {!stable_begin}/{!stable_feed}/{!stable_solve} path
+    evaluates a candidate's stable status into per-domain scratch
+    buffers with no allocation at all.
+
+    {!make} caches one engine per model (physical identity), so repeated
+    evaluations on one platform share the tables; engines are safe to
+    share across domains ({!Domain.DLS} scratch, mutex-guarded tables).
+    {!Model.step} remains the reference implementation — the property
+    tests diff the two paths to <= 1e-9. *)
 
 type t
-(** An immutable modal evaluation engine bound to a {!Model.t}. *)
+(** A modal evaluation engine bound to a {!Model.t}.  Immutable eigendata
+    plus internally synchronized response tables; share freely across
+    domains. *)
 
-(** [make model] builds an engine.  O(n_cores * n) — cheap enough to call
-    once per evaluation. *)
+(** Amortization counters of one engine (plus the process-wide build
+    count), for observability of the response-engine hot path. *)
+type stats = {
+  builds : int;  (** Engines built process-wide (unit-response solves). *)
+  superpose_evals : int;  (** Superposition equilibrium evaluations. *)
+  exp_hits : int;  (** Decay/gain lookups answered from the table. *)
+  exp_misses : int;  (** Decay/gain lookups that computed. *)
+}
+
+(** [make model] returns the engine of [model], building it (one LU
+    solve per core for the unit-response table) on first use and
+    returning the cached engine afterwards — amortized O(1). *)
 val make : Model.t -> t
 
 (** [model t] is the underlying thermal model. *)
@@ -38,6 +61,9 @@ val n_modes : t -> int
     slowest first. *)
 val eigenvalues : t -> Linalg.Vec.t
 
+(** [stats t] snapshots the engine's amortization counters. *)
+val stats : t -> stats
+
 (** [to_modal t theta] is [z = W^{-1} theta]. *)
 val to_modal : t -> Linalg.Vec.t -> Linalg.Vec.t
 
@@ -49,11 +75,29 @@ val of_modal : t -> Linalg.Vec.t -> Linalg.Vec.t
 val ambient_state : t -> Linalg.Vec.t
 
 (** [theta_inf t psi] is the node-space steady state (the model's cached
-    LU solve). *)
+    LU solve — the reference path, not the superposition). *)
 val theta_inf : t -> Linalg.Vec.t -> Linalg.Vec.t
 
-(** [z_inf t psi] is the modal steady state [W^{-1} theta_inf(psi)]. *)
+(** [z_inf t psi] is the modal steady state, composed from the unit
+    responses by superposition — no LU solve.  Agrees with
+    [W^{-1} theta_inf(psi)] to machine precision (<= 1e-9 guaranteed by
+    the differential suite). *)
 val z_inf : t -> Linalg.Vec.t -> Linalg.Vec.t
+
+(** [z_inf_into t dst psi] writes the superposed equilibrium into [dst]
+    (length [n_modes t]) without allocating. *)
+val z_inf_into : t -> Linalg.Vec.t -> Linalg.Vec.t -> unit
+
+(** [steady_peak t psi] is the hottest steady-state core temperature
+    under constant powers [psi], by superposition on the core-row
+    response table — O(n_cores^2), allocation-free. *)
+val steady_peak : t -> Linalg.Vec.t -> float
+
+(** [decay_gain t dt] is the [(e^{lambda dt}, -expm1(lambda dt))] pair
+    for [dt], computed fresh.  The streaming evaluators amortize these
+    through a per-domain direct-mapped table instead; this entry point
+    is for callers that keep the vectors. *)
+val decay_gain : t -> float -> Linalg.Vec.t * Linalg.Vec.t
 
 (** [step t ~dt ~z ~psi] advances a modal state by [dt] under constant
     powers [psi] — the O(n) counterpart of {!Model.step}.  Prefer
@@ -69,11 +113,49 @@ val core_temps : t -> Linalg.Vec.t -> Linalg.Vec.t
     modal state [z]; allocation-free. *)
 val max_core_temp : t -> Linalg.Vec.t -> float
 
+(** {2 Streaming stable-status evaluation}
+
+    The candidate-evaluation hot path: fold a periodic profile through
+    {!stable_begin} / {!stable_feed} (once per segment, in order), then
+    {!stable_solve} with the period length.  Mathematically identical to
+    {!stable_z} over freshly built segments, but allocation-free: all
+    state lives in per-domain scratch, so pool workers never contend or
+    cross-contaminate.  The scratch is reused by the next evaluation on
+    the same domain — read everything you need from the returned vector
+    before starting another one. *)
+
+(** [stable_begin t] resets this domain's accumulator. *)
+val stable_begin : t -> unit
+
+(** [stable_feed t ~duration ~psi] folds one constant-power segment into
+    the accumulator.  Raises [Invalid_argument] on non-positive
+    durations. *)
+val stable_feed : t -> duration:float -> psi:Linalg.Vec.t -> unit
+
+(** [stable_solve t ~t_p] solves the per-mode fixed point for a period of
+    [t_p] seconds and returns this domain's scratch stable status (valid
+    until the next streaming evaluation on this domain). *)
+val stable_solve : t -> t_p:float -> Linalg.Vec.t
+
+(** [scan_begin t] seats this domain's dense-scan cursor on the stable
+    status just produced by {!stable_solve}. *)
+val scan_begin : t -> unit
+
+(** [scan_feed t ~samples ~duration ~psi] walks one segment of the
+    periodic trajectory in [samples] equal sub-steps and returns the
+    hottest core temperature among the visited states; the cursor then
+    advances by the full [duration] in one exact step so boundary states
+    accumulate no sub-step rounding.  Allocation-free; bit-identical to
+    scanning freshly built {!segment}s.  Raises [Invalid_argument] on a
+    non-positive [duration] or [samples]. *)
+val scan_feed : t -> samples:int -> duration:float -> psi:Linalg.Vec.t -> float
+
 type segment
 (** A precomputed constant-power interval: duration, the decay factors
     [e^{lambda dt}] and the modal equilibrium [z_inf(psi)]. *)
 
-(** [segment t ~duration ~psi] precomputes a segment.  Raises
+(** [segment t ~duration ~psi] precomputes a segment (decay/gain from the
+    shared table, equilibrium by superposition).  Raises
     [Invalid_argument] on non-positive durations. *)
 val segment : t -> duration:float -> psi:Linalg.Vec.t -> segment
 

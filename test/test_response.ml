@@ -1,0 +1,204 @@
+(* Differential tests for the linear-response superposition engine: the
+   unit-response tables, the streaming stable-status path and the
+   constant-voltage superposition must agree with the LU-backed
+   reference evaluators to <= 1e-9 on random platforms, and the
+   per-domain scratch must neither contend (pool sizes 1 and 4 give
+   bit-identical answers) nor cross-contaminate between engines. *)
+
+module Vec = Linalg.Vec
+module Model = Thermal.Model
+module Modal = Thermal.Modal
+module Matex = Thermal.Matex
+
+let model_a =
+  Thermal.Hotspot.core_level
+    (Thermal.Floorplan.grid ~rows:1 ~cols:3 ~core_width:4e-3 ~core_height:4e-3)
+
+let model_b =
+  Thermal.Hotspot.core_level ~ambient:45.
+    (Thermal.Floorplan.grid ~rows:2 ~cols:2 ~core_width:3e-3 ~core_height:3e-3)
+
+let seed_gen = QCheck.(make Gen.(int_range 0 1_000_000))
+
+(* A random small platform: varied geometry AND varied ambient,
+   including ambients below 0 C (negative ambient offsets) — the
+   superposition folds the leakage drive beta*T_amb into every
+   coefficient, so ambient handling is exactly what this suite must
+   stress. *)
+let random_model rng =
+  let rows = 1 + Random.State.int rng 2 in
+  let cols = 1 + Random.State.int rng 3 in
+  let ambient = -10. +. Random.State.float rng 70. in
+  let leak_beta = Random.State.float rng 0.1 in
+  Thermal.Hotspot.core_level ~ambient ~leak_beta
+    (Thermal.Floorplan.grid ~rows ~cols ~core_width:4e-3 ~core_height:4e-3)
+
+(* Random power vector with deliberate zeros (inactive cores). *)
+let random_psi rng n =
+  Array.init n (fun _ ->
+      if Random.State.float rng 1. < 0.3 then 0.
+      else Random.State.float rng 20.)
+
+let random_profile rng model =
+  let n = Model.n_cores model in
+  let n_segs = 1 + Random.State.int rng 6 in
+  List.init n_segs (fun _ ->
+      {
+        Thermal.Matex.duration = 0.01 +. Random.State.float rng 0.5;
+        psi = random_psi rng n;
+      })
+
+(* ------------------------------------------- superposition vs LU path *)
+
+let prop_z_inf_matches_lu =
+  QCheck.Test.make ~name:"z_inf superposition = W^-1 theta_inf (LU)"
+    ~count:100 seed_gen (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let model = random_model rng in
+      let eng = Modal.make model in
+      let psi = random_psi rng (Model.n_cores model) in
+      let superposed = Modal.z_inf eng psi in
+      let lu = Modal.to_modal eng (Model.theta_inf model psi) in
+      Vec.dist_inf superposed lu <= 1e-9)
+
+let prop_steady_peak_matches_lu =
+  QCheck.Test.make ~name:"steady_peak superposition = max steady_core_temps (LU)"
+    ~count:100 seed_gen (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let model = random_model rng in
+      let eng = Modal.make model in
+      let psi = random_psi rng (Model.n_cores model) in
+      Float.abs
+        (Modal.steady_peak eng psi -. Vec.max (Model.steady_core_temps model psi))
+      <= 1e-9)
+
+let prop_streamed_stable_matches_lu =
+  QCheck.Test.make ~name:"streamed stable status = Reference.stable_start (LU)"
+    ~count:60 seed_gen (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let model = random_model rng in
+      let profile = random_profile rng model in
+      let streamed = Matex.stable_core_temps model profile in
+      let reference =
+        Model.core_temps_of_theta model (Matex.Reference.stable_start model profile)
+      in
+      Vec.dist_inf streamed reference <= 1e-9)
+
+let prop_end_of_period_peak_matches_lu =
+  QCheck.Test.make ~name:"end_of_period_peak = LU stable-start peak"
+    ~count:60 seed_gen (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let model = random_model rng in
+      let profile = random_profile rng model in
+      let streamed = Matex.end_of_period_peak model profile in
+      let reference =
+        Model.max_core_temp model (Matex.Reference.stable_start model profile)
+      in
+      Float.abs (streamed -. reference) <= 1e-9)
+
+(* ---------------------------------------------- pool-size invariance *)
+
+(* The streaming path keeps all its state in per-domain scratch; fanning
+   a batch of candidates across pools of different sizes must return
+   bit-identical floats in index order. *)
+let test_pool_size_invariance () =
+  let rng = Random.State.make [| 2024 |] in
+  let profiles = Array.init 24 (fun _ -> random_profile rng model_a) in
+  let eval pool =
+    Util.Pool.init ~pool (Array.length profiles) (fun i ->
+        Matex.end_of_period_peak model_a profiles.(i))
+  in
+  let p1 = Util.Pool.create ~size:1 () in
+  let p4 = Util.Pool.create ~size:4 () in
+  let r1 = eval p1 and r4 = eval p4 in
+  Array.iteri
+    (fun i v1 ->
+      Alcotest.(check bool)
+        (Printf.sprintf "candidate %d bit-identical at pool sizes 1 and 4" i)
+        true
+        (Int64.bits_of_float v1 = Int64.bits_of_float r4.(i)))
+    r1
+
+(* ----------------------------------------------- engine independence *)
+
+let test_engine_identity () =
+  Alcotest.(check bool) "make memoizes per model" true
+    (Modal.make model_a == Modal.make model_a);
+  Alcotest.(check bool) "distinct models get distinct engines" true
+    (Modal.make model_a != Modal.make model_b)
+
+(* Interleaving a streaming evaluation on one engine with complete
+   evaluations on another must not disturb the first: each engine owns
+   its per-domain scratch. *)
+let test_no_cross_contamination () =
+  let rng = Random.State.make [| 7 |] in
+  let profile_a = random_profile rng model_a in
+  let profile_b = random_profile rng model_b in
+  let eng_a = Modal.make model_a in
+  let expected_a = Matex.end_of_period_peak model_a profile_a in
+  (* Replay profile_a through the streaming API by hand, running full
+     evaluations on model_b between every feed. *)
+  Modal.stable_begin eng_a;
+  let t_p =
+    List.fold_left
+      (fun acc (s : Matex.segment) ->
+        ignore (Matex.end_of_period_peak model_b profile_b);
+        Modal.stable_feed eng_a ~duration:s.duration ~psi:s.psi;
+        acc +. s.duration)
+      0. profile_a
+  in
+  let interleaved = Modal.max_core_temp eng_a (Modal.stable_solve eng_a ~t_p) in
+  Alcotest.(check bool) "interleaved streaming bit-identical" true
+    (Int64.bits_of_float interleaved = Int64.bits_of_float expected_a);
+  (* And the other platform still answers correctly afterwards. *)
+  let b_now = Matex.end_of_period_peak model_b profile_b in
+  let b_ref =
+    Model.max_core_temp model_b (Matex.Reference.stable_start model_b profile_b)
+  in
+  Alcotest.(check bool) "other platform undisturbed" true
+    (Float.abs (b_now -. b_ref) <= 1e-9)
+
+(* -------------------------------------------------- stats observability *)
+
+let test_stats_observable () =
+  let eng = Modal.make model_a in
+  let before = Modal.stats eng in
+  Alcotest.(check bool) "at least one engine built" true (before.Modal.builds >= 1);
+  let rng = Random.State.make [| 11 |] in
+  let profile = random_profile rng model_a in
+  ignore (Matex.end_of_period_peak model_a profile);
+  let mid = Modal.stats eng in
+  Alcotest.(check bool) "superposition evaluations counted" true
+    (mid.Modal.superpose_evals > before.Modal.superpose_evals);
+  (* Re-evaluating the same profile reuses the same durations: every
+     decay/gain lookup after the first pass hits the table. *)
+  ignore (Matex.end_of_period_peak model_a profile);
+  let after = Modal.stats eng in
+  Alcotest.(check bool) "decay-table hits grow on repeated durations" true
+    (after.Modal.exp_hits > mid.Modal.exp_hits);
+  Alcotest.(check bool) "no new decay-table misses for repeated durations" true
+    (after.Modal.exp_misses = mid.Modal.exp_misses)
+
+let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let () =
+  Alcotest.run "response"
+    [
+      qsuite "superposition vs LU"
+        [
+          prop_z_inf_matches_lu;
+          prop_steady_peak_matches_lu;
+          prop_streamed_stable_matches_lu;
+          prop_end_of_period_peak_matches_lu;
+        ];
+      ( "domains",
+        [
+          Alcotest.test_case "pool sizes 1 and 4 bit-identical" `Quick
+            test_pool_size_invariance;
+          Alcotest.test_case "engine identity" `Quick test_engine_identity;
+          Alcotest.test_case "no cross-contamination" `Quick
+            test_no_cross_contamination;
+        ] );
+      ( "stats",
+        [ Alcotest.test_case "counters observable" `Quick test_stats_observable ] );
+    ]
