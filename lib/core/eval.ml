@@ -1,3 +1,5 @@
+[@@@fosc.digest_sensitive]
+
 type t = {
   platform : Platform.t;
   pool : Util.Pool.t;

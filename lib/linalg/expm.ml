@@ -21,6 +21,7 @@ let pade13_coefficients =
     182.;
     1.;
   |]
+[@@fosc.unguarded "constant table, written by no one after module load"]
 
 let theta13 = 5.371920351148152
 

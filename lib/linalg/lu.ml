@@ -40,7 +40,7 @@ let factorize a =
     for i = k + 1 to n - 1 do
       let factor = Mat.get lu i k /. pivot in
       Mat.set lu i k factor;
-      if factor <> 0. then
+      if not (Float.equal factor 0.) then
         for j = k + 1 to n - 1 do
           Mat.set lu i j (Mat.get lu i j -. (factor *. Mat.get lu k j))
         done

@@ -66,7 +66,7 @@ let matmul a b =
   for i = 0 to a.rows - 1 do
     for k = 0 to a.cols - 1 do
       let aik = a.data.((i * a.cols) + k) in
-      if aik <> 0. then
+      if not (Float.equal aik 0.) then
         for j = 0 to b.cols - 1 do
           c.data.((i * c.cols) + j) <-
             c.data.((i * c.cols) + j) +. (aik *. b.data.((k * b.cols) + j))

@@ -88,7 +88,8 @@ let integrate f ~t0 ~t1 ~tol ?h0 ?(h_min = 1e-12) y0 =
         incr steps;
         (* Standard step-size growth with a safety factor, capped at 4x. *)
         let grow =
-          if err = 0. then 4. else Float.min 4. (0.9 *. Float.pow (tol /. err) 0.2)
+          if Float.equal err 0. then 4.
+          else Float.min 4. (0.9 *. Float.pow (tol /. err) 0.2)
         in
         go (t +. h) y5 (h *. Float.max grow 0.1)
       end

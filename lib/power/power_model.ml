@@ -36,7 +36,7 @@ let default = constant ~alpha:0.5 ~gamma:9.0 ~beta:0.05
 
 let psi pm v =
   if v < 0. then invalid_arg "Power_model.psi: negative voltage";
-  if v = 0. then 0. else pm.alpha v +. (pm.gamma v *. (v *. v *. v))
+  if Float.equal v 0. then 0. else pm.alpha v +. (pm.gamma v *. (v *. v *. v))
 
 let psi_vector pm voltages = Array.map (psi pm) voltages
 
@@ -74,5 +74,6 @@ let voltage_for_psi pm target =
   (* Uses the coefficients at the (unknown) target voltage; exact for the
      constant default, a one-step fixed point otherwise. *)
   let alpha = pm.alpha 1.0 and gamma = pm.gamma 1.0 in
-  if gamma = 0. then invalid_arg "Power_model.voltage_for_psi: gamma = 0";
+  if Float.equal gamma 0. then
+    invalid_arg "Power_model.voltage_for_psi: gamma = 0";
   Float.max 0. (Float.cbrt ((target -. alpha) /. gamma))

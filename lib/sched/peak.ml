@@ -8,17 +8,19 @@
    workers evaluating candidates concurrently may race to compute the
    same key, in which case both compute the (identical) value and one
    insert wins. *)
+[@@@fosc.digest_sensitive]
+
 module Cache = struct
   type stats = { hits : int; misses : int; entries : int; evictions : int }
 
   type t = {
     max_entries : int;
-    table : (string, float) Hashtbl.t;
-    order : string Queue.t;
+    table : (string, float) Hashtbl.t; [@fosc.guarded "mutex"]
+    order : string Queue.t; [@fosc.guarded "mutex"]
     lock : Mutex.t;
-    mutable hits : int;
-    mutable misses : int;
-    mutable evictions : int;
+    mutable hits : int; [@fosc.guarded "mutex"]
+    mutable misses : int; [@fosc.guarded "mutex"]
+    mutable evictions : int; [@fosc.guarded "mutex"]
   }
 
   let create ?(max_entries = 1024) () =
@@ -191,7 +193,8 @@ let two_mode_decompose s ~period ~low ~high ~high_ratio =
     let r = high_ratio.(i) in
     if r < -1e-12 || r > 1. +. 1e-12 then
       invalid_arg
-        (Printf.sprintf "Schedule.two_mode: ratio %g for core %d not in [0,1]" r i);
+        (Printf.sprintf
+           "Schedule.two_mode: ratio %.6g for core %d not in [0,1]" r i);
     let lh = Float.max 0. (Float.min period (r *. period)) in
     let ll = period -. lh in
     if lh <= 1e-12 then begin

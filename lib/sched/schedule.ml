@@ -6,7 +6,7 @@ let validate s =
   if Array.length s.cores = 0 then invalid_arg "Schedule: no cores";
   Array.iteri
     (fun i segments ->
-      if segments = [] then
+      if List.is_empty segments then
         invalid_arg (Printf.sprintf "Schedule: core %d has no segments" i);
       List.iter
         (fun seg ->
@@ -217,7 +217,7 @@ let of_string text =
                          | _ -> fail lineno "bad segment %S" field)
                      | _ -> fail lineno "bad segment %S (expected dur@volt)" field)
             in
-            if segs = [] then fail lineno "core has no segments";
+            if List.is_empty segs then fail lineno "core has no segments";
             segs
       in
       make ~period (Array.of_list (List.map parse_core rest))

@@ -117,7 +117,8 @@ let build model =
    reference, it just stops being shared. *)
 let engines_capacity = 16
 let engines_lock = Mutex.create ()
-let engines : (Model.t * t) list ref = ref []
+let engines : (Model.t * t) list ref =
+  ref [] [@@fosc.guarded "mutex"] (* engines_lock *)
 
 let rec take n = function
   | [] -> []
@@ -398,7 +399,7 @@ let at s ~t_rel z =
       s.z_eq.(j) +. (exp (s.lambda.(j) *. t_rel) *. (z.(j) -. s.z_eq.(j))))
 
 let stable_z (t : t) segs =
-  if segs = [] then invalid_arg "Modal.stable_z: empty segment list";
+  if List.is_empty segs then invalid_arg "Modal.stable_z: empty segment list";
   (* One period from the zero state: z(t_p) = K z0 + d with diagonal
      K = prod e^{lambda dt_q}; from z0 = 0 the iteration below leaves d. *)
   let d = Vec.zeros t.n in

@@ -20,8 +20,8 @@ type t = {
      may be shared across domains.  [cache_order] tracks insertion order
      so a full memo sheds its oldest entries instead of being dumped
      wholesale. *)
-  propagator_cache : (int64, Mat.t) Hashtbl.t;
-  cache_order : int64 Queue.t;
+  propagator_cache : (int64, Mat.t) Hashtbl.t; [@fosc.guarded "mutex"]
+  cache_order : int64 Queue.t; [@fosc.guarded "mutex"]
   cache_lock : Mutex.t;
 }
 

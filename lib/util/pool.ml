@@ -170,6 +170,9 @@ let global =
         under a parked worker. *)
      at_exit (fun () -> shutdown t);
      t)
+[@@fosc.unguarded
+  "first force happens on the submitting domain before any worker exists; a \
+   concurrent second force raises Lazy.Undefined rather than corrupting"]
 
 let get () = Lazy.force global
 

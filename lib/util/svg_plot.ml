@@ -2,6 +2,7 @@ type series = { label : string; points : (float * float) list }
 
 let palette =
   [| "#1f77b4"; "#d62728"; "#2ca02c"; "#9467bd"; "#ff7f0e"; "#8c564b"; "#17becf" |]
+[@@fosc.unguarded "constant table, written by no one after module load"]
 
 let margin_left = 70.
 let margin_right = 130.
@@ -28,7 +29,8 @@ let check_finite what v =
     invalid_arg (Printf.sprintf "Svg_plot: non-finite %s coordinate" what)
 
 let fmt_num v =
-  if Float.abs v >= 1e4 || (Float.abs v < 1e-3 && v <> 0.) then Printf.sprintf "%.2e" v
+  if Float.abs v >= 1e4 || (Float.abs v < 1e-3 && not (Float.equal v 0.)) then
+    Printf.sprintf "%.2e" v
   else Printf.sprintf "%g" (Float.round (v *. 1e6) /. 1e6)
 
 let escape s =
@@ -126,7 +128,7 @@ let finish frame =
   Buffer.contents frame.buffer
 
 let line_chart ?(width = 640) ?(height = 420) ~title ~x_label ~y_label series =
-  if not (List.exists (fun s -> s.points <> []) series) then
+  if not (List.exists (fun s -> not (List.is_empty s.points)) series) then
     invalid_arg "Svg_plot.line_chart: no data";
   List.iter
     (fun s ->
@@ -149,7 +151,7 @@ let line_chart ?(width = 640) ?(height = 420) ~title ~x_label ~y_label series =
   in
   List.iteri
     (fun k s ->
-      if s.points <> [] then begin
+      if not (List.is_empty s.points) then begin
         let colour = palette.(k mod Array.length palette) in
         let path =
           String.concat " "
@@ -197,7 +199,7 @@ let heat_colour frac =
   Printf.sprintf "#%02x%02x%02x" r g b
 
 let heatmap ?(width = 640) ?(height = 480) ~title ~x_label ~y_label cells =
-  if cells = [] then invalid_arg "Svg_plot.heatmap: no data";
+  if List.is_empty cells then invalid_arg "Svg_plot.heatmap: no data";
   List.iter
     (fun (x, y, v) ->
       check_finite "x" x;

@@ -1,3 +1,6 @@
+[@@@fosc.nondeterministic
+  "wall-clock measurement helper; never called from solver or digest paths"]
+
 let time_it f =
   let t0 = Unix.gettimeofday () in
   let result = f () in

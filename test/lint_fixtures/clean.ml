@@ -1,0 +1,10 @@
+(* Clean fixture: zero findings even with --scope lib.  Parsed by
+   fosc-lint, never compiled. *)
+
+type vec = { x : float; y : float }
+
+let norm v = Float.sqrt ((v.x *. v.x) +. (v.y *. v.y))
+let equal a b = Float.equal a.x b.x && Float.equal a.y b.y
+let names = [ "steady"; "oscillating" ]
+let has name = List.mem name names
+let counter = Atomic.make 0

@@ -1,0 +1,19 @@
+(* R1 fixture: each [badN] line must produce exactly one R1 finding.
+   Parsed by fosc-lint, never compiled. *)
+
+type sample = { duration : float; weight : int }
+
+let bad1 s = s.duration = 0.
+let bad2 a b = compare (a +. 1.) b
+let bad3 (x : float) y = max x y
+let bad4 xs = min (List.hd xs) 1.0
+let bad5 s = Hashtbl.hash s.duration
+let bad6 xs = List.sort compare (xs : float list)
+let bad7 v xs = List.mem (v *. 2.) xs
+let bad8 (a : sample) b = a = b
+
+(* Clean for contrast: no float evidence, or typed comparators. *)
+let ok1 a b = String.equal a b
+let ok2 s = Float.compare s.duration 0.
+let ok3 (a : int) b = a = b
+let ok4 s = s.weight = 3

@@ -1,0 +1,18 @@
+(* R2 fixture (linted with --scope lib): each [badN] binding must
+   produce exactly one R2 finding.  Parsed by fosc-lint, never
+   compiled. *)
+
+type box = { mutable contents : int; tag : string }
+
+let bad1 = Hashtbl.create 16
+let bad2 = ref 0
+let bad3 = [| 1.0; 2.0 |]
+let bad4 = { contents = 3; tag = "shared" }
+let bad5 = (Queue.create () [@fosc.guarded "spinlock"])
+
+(* Clean: inherently guarded, waived, or per-call. *)
+let ok1 = Atomic.make 0
+let ok2 = Mutex.create ()
+let ok3 = (ref 0 [@fosc.unguarded "fixture: never shared"])
+let ok4 () = Hashtbl.create 16
+let ok5 = 42

@@ -1,0 +1,6 @@
+(* R3 fixture: two findings.  Parsed by fosc-lint, never compiled. *)
+
+let bad1 x = Obj.magic x
+let bad2 x = Obj.repr x
+
+let ok x = Fun.id x

@@ -1,0 +1,11 @@
+(* R4 fixture (linted with --scope lib): four findings.  Parsed by
+   fosc-lint, never compiled. *)
+
+let bad1 () = Unix.gettimeofday ()
+let bad2 () = Sys.time ()
+let bad3 () = Random.self_init ()
+let bad4 n = Random.int n
+
+(* Clean: explicit state, or waived. *)
+let ok1 st n = Random.State.int st n
+let ok2 () = (Unix.gettimeofday () [@fosc.nondeterministic "fixture"])

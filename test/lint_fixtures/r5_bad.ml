@@ -1,0 +1,14 @@
+(* R5 fixture: the module opts in as digest-sensitive; four findings
+   (the two-conversion format string counts twice).  Parsed by
+   fosc-lint, never compiled. *)
+
+[@@@fosc.digest_sensitive]
+
+let bad1 v = string_of_float v
+let bad2 v = Printf.sprintf "%f,%e" v v
+let bad3 v = Printf.sprintf "%g" v
+
+(* Clean: bit-exact or fixed-precision formatting. *)
+let ok1 v = Printf.sprintf "%h" v
+let ok2 v = Printf.sprintf "%.17g" v
+let ok3 v = Printf.sprintf "%d%%" v

@@ -139,7 +139,7 @@ let prop_round_down_is_lower_neighbour =
     (fun v ->
       let ls = Vf.table_iv 5 in
       let lo, _ = Vf.neighbours ls v in
-      if v < Vf.lowest ls then Vf.round_down ls v = Vf.lowest ls
+      if v < Vf.lowest ls then Float.equal (Vf.round_down ls v) (Vf.lowest ls)
       else Float.abs (Vf.round_down ls v -. lo) < 1e-12)
 
 let prop_neighbours_bracket =

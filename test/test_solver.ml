@@ -109,8 +109,10 @@ let test_registry_names_and_lookup () =
     (List.map
        (fun (p : Solver.t) -> p.Solver.name)
        (Core.Registry.comparison ()));
-  Alcotest.(check bool) "find hit" true (Core.Registry.find "ao" <> None);
-  Alcotest.(check bool) "find miss" true (Core.Registry.find "nope" = None);
+  Alcotest.(check bool) "find hit" true
+    (Option.is_some (Core.Registry.find "ao"));
+  Alcotest.(check bool) "find miss" true
+    (Option.is_none (Core.Registry.find "nope"));
   Alcotest.(check bool) "find_exn miss raises" true
     (match Core.Registry.find_exn "nope" with
     | exception Invalid_argument _ -> true

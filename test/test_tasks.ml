@@ -34,15 +34,16 @@ let test_ffd_packs () =
 
 let test_ffd_rejects_oversized () =
   Alcotest.(check bool) "oversized task fails" true
-    (Tasks.Partition.first_fit_decreasing ~n_cores:4 ~capacity:1.
-       [ task "huge" 3. 2. ]
-    = None)
+    (Option.is_none
+       (Tasks.Partition.first_fit_decreasing ~n_cores:4 ~capacity:1.
+          [ task "huge" 3. 2. ]))
 
 let test_ffd_capacity_exhausted () =
   (* Three 0.6 tasks cannot fit on two unit-capacity cores in FFD. *)
   let tasks = [ task "a" 6. 10.; task "b" 6. 10.; task "c" 6. 10. ] in
   Alcotest.(check bool) "packing fails" true
-    (Tasks.Partition.first_fit_decreasing ~n_cores:2 ~capacity:1. tasks = None)
+    (Option.is_none
+       (Tasks.Partition.first_fit_decreasing ~n_cores:2 ~capacity:1. tasks))
 
 let test_wfd_balances () =
   let tasks =

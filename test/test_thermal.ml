@@ -14,7 +14,7 @@ let check_close tol = Alcotest.(check (float tol))
 let grid3 = Fp.grid ~rows:1 ~cols:3 ~core_width:4e-3 ~core_height:4e-3
 let model3 () = Thermal.Hotspot.core_level grid3
 
-let psi_of v = if v = 0. then 0. else 0.5 +. (9. *. (v ** 3.))
+let psi_of v = if Float.equal v 0. then 0. else 0.5 +. (9. *. (v ** 3.))
 let psi_vec vs = Array.map psi_of vs
 
 (* ------------------------------------------------------------ floorplan *)
@@ -45,7 +45,7 @@ let test_grid_2d_adjacency () =
   Alcotest.(check bool) "upper neighbour" true
     (Fp.shared_edge g.Fp.blocks.(0) g.Fp.blocks.(3) > 0.);
   Alcotest.(check bool) "diagonal is not a neighbour" true
-    (Fp.shared_edge g.Fp.blocks.(0) g.Fp.blocks.(4) = 0.)
+    (Float.equal (Fp.shared_edge g.Fp.blocks.(0) g.Fp.blocks.(4)) 0.)
 
 let test_stack3d_overlap () =
   let s = Fp.stack3d ~layers:2 ~rows:1 ~cols:2 ~core_width:4e-3 ~core_height:4e-3 in
@@ -330,7 +330,8 @@ let test_matex_simulate_boundaries () =
   let p = two_mode_profile ~d1:0.05 ~v1:[| 1.3; 0.6; 0.6 |] ~d2:0.05 ~v2:[| 0.6; 0.6; 1.3 |] in
   let states = Matex.simulate m ~theta0:(Vec.zeros 3) p in
   Alcotest.(check int) "boundary count" 3 (Array.length states);
-  Alcotest.(check bool) "starts at theta0" true (Vec.norm_inf states.(0) = 0.);
+  Alcotest.(check bool) "starts at theta0" true
+    (Float.equal (Vec.norm_inf states.(0)) 0.);
   Alcotest.(check bool) "temperatures rose" true (Vec.max states.(2) > 0.)
 
 let test_matex_stable_start_is_fixed_point () =
@@ -420,7 +421,8 @@ let test_time_to_threshold_never () =
   let m = model3 () in
   let profile = [ { Matex.duration = 0.05; psi = psi_vec [| 0.6; 0.6; 0.6 |] } ] in
   Alcotest.(check bool) "all-low never reaches 60C" true
-    (Matex.time_to_threshold m ~max_periods:200 ~threshold:60. profile = None)
+    (Option.is_none
+       (Matex.time_to_threshold m ~max_periods:200 ~threshold:60. profile))
 
 let test_time_to_threshold_immediate () =
   let m = model3 () in

@@ -1,0 +1,97 @@
+(* fosc-lint: repo-specific static analysis (DESIGN.md §10).
+
+   Usage: fosc_lint [--scope lib] PATH...
+
+   Each PATH is a file or a directory walked recursively for .ml/.mli.
+   Scope (whether R2/R4 apply) is normally inferred per file from its
+   path ("lib" component → lib scope; "bin"/"bench"/"test"/"tool" →
+   not); [--scope lib] forces lib scope for everything, which is how
+   the fixture tests exercise R2/R4 on files living under test/.
+
+   Exit status: 0 clean, 1 findings (parse failures count as findings
+   with rule id "parse"). *)
+
+let usage = "usage: fosc_lint [--scope lib] PATH..."
+
+let forced_lib_scope = ref false
+let roots = ref []
+
+let () =
+  Arg.parse
+    [
+      ( "--scope",
+        Arg.String
+          (function
+          | "lib" -> forced_lib_scope := true
+          | s ->
+              prerr_endline ("fosc_lint: unknown scope " ^ s);
+              exit 2),
+        "lib  treat every input as lib/ code (enables R2/R4)" );
+    ]
+    (fun p -> roots := p :: !roots)
+    usage
+
+let skip_dir name =
+  name = "_build" || name = "lint_fixtures"
+  || (String.length name > 0 && name.[0] = '.')
+
+let rec walk acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort compare
+    |> List.fold_left
+         (fun acc entry ->
+           if skip_dir entry then acc else walk acc (Filename.concat path entry))
+         acc
+  else if
+    Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+  then path :: acc
+  else acc
+
+let lib_scope_of_path path =
+  !forced_lib_scope
+  || List.mem "lib" (String.split_on_char '/' path)
+
+let () =
+  let roots = List.rev !roots in
+  if roots = [] then begin
+    prerr_endline usage;
+    exit 2
+  end;
+  List.iter
+    (fun r ->
+      if not (Sys.file_exists r) then begin
+        prerr_endline ("fosc_lint: no such path: " ^ r);
+        exit 2
+      end)
+    roots;
+  let files = List.fold_left walk [] roots |> List.sort compare in
+  let sources =
+    List.map
+      (fun path -> Harvest.parse_file ~lib_scope:(lib_scope_of_path path) path)
+      files
+  in
+  let env = Harvest.build_env sources in
+  let findings = List.concat_map (Rules.check env) sources in
+  let findings =
+    List.sort
+      (fun (a : Rules.finding) (b : Rules.finding) ->
+        match compare a.path b.path with
+        | 0 -> ( match compare a.line b.line with 0 -> compare a.col b.col | c -> c)
+        | c -> c)
+      findings
+  in
+  List.iter
+    (fun (f : Rules.finding) ->
+      Printf.printf "%s:%d:%d: [%s] %s\n" f.path f.line f.col f.rule f.msg)
+    findings;
+  let n = List.length findings in
+  if n = 0 then begin
+    Printf.printf "fosc-lint: %d files clean\n" (List.length files);
+    exit 0
+  end
+  else begin
+    Printf.printf "fosc-lint: %d finding%s in %d files\n" n
+      (if n = 1 then "" else "s")
+      (List.length files);
+    exit 1
+  end

@@ -1,0 +1,293 @@
+(* Source loading and the cross-file "float shape" harvest.
+
+   fosc-lint works on parsetrees (compiler-libs [Parse] +
+   [Ast_iterator]), not typedtrees, so it cannot ask the typer whether
+   an operand of [compare] mentions [float].  Instead it runs a cheap
+   whole-repo harvest first and answers the question syntactically:
+
+   - [float_types]: names of declared types whose definition mentions
+     [float] transitively (records with float fields, aliases, variant
+     payloads, containers thereof), computed as a fixpoint over every
+     scanned [.ml]/[.mli];
+   - [float_fields]: record field names whose declared type mentions
+     float, so [e.duration] is float evidence wherever it appears;
+   - [float_vals]: qualified values ([Vec.max], [Hotspot.default_ambient],
+     module-level float constants) whose fully-applied result mentions
+     float;
+   - [mutable_fields]: field names declared [mutable], so a top-level
+     record literal containing one is recognizably shared mutable state.
+
+   Names are keyed as ["Module.name"] where [Module] is the defining
+   file's module name; references are resolved by their last two path
+   components, which is exact for this repo's one-level library wrapping
+   ([Sched.Schedule.t] and [Schedule.t] both key as ["Schedule.t"]). *)
+
+module SSet = Set.Make (String)
+open Parsetree
+
+type ast =
+  | Impl of structure
+  | Intf of signature
+  | Broken of int * string  (* parse failure: line, message *)
+
+type source = {
+  path : string;  (* as given on the command line, used in findings *)
+  modname : string;
+  lib_scope : bool;  (* under lib/: R2 and R4 apply *)
+  ast : ast;
+}
+
+let modname_of_path path =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename path))
+
+let parse_file ~lib_scope path =
+  let parse () =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let lexbuf = Lexing.from_channel ic in
+        Location.init lexbuf path;
+        if Filename.check_suffix path ".mli" then Intf (Parse.interface lexbuf)
+        else Impl (Parse.implementation lexbuf))
+  in
+  let ast =
+    match parse () with
+    | ast -> ast
+    | exception Syntaxerr.Error err ->
+        let loc = Syntaxerr.location_of_error err in
+        Broken (loc.loc_start.pos_lnum, "syntax error")
+    | exception exn -> Broken (1, Printexc.to_string exn)
+  in
+  { path; modname = modname_of_path path; lib_scope; ast }
+
+(* ------------------------------------------------------------ names *)
+
+(* [Longident.flatten] raises on [Lapply]; a lint never wants that. *)
+let safe_flatten lid =
+  match Longident.flatten lid with l -> l | exception _ -> []
+
+let last2 = function
+  | [] -> ""
+  | [ x ] -> x
+  | l -> ( match List.rev l with b :: a :: _ -> a ^ "." ^ b | _ -> "")
+
+(* Key under which a type reference resolves, as seen from [current]. *)
+let ref_key ~current flat =
+  match flat with [] -> "" | [ t ] -> current ^ "." ^ t | l -> last2 l
+
+(* ------------------------------------------- shared builtin tables *)
+
+let float_arith_ops = [ "+."; "-."; "*."; "/."; "**"; "~-."; "~+." ]
+
+let builtin_float_funs =
+  [
+    "sqrt"; "exp"; "expm1"; "log"; "log10"; "log1p"; "cos"; "sin"; "tan";
+    "acos"; "asin"; "atan"; "atan2"; "cosh"; "sinh"; "tanh"; "ceil"; "floor";
+    "abs_float"; "mod_float"; "copysign"; "ldexp"; "float_of_int"; "float";
+    "float_of_string";
+  ]
+
+let builtin_float_consts =
+  [ "infinity"; "neg_infinity"; "nan"; "max_float"; "min_float"; "epsilon_float" ]
+
+(* [Float.f] applications whose result is NOT a float. *)
+let float_module_nonfloat =
+  [
+    "compare"; "equal"; "hash"; "seeded_hash"; "to_int"; "to_string";
+    "to_bits"; "is_nan"; "is_finite"; "is_infinite"; "is_integer"; "sign_bit";
+    "classify_float"; "of_string_opt"; "min_max"; "min_max_num";
+  ]
+
+(* -------------------------------------------------------- the env *)
+
+type env = {
+  float_types : SSet.t;
+  float_fields : SSet.t;
+  float_vals : SSet.t;
+  mutable_fields : SSet.t;
+}
+
+let rec ty_mentions_float ~types ~current (ty : core_type) =
+  match ty.ptyp_desc with
+  | Ptyp_constr (lid, args) -> (
+      match safe_flatten lid.txt with
+      | [ "float" ] | [ "Stdlib"; "float" ] -> true
+      | flat ->
+          SSet.mem (ref_key ~current flat) types
+          || List.exists (ty_mentions_float ~types ~current) args)
+  | Ptyp_tuple l -> List.exists (ty_mentions_float ~types ~current) l
+  | Ptyp_arrow (_, a, b) ->
+      ty_mentions_float ~types ~current a || ty_mentions_float ~types ~current b
+  | Ptyp_alias (t, _) | Ptyp_poly (_, t) -> ty_mentions_float ~types ~current t
+  | _ -> false
+
+let label_decls_mention ~types ~current lds =
+  List.exists (fun ld -> ty_mentions_float ~types ~current ld.pld_type) lds
+
+let decl_mentions_float ~types ~current (td : type_declaration) =
+  (match td.ptype_manifest with
+  | Some t -> ty_mentions_float ~types ~current t
+  | None -> false)
+  ||
+  match td.ptype_kind with
+  | Ptype_record lds -> label_decls_mention ~types ~current lds
+  | Ptype_variant cds ->
+      List.exists
+        (fun cd ->
+          match cd.pcd_args with
+          | Pcstr_tuple ts -> List.exists (ty_mentions_float ~types ~current) ts
+          | Pcstr_record lds -> label_decls_mention ~types ~current lds)
+        cds
+  | Ptype_abstract | Ptype_open -> false
+
+(* Collected declarations, tagged with the module they live in. *)
+type raw = {
+  mutable types : (string * type_declaration) list;  (* modname, decl *)
+  mutable labels : (string * label_declaration) list;
+  mutable vals : (string * string * core_type) list;  (* mod, name, type *)
+  mutable float_lets : (string * string) list;  (* mod, name: float consts *)
+}
+
+(* A module-level [let] whose body is unmistakably a float expression;
+   enough for constant tables like [let v_low = 0.6]. *)
+let rec shallow_float_expr e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+      match safe_flatten txt with
+      | [ f ] ->
+          List.mem f float_arith_ops || List.mem f builtin_float_funs
+      | [ "Float"; f ] -> not (List.mem f float_module_nonfloat)
+      | _ -> false)
+  | Pexp_constraint (e', { ptyp_desc = Ptyp_constr (lid, []); _ }) ->
+      safe_flatten lid.txt = [ "float" ] || shallow_float_expr e'
+  | _ -> false
+
+let record_labels raw modname td =
+  let each lds = List.iter (fun ld -> raw.labels <- (modname, ld) :: raw.labels) lds in
+  (match td.ptype_kind with
+  | Ptype_record lds -> each lds
+  | Ptype_variant cds ->
+      List.iter
+        (fun cd ->
+          match cd.pcd_args with Pcstr_record lds -> each lds | _ -> ())
+        cds
+  | _ -> ());
+  raw.types <- (modname, td) :: raw.types
+
+let rec collect_structure raw modname (str : structure) =
+  List.iter
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_type (_, tds) -> List.iter (record_labels raw modname) tds
+      | Pstr_primitive vd ->
+          raw.vals <- (modname, vd.pval_name.txt, vd.pval_type) :: raw.vals
+      | Pstr_value (_, vbs) ->
+          List.iter
+            (fun vb ->
+              match vb.pvb_pat.ppat_desc with
+              | Ppat_var { txt; _ } when shallow_float_expr vb.pvb_expr ->
+                  raw.float_lets <- (modname, txt) :: raw.float_lets
+              | _ -> ())
+            vbs
+      | Pstr_module mb -> collect_module raw mb.pmb_name.txt mb.pmb_expr
+      | Pstr_recmodule mbs ->
+          List.iter (fun mb -> collect_module raw mb.pmb_name.txt mb.pmb_expr) mbs
+      | _ -> ())
+    str
+
+and collect_module raw name (me : module_expr) =
+  let name = Option.value name ~default:"_" in
+  match me.pmod_desc with
+  | Pmod_structure str -> collect_structure raw name str
+  | Pmod_constraint (me', _) | Pmod_functor (_, me') ->
+      collect_module raw (Some name) me'
+  | _ -> ()
+
+let rec collect_signature raw modname (sg : signature) =
+  List.iter
+    (fun item ->
+      match item.psig_desc with
+      | Psig_type (_, tds) -> List.iter (record_labels raw modname) tds
+      | Psig_value vd ->
+          raw.vals <- (modname, vd.pval_name.txt, vd.pval_type) :: raw.vals
+      | Psig_module md -> collect_module_type raw md.pmd_name.txt md.pmd_type
+      | _ -> ())
+    sg
+
+and collect_module_type raw name (mt : module_type) =
+  let name = Option.value name ~default:"_" in
+  match mt.pmty_desc with
+  | Pmty_signature sg -> collect_signature raw name sg
+  | Pmty_functor (_, mt') -> collect_module_type raw (Some name) mt'
+  | _ -> ()
+
+let rec result_type (ty : core_type) =
+  match ty.ptyp_desc with
+  | Ptyp_arrow (_, _, r) -> result_type r
+  | Ptyp_poly (_, t) -> result_type t
+  | _ -> ty
+
+let build_env (sources : source list) =
+  let raw = { types = []; labels = []; vals = []; float_lets = [] } in
+  List.iter
+    (fun src ->
+      match src.ast with
+      | Impl str -> collect_structure raw src.modname str
+      | Intf sg -> collect_signature raw src.modname sg
+      | Broken _ -> ())
+    sources;
+  (* Fixpoint over declared types: a type is float-bearing as soon as
+     its definition mentions float or another float-bearing type. *)
+  let types = ref SSet.empty in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (m, td) ->
+        let key = m ^ "." ^ td.ptype_name.txt in
+        if
+          (not (SSet.mem key !types))
+          && decl_mentions_float ~types:!types ~current:m td
+        then begin
+          types := SSet.add key !types;
+          changed := true
+        end)
+      raw.types
+  done;
+  let types = !types in
+  (* A field name is float evidence only when EVERY record declaring a
+     field of that name gives it a float-bearing type; [Mat.t.rows : int]
+     must not be poisoned by some result record's [rows : row list]. *)
+  let yes, no =
+    List.fold_left
+      (fun (yes, no) (m, ld) ->
+        if ty_mentions_float ~types ~current:m ld.pld_type then
+          (SSet.add ld.pld_name.txt yes, no)
+        else (yes, SSet.add ld.pld_name.txt no))
+      (SSet.empty, SSet.empty) raw.labels
+  in
+  let float_fields = SSet.diff yes no in
+  let mutable_fields =
+    List.fold_left
+      (fun acc (_, ld) ->
+        match ld.pld_mutable with
+        | Mutable -> SSet.add ld.pld_name.txt acc
+        | Immutable -> acc)
+      SSet.empty raw.labels
+  in
+  let float_vals =
+    List.fold_left
+      (fun acc (m, name, ty) ->
+        if ty_mentions_float ~types ~current:m (result_type ty) then
+          SSet.add (m ^ "." ^ name) acc
+        else acc)
+      SSet.empty raw.vals
+  in
+  let float_vals =
+    List.fold_left
+      (fun acc (m, name) -> SSet.add (m ^ "." ^ name) acc)
+      float_vals raw.float_lets
+  in
+  { float_types = types; float_fields; float_vals; mutable_fields }

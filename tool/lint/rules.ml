@@ -1,0 +1,607 @@
+(* The five fosc-lint rules (DESIGN.md §10).
+
+   R1  no polymorphic =/<>/compare/min/max/Hashtbl.hash where an operand
+       shows float evidence (everywhere);
+   R2  module-level mutable bindings must be Atomic/Mutex/Domain.DLS or
+       carry [@fosc.guarded "mutex|atomic|dls"] / [@fosc.unguarded
+       "reason"] (lib/ only — everything under lib/ is reachable from
+       Util.Pool tasks);
+   R3  Obj is banned outright (everywhere);
+   R4  wall-clock and ambient randomness are banned in lib/
+       ([Random.State] with an explicit state is fine; a binding may be
+       waived with [@fosc.nondeterministic "reason"]);
+   R5  modules marked [@@@fosc.digest_sensitive] must not format floats
+       with [string_of_float] or precision-less %f/%e/%g (use %h or an
+       explicit precision).
+
+   Plus "attr": well-formedness of every [fosc.*] annotation, checked
+   everywhere so a typo can never silently disable a rule. *)
+
+module H = Harvest
+module SSet = H.SSet
+open Parsetree
+
+type finding = { path : string; line : int; col : int; rule : string; msg : string }
+
+let finding path (loc : Location.t) rule msg =
+  {
+    path;
+    line = loc.loc_start.pos_lnum;
+    col = loc.loc_start.pos_cnum - loc.loc_start.pos_bol;
+    rule;
+    msg;
+  }
+
+let attr_is name (a : attribute) = a.attr_name.txt = name
+let has_attr name attrs = List.exists (attr_is name) attrs
+
+let string_payload (a : attribute) =
+  match a.attr_payload with
+  | PStr
+      [
+        {
+          pstr_desc =
+            Pstr_eval
+              ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+          _;
+        };
+      ] ->
+      Some s
+  | _ -> None
+
+(* ------------------------------------------------------------------ R1 *)
+
+let ident_in flat names = List.mem flat names
+
+let float_returning (env : H.env) ~current flat =
+  match flat with
+  | [ f ] ->
+      List.mem f H.float_arith_ops
+      || List.mem f H.builtin_float_funs
+      || SSet.mem (current ^ "." ^ f) env.float_vals
+  | [ "Stdlib"; f ] ->
+      List.mem f H.float_arith_ops || List.mem f H.builtin_float_funs
+  | [ "Float"; f ] | [ "Stdlib"; "Float"; f ] ->
+      not (List.mem f H.float_module_nonfloat)
+  | l -> SSet.mem (H.last2 l) env.float_vals
+
+let ident_float_evidence (env : H.env) ~current ~locals flat =
+  match flat with
+  | [ x ] ->
+      SSet.mem x locals
+      || List.mem x H.builtin_float_consts
+      || SSet.mem (current ^ "." ^ x) env.float_vals
+  | l -> float_returning env ~current l
+
+let rec float_evidence (env : H.env) ~current ~locals e =
+  let ev = float_evidence env ~current ~locals in
+  let ev_opt = function Some e -> ev e | None -> false in
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_ident { txt; _ } ->
+      ident_float_evidence env ~current ~locals (H.safe_flatten txt)
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) ->
+      float_returning env ~current (H.safe_flatten txt)
+  | Pexp_field (_, { txt; _ }) -> (
+      match List.rev (H.safe_flatten txt) with
+      | f :: _ -> SSet.mem f env.float_fields
+      | [] -> false)
+  | Pexp_constraint (e', ty) ->
+      H.ty_mentions_float ~types:env.float_types ~current ty || ev e'
+  | Pexp_coerce (e', _, ty) ->
+      H.ty_mentions_float ~types:env.float_types ~current ty || ev e'
+  | Pexp_tuple es | Pexp_array es -> List.exists ev es
+  | Pexp_construct
+      ({ txt = Lident "::"; _ }, Some { pexp_desc = Pexp_tuple [ h; t ]; _ }) ->
+      ev h || ev t
+  | Pexp_construct ({ txt = Lident "Some"; _ }, Some e') -> ev e'
+  | Pexp_variant (_, e') -> ev_opt e'
+  | Pexp_record (fields, base) ->
+      List.exists
+        (fun (({ Location.txt; _ } : Longident.t Location.loc), fe) ->
+          (match List.rev (H.safe_flatten txt) with
+          | f :: _ -> SSet.mem f env.float_fields
+          | [] -> false)
+          || ev fe)
+        fields
+      || ev_opt base
+  | Pexp_ifthenelse (_, a, b) -> ev a || ev_opt b
+  | Pexp_sequence (_, b)
+  | Pexp_let (_, _, b)
+  | Pexp_open (_, b)
+  | Pexp_letmodule (_, _, b)
+  | Pexp_letexception (_, b) ->
+      ev b
+  | Pexp_match (_, cases) | Pexp_try (_, cases) ->
+      List.exists (fun c -> ev c.pc_rhs) cases
+  | Pexp_lazy e' -> ev e'
+  | _ -> false
+
+let polyop flat =
+  match flat with
+  | [ (("=" | "<>" | "compare" | "min" | "max") as op) ]
+  | [ "Stdlib"; (("=" | "<>" | "compare" | "min" | "max") as op) ] ->
+      Some op
+  | [ "Hashtbl"; "hash" ] | [ "Stdlib"; "Hashtbl"; "hash" ] ->
+      Some "Hashtbl.hash"
+  | _ -> None
+
+let sort_hofs =
+  [
+    [ "List"; "sort" ]; [ "List"; "stable_sort" ]; [ "List"; "fast_sort" ];
+    [ "List"; "sort_uniq" ]; [ "Array"; "sort" ]; [ "Array"; "stable_sort" ];
+  ]
+
+(* Functions that apply polymorphic structural equality internally.
+   The assoc family only compares KEYS, so evidence there comes from the
+   first positional argument alone. *)
+let struct_eq_funs = [ [ "List"; "mem" ]; [ "Array"; "mem" ] ]
+
+let struct_eq_key_funs =
+  [
+    [ "List"; "assoc" ]; [ "List"; "assoc_opt" ]; [ "List"; "mem_assoc" ];
+    [ "List"; "remove_assoc" ];
+  ]
+
+(* Pattern variables that should count as float evidence in the body:
+   [fun (x : float) -> ...] and [let x = 2. *. y in ...]. *)
+let rec pattern_float_vars env ~current ~evident_rhs acc (p : pattern) =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> if evident_rhs then SSet.add txt acc else acc
+  | Ppat_constraint ({ ppat_desc = Ppat_var { txt; _ }; _ }, ty) ->
+      if H.ty_mentions_float ~types:env.H.float_types ~current ty then
+        SSet.add txt acc
+      else acc
+  | Ppat_constraint (p', ty) ->
+      pattern_float_vars env ~current
+        ~evident_rhs:
+          (evident_rhs
+          || H.ty_mentions_float ~types:env.H.float_types ~current ty)
+        acc p'
+  | Ppat_alias (p', { txt; _ }) ->
+      let acc = if evident_rhs then SSet.add txt acc else acc in
+      pattern_float_vars env ~current ~evident_rhs acc p'
+  | Ppat_tuple ps ->
+      List.fold_left (pattern_float_vars env ~current ~evident_rhs) acc ps
+  | _ -> acc
+
+let check_r1 env ~current ~path (str : structure) =
+  let out = ref [] in
+  let push loc msg = out := finding path loc "R1" msg :: !out in
+  let rec walk locals e =
+    (match e.pexp_desc with
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, args) -> (
+        let flat = H.safe_flatten txt in
+        let arg_ev =
+          lazy
+            (List.exists
+               (fun (_, a) -> float_evidence env ~current ~locals a)
+               args)
+        in
+        match polyop flat with
+        | Some op when Lazy.force arg_ev ->
+            push loc
+              (Printf.sprintf
+                 "polymorphic %s on float-bearing operands (NaN and \
+                  bit-digest hazard); use Float.compare/Float.equal or a \
+                  typed comparator"
+                 op)
+        | Some _ -> ()
+        | None ->
+            if ident_in flat sort_hofs then begin
+              match args with
+              | (_, { pexp_desc = Pexp_ident { txt = cmp; _ }; _ }) :: rest
+                when polyop (H.safe_flatten cmp) <> None
+                     && List.exists
+                          (fun (_, a) -> float_evidence env ~current ~locals a)
+                          rest ->
+                  push loc
+                    (Printf.sprintf
+                       "polymorphic compare passed to %s over float-bearing \
+                        elements; use Float.compare or a typed comparator"
+                       (String.concat "." flat))
+              | _ -> ()
+            end
+            else if
+              (ident_in flat struct_eq_funs && Lazy.force arg_ev)
+              || ident_in flat struct_eq_key_funs
+                 && (match args with
+                    | (_, key) :: _ -> float_evidence env ~current ~locals key
+                    | [] -> false)
+            then
+              push loc
+                (Printf.sprintf
+                   "%s applies polymorphic equality to float-bearing \
+                    operands (NaN hazard); compare explicitly"
+                   (String.concat "." flat)))
+    | _ -> ());
+    match e.pexp_desc with
+    | Pexp_let (_, vbs, body) ->
+        List.iter (fun vb -> walk locals vb.pvb_expr) vbs;
+        let locals' =
+          List.fold_left
+            (fun acc vb ->
+              pattern_float_vars env ~current
+                ~evident_rhs:(float_evidence env ~current ~locals vb.pvb_expr)
+                acc vb.pvb_pat)
+            locals vbs
+        in
+        walk locals' body
+    | Pexp_fun (_, default, pat, body) ->
+        Option.iter (walk locals) default;
+        let locals' =
+          pattern_float_vars env ~current
+            ~evident_rhs:
+              (match default with
+              | Some d -> float_evidence env ~current ~locals d
+              | None -> false)
+            locals pat
+        in
+        walk locals' body
+    | Pexp_match (scrut, cases) | Pexp_try (scrut, cases) ->
+        walk locals scrut;
+        List.iter
+          (fun c ->
+            Option.iter (walk locals) c.pc_guard;
+            walk locals c.pc_rhs)
+          cases
+    | Pexp_function cases ->
+        List.iter
+          (fun c ->
+            Option.iter (walk locals) c.pc_guard;
+            walk locals c.pc_rhs)
+          cases
+    | _ ->
+        let it =
+          {
+            Ast_iterator.default_iterator with
+            expr = (fun _ e' -> walk locals e');
+          }
+        in
+        Ast_iterator.default_iterator.expr it e
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr = (fun _ e -> walk SSet.empty e);
+    }
+  in
+  it.structure it str;
+  List.rev !out
+
+(* ------------------------------------------------------------------ R2 *)
+
+type creator = Guarded | Raw of string
+
+let classify_creator flat =
+  match flat with
+  | [ "ref" ] | [ "Stdlib"; "ref" ] -> Some (Raw "ref")
+  | [ "Atomic"; "make" ] | [ "Mutex"; "create" ] | [ "Semaphore"; _; "make" ]
+  | [ "Domain"; "DLS"; "new_key" ] | [ "Condition"; "create" ] ->
+      Some Guarded
+  | [ "Hashtbl"; "create" ] -> Some (Raw "Hashtbl.t")
+  | [ "Queue"; "create" ] -> Some (Raw "Queue.t")
+  | [ "Stack"; "create" ] -> Some (Raw "Stack.t")
+  | [ "Buffer"; "create" ] -> Some (Raw "Buffer.t")
+  | [ "Bytes"; ("create" | "make" | "of_string" | "init") ] ->
+      Some (Raw "Bytes.t")
+  | [ "Array";
+      ( "make" | "create" | "init" | "create_float" | "make_matrix" | "copy"
+      | "of_list" | "append" | "concat" | "sub" ) ] ->
+      Some (Raw "array")
+  | [ "Weak"; "create" ] -> Some (Raw "Weak.t")
+  | _ -> None
+
+(* Mutable state created by a module-level binding's RHS.  Creations
+   inside [fun]/[function] bodies happen per call, not at module load,
+   so the walk stops there. *)
+let rhs_creators (env : H.env) e =
+  let raw = ref [] and guarded = ref false in
+  let add = function
+    | Guarded -> guarded := true
+    | Raw kind -> if not (List.mem kind !raw) then raw := kind :: !raw
+  in
+  let iter_expr it e =
+    match e.pexp_desc with
+    | Pexp_fun _ | Pexp_function _ -> ()
+    | Pexp_lazy _ ->
+        (* A module-level lazy is itself a shared once-cell: concurrent
+           first forcing from two domains is a race (Lazy.Undefined). *)
+        add (Raw "lazy");
+        Ast_iterator.default_iterator.expr it e
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) ->
+        Option.iter add (classify_creator (H.safe_flatten txt));
+        Ast_iterator.default_iterator.expr it e
+    | Pexp_array _ ->
+        add (Raw "array literal");
+        Ast_iterator.default_iterator.expr it e
+    | Pexp_record (fields, _) ->
+        if
+          List.exists
+            (fun (({ Location.txt; _ } : Longident.t Location.loc), _) ->
+              match List.rev (H.safe_flatten txt) with
+              | f :: _ -> SSet.mem f env.mutable_fields
+              | [] -> false)
+            fields
+        then add (Raw "record with mutable fields");
+        Ast_iterator.default_iterator.expr it e
+    | _ -> Ast_iterator.default_iterator.expr it e
+  in
+  let it = { Ast_iterator.default_iterator with expr = iter_expr } in
+  it.expr it e;
+  (List.rev !raw, !guarded)
+
+let rec binding_name (p : pattern) =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> txt
+  | Ppat_constraint (p', _) | Ppat_alias (p', _) -> binding_name p'
+  | _ -> "<pattern>"
+
+let check_r2 env ~path (str : structure) =
+  let out = ref [] in
+  let rec structure str = List.iter item str
+  and item si =
+    match si.pstr_desc with
+    | Pstr_value (_, vbs) -> List.iter binding vbs
+    | Pstr_module mb -> module_expr mb.pmb_expr
+    | Pstr_recmodule mbs -> List.iter (fun mb -> module_expr mb.pmb_expr) mbs
+    | _ -> ()
+  and module_expr me =
+    match me.pmod_desc with
+    | Pmod_structure str -> structure str
+    | Pmod_constraint (me', _) | Pmod_functor (_, me') -> module_expr me'
+    | _ -> ()
+  and binding vb =
+    let annotated attrs =
+      has_attr "fosc.guarded" attrs || has_attr "fosc.unguarded" attrs
+    in
+    if not (annotated vb.pvb_attributes || annotated vb.pvb_expr.pexp_attributes)
+    then
+      match vb.pvb_expr.pexp_desc with
+      | Pexp_fun _ | Pexp_function _ -> ()
+      | _ -> (
+          match rhs_creators env vb.pvb_expr with
+          | [], _ -> ()
+          | raw, _ ->
+              out :=
+                finding path vb.pvb_loc "R2"
+                  (Printf.sprintf
+                     "top-level mutable binding '%s' (%s) is reachable from \
+                      Util.Pool tasks; guard it (Atomic/Mutex/Domain.DLS) or \
+                      annotate [@@fosc.guarded \"mutex|atomic|dls\"] / \
+                      [@@fosc.unguarded \"reason\"]"
+                     (binding_name vb.pvb_pat)
+                     (String.concat ", " raw))
+                :: !out)
+  in
+  structure str;
+  List.rev !out
+
+(* ------------------------------------------------------------------ R3 *)
+
+let check_r3 ~path (str : structure) =
+  let out = ref [] in
+  let flag loc what =
+    out :=
+      finding path loc "R3"
+        (Printf.sprintf
+           "%s is banned: it defeats the type system and every \
+            bit-exactness argument" what)
+      :: !out
+  in
+  let head_is_obj = function
+    | "Obj" :: _ :: _ | "Stdlib" :: "Obj" :: _ :: _ -> true
+    | _ -> false
+  in
+  let expr it e =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; loc } when head_is_obj (H.safe_flatten txt) ->
+        flag loc (String.concat "." (H.safe_flatten txt))
+    | _ -> ());
+    Ast_iterator.default_iterator.expr it e
+  in
+  let module_expr it me =
+    (match me.pmod_desc with
+    | Pmod_ident { txt; loc } -> (
+        match H.safe_flatten txt with
+        | "Obj" :: _ -> flag loc "Obj (module alias/open)"
+        | _ -> ())
+    | _ -> ());
+    Ast_iterator.default_iterator.module_expr it me
+  in
+  let it = { Ast_iterator.default_iterator with expr; module_expr } in
+  it.structure it str;
+  List.rev !out
+
+(* ------------------------------------------------------------------ R4 *)
+
+let nondeterministic_ident flat =
+  match flat with
+  | [ "Unix"; (("gettimeofday" | "time" | "times") as f) ] -> Some ("Unix." ^ f)
+  | [ "Sys"; "time" ] -> Some "Sys.time"
+  | [ "Random"; f ] -> Some ("Random." ^ f)  (* Random.State.* has arity 3 *)
+  | _ -> None
+
+let waiver = "fosc.nondeterministic"
+
+let check_r4 ~path (str : structure) =
+  if
+    List.exists
+      (fun si ->
+        match si.pstr_desc with
+        | Pstr_attribute a -> attr_is waiver a
+        | _ -> false)
+      str
+  then []
+  else begin
+    let out = ref [] in
+    let expr it e =
+      if has_attr waiver e.pexp_attributes then ()
+      else begin
+        (match e.pexp_desc with
+        | Pexp_ident { txt; loc } -> (
+            match nondeterministic_ident (H.safe_flatten txt) with
+            | Some what ->
+                out :=
+                  finding path loc "R4"
+                    (Printf.sprintf
+                       "%s in lib/ breaks run-to-run determinism; inject the \
+                        clock/randomness explicitly (Random.State) or waive \
+                        with [@fosc.nondeterministic \"reason\"]" what)
+                  :: !out
+            | None -> ())
+        | _ -> ());
+        Ast_iterator.default_iterator.expr it e
+      end
+    in
+    let value_binding it vb =
+      if has_attr waiver vb.pvb_attributes then ()
+      else Ast_iterator.default_iterator.value_binding it vb
+    in
+    let it = { Ast_iterator.default_iterator with expr; value_binding } in
+    it.structure it str;
+    List.rev !out
+  end
+
+(* ------------------------------------------------------------------ R5 *)
+
+let digest_sensitive (str : structure) =
+  List.exists
+    (fun si ->
+      match si.pstr_desc with
+      | Pstr_attribute a -> attr_is "fosc.digest_sensitive" a
+      | _ -> false)
+    str
+
+(* Precision-less float conversions in a format-ish string literal. *)
+let bad_float_conversions s =
+  let n = String.length s in
+  let is_digit c = c >= '0' && c <= '9' in
+  let bad = ref [] in
+  let i = ref 0 in
+  while !i < n - 1 do
+    if s.[!i] <> '%' then incr i
+    else begin
+      incr i;
+      while !i < n && List.mem s.[!i] [ '-'; '+'; ' '; '#'; '0' ] do incr i done;
+      while !i < n && is_digit s.[!i] do incr i done;
+      let precision = !i < n && s.[!i] = '.' in
+      if precision then begin
+        incr i;
+        while !i < n && (is_digit s.[!i] || s.[!i] = '*') do incr i done
+      end;
+      if !i < n then begin
+        (match s.[!i] with
+        | ('f' | 'F' | 'e' | 'E' | 'g' | 'G') when not precision ->
+            bad := Printf.sprintf "%%%c" s.[!i] :: !bad
+        | _ -> ());
+        incr i
+      end
+    end
+  done;
+  List.rev !bad
+
+let check_r5 ~path (str : structure) =
+  let out = ref [] in
+  let push loc msg = out := finding path loc "R5" msg :: !out in
+  let expr it e =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; loc } -> (
+        match H.safe_flatten txt with
+        | [ "string_of_float" ]
+        | [ "Stdlib"; "string_of_float" ]
+        | [ "Float"; "to_string" ] ->
+            push loc
+              "string_of_float in a digest-sensitive module loses bits; \
+               format with %h or an explicit precision"
+        | _ -> ())
+    | Pexp_constant (Pconst_string (s, sloc, _)) ->
+        List.iter
+          (fun conv ->
+            push sloc
+              (Printf.sprintf
+                 "precision-less %s in a digest-sensitive module; use %%h or \
+                  fixed precision (e.g. %%.17g)" conv))
+          (bad_float_conversions s)
+    | _ -> ());
+    Ast_iterator.default_iterator.expr it e
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  it.structure it str;
+  List.rev !out
+
+(* --------------------------------------------- fosc.* attr grammar *)
+
+let disciplines = [ "mutex"; "atomic"; "dls" ]
+
+let check_attrs ~path (src_ast : H.ast) =
+  let out = ref [] in
+  let attribute it (a : attribute) =
+    (match a.attr_name.txt with
+    | "fosc.guarded" -> (
+        match string_payload a with
+        | Some s when List.mem s disciplines -> ()
+        | Some s ->
+            out :=
+              finding path a.attr_loc "R2"
+                (Printf.sprintf
+                   "invalid [@fosc.guarded] discipline %S (expected mutex, \
+                    atomic or dls)" s)
+              :: !out
+        | None ->
+            out :=
+              finding path a.attr_loc "R2"
+                "[@fosc.guarded] needs a discipline string: \"mutex\", \
+                 \"atomic\" or \"dls\""
+              :: !out)
+    | "fosc.unguarded" | "fosc.nondeterministic" -> (
+        match string_payload a with
+        | Some s when String.trim s <> "" -> ()
+        | _ ->
+            out :=
+              finding path a.attr_loc
+                (if a.attr_name.txt = "fosc.unguarded" then "R2" else "R4")
+                (Printf.sprintf "[@%s] needs a non-empty reason string"
+                   a.attr_name.txt)
+              :: !out)
+    | "fosc.digest_sensitive" -> (
+        match a.attr_payload with
+        | PStr [] -> ()
+        | _ ->
+            out :=
+              finding path a.attr_loc "R5"
+                "[@@@fosc.digest_sensitive] takes no payload"
+              :: !out)
+    | name when String.length name > 5 && String.sub name 0 5 = "fosc." ->
+        out :=
+          finding path a.attr_loc "attr"
+            (Printf.sprintf
+               "unknown fosc.* attribute [@%s]; known: fosc.guarded, \
+                fosc.unguarded, fosc.nondeterministic, fosc.digest_sensitive"
+               name)
+          :: !out
+    | _ -> ());
+    Ast_iterator.default_iterator.attribute it a
+  in
+  let it = { Ast_iterator.default_iterator with attribute } in
+  (match src_ast with
+  | H.Impl str -> it.structure it str
+  | H.Intf sg -> it.signature it sg
+  | H.Broken _ -> ());
+  List.rev !out
+
+(* ---------------------------------------------------------- driver *)
+
+let check env (src : H.source) =
+  match src.ast with
+  | H.Broken (line, msg) ->
+      [ { path = src.path; line; col = 0; rule = "parse"; msg } ]
+  | H.Intf _ -> check_attrs ~path:src.path src.ast
+  | H.Impl str ->
+      let path = src.path and current = src.modname in
+      check_attrs ~path src.ast
+      @ check_r1 env ~current ~path str
+      @ (if src.lib_scope then check_r2 env ~path str else [])
+      @ check_r3 ~path str
+      @ (if src.lib_scope then check_r4 ~path str else [])
+      @ if digest_sensitive str then check_r5 ~path str else []
