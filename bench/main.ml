@@ -166,6 +166,65 @@ let tests () =
      Test.make ~name:"ext/grid-27cell-stable"
        (Staged.stage (fun () ->
             ignore (Thermal.Matex.stable_start grid.Thermal.Grid_model.model profile))));
+    (* Sparse/Krylov backend kernels: the 256-cell steady CG solve, the
+       1024-cell stable-status peak (shift-invert-free expmv + CG fixed
+       point), and the dense-vs-sparse one-shot crossover at 64 cells —
+       each arm pays its own assembly/factorization, the cost a driver
+       pays per floorplan. *)
+    (let eng256 =
+       Thermal.Sparse_model.of_spec
+         (Thermal.Grid_model.sheet_spec ~rows:16 ~cols:16 ())
+     in
+     let psi256 = Array.init 256 (fun i -> if ((i / 16) + i) mod 2 = 0 then 8. else 2.) in
+     Test.make ~name:"kernel/sparse-steady-256"
+       (Staged.stage (fun () ->
+            ignore (Thermal.Sparse_model.steady_peak eng256 psi256))));
+    (let eng1024 =
+       Thermal.Sparse_model.of_spec
+         (Thermal.Grid_model.sheet_spec ~rows:32 ~cols:32 ())
+     in
+     let psi = Array.init 1024 (fun i -> if ((i / 32) + i) mod 2 = 0 then 8. else 2.) in
+     let psi2 = Array.map (fun p -> 10. -. p) psi in
+     let profile =
+       [
+         { Thermal.Matex.duration = 0.05; psi };
+         { Thermal.Matex.duration = 0.05; psi = psi2 };
+       ]
+     in
+     Test.make ~name:"kernel/sparse-peak-1024"
+       (Staged.stage (fun () ->
+            ignore (Thermal.Sparse_model.end_of_period_peak eng1024 profile))));
+    (let spec64 = Thermal.Grid_model.sheet_spec ~rows:8 ~cols:8 () in
+     let psi64 = Array.init 64 (fun i -> if ((i / 8) + i) mod 2 = 0 then 8. else 2.) in
+     Test.make ~name:"kernel/steady-crossover-64/sparse"
+       (Staged.stage (fun () ->
+            ignore
+              (Thermal.Sparse_model.steady_peak
+                 (Thermal.Sparse_model.of_spec spec64)
+                 psi64))));
+    (let spec64 = Thermal.Grid_model.sheet_spec ~rows:8 ~cols:8 () in
+     let psi64 = Array.init 64 (fun i -> if ((i / 8) + i) mod 2 = 0 then 8. else 2.) in
+     Test.make ~name:"kernel/steady-crossover-64/dense-lu"
+       (Staged.stage (fun () ->
+            let g =
+              Linalg.Sparse.to_dense
+                (Linalg.Sparse.of_triplets ~rows:64 ~cols:64
+                   (Thermal.Spec.g_eff_triplets spec64))
+            in
+            let lu = Linalg.Lu.factorize g in
+            let h = Linalg.Vec.zeros 64 in
+            Array.iteri
+              (fun k node ->
+                h.(node) <-
+                  psi64.(k)
+                  +. (spec64.Thermal.Spec.leak_beta *. spec64.Thermal.Spec.ambient))
+              spec64.Thermal.Spec.core_nodes;
+            let theta = Linalg.Lu.solve_vec lu h in
+            ignore
+              (Array.fold_left
+                 (fun acc node ->
+                   Float.max acc (theta.(node) +. spec64.Thermal.Spec.ambient))
+                 neg_infinity spec64.Thermal.Spec.core_nodes))));
     (let profile3 = Sched.Peak.profile model3 pm (Sched.Schedule.two_mode ~period:0.1 ~low:[| 0.6; 0.6; 0.6 |] ~high:[| 1.3; 1.3; 1.3 |] ~high_ratio:[| 0.4; 0.5; 0.6 |]) in
      Test.make ~name:"ext/peak-refined-3core"
        (Staged.stage (fun () ->

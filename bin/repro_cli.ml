@@ -251,13 +251,23 @@ let print_policy_list ~markdown =
     Util.Table.print t
   end
 
-let run_one_policy ~name ~cores ~levels ~t_max ~seq =
+let run_one_policy ~name ~cores ~grid ~levels ~t_max ~seq ~backend =
   let policy = Core.Registry.find_exn name in
-  let ev = Core.Eval.create (Workload.Configs.platform ~cores ~levels ~t_max) in
+  let platform, cores =
+    match grid with
+    | Some (rows, cols) ->
+        ( Core.Platform.grid ~rows ~cols ~levels:(Power.Vf.table_iv levels)
+            ~t_max (),
+          rows * cols )
+    | None -> (Workload.Configs.platform ~cores ~levels ~t_max, cores)
+  in
+  let ev = Core.Eval.create ~backend platform in
   let params = { Core.Solver.default_params with Core.Solver.par = not seq } in
   let o = Core.Solver.run ~params policy ev in
   Printf.printf "%s — %s\n" policy.Core.Solver.name policy.Core.Solver.doc;
-  Printf.printf "platform: %d cores, %d levels, T_max %.1f C\n\n" cores levels t_max;
+  Printf.printf "platform: %d cores, %d levels, T_max %.1f C (%s backend)\n\n"
+    cores levels t_max
+    (match backend with Core.Eval.Dense -> "dense" | Core.Eval.Sparse -> "sparse");
   Printf.printf "throughput   %.4f\n" o.Core.Solver.throughput;
   Printf.printf "peak         %.2f C\n" o.Core.Solver.peak;
   Printf.printf "wall time    %.4f s\n" o.Core.Solver.wall_time;
@@ -278,13 +288,43 @@ let run_one_policy ~name ~cores ~levels ~t_max ~seq =
     stats.Core.Eval.stepup.Sched.Peak.Cache.hits
     (stats.Core.Eval.stepup.Sched.Peak.Cache.hits
     + stats.Core.Eval.stepup.Sched.Peak.Cache.misses);
-  let r = Core.Eval.response_stats ev in
-  Printf.printf
-    "response eng %d build%s, %d superposition evals, exp table %d/%d hits/lookups\n"
-    r.Thermal.Modal.builds
-    (if r.Thermal.Modal.builds = 1 then "" else "s")
-    r.Thermal.Modal.superpose_evals r.Thermal.Modal.exp_hits
-    (r.Thermal.Modal.exp_hits + r.Thermal.Modal.exp_misses)
+  match Core.Eval.kind ev with
+  | Core.Eval.Sparse ->
+      (* Reading the modal counters would force the dense engine the
+         sparse context exists to avoid. *)
+      Printf.printf "thermal eng  %s\n" (Core.Eval.backend ev).Thermal.Backend.name
+  | Core.Eval.Dense ->
+      let r = Core.Eval.response_stats ev in
+      Printf.printf
+        "response eng %d build%s, %d superposition evals, exp table %d/%d hits/lookups\n"
+        r.Thermal.Modal.builds
+        (if r.Thermal.Modal.builds = 1 then "" else "s")
+        r.Thermal.Modal.superpose_evals r.Thermal.Modal.exp_hits
+        (r.Thermal.Modal.exp_hits + r.Thermal.Modal.exp_misses)
+
+(* "RxC" grid geometry, e.g. 8x8. *)
+let grid_conv =
+  let parse s =
+    match String.split_on_char 'x' (String.lowercase_ascii (String.trim s)) with
+    | [ r; c ] -> (
+        match (int_of_string_opt r, int_of_string_opt c) with
+        | Some r, Some c when r >= 1 && c >= 1 -> Ok (r, c)
+        | _ -> Error (`Msg (Printf.sprintf "invalid grid %S, expected ROWSxCOLS (e.g. 8x8)" s)))
+    | _ -> Error (`Msg (Printf.sprintf "invalid grid %S, expected ROWSxCOLS (e.g. 8x8)" s))
+  in
+  let print ppf (r, c) = Format.fprintf ppf "%dx%d" r c in
+  Arg.conv (parse, print)
+
+let backend_arg =
+  Arg.(
+    value
+    & opt (enum [ ("dense", Core.Eval.Dense); ("sparse", Core.Eval.Sparse) ])
+        Core.Eval.Dense
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Thermal engine pricing the candidates: $(b,dense) (modal, exact \
+           eigenbasis) or $(b,sparse) (CSR + Krylov, scales past the dense \
+           eigensolve).")
 
 let policies_cmd =
   let list_flag =
@@ -304,6 +344,15 @@ let policies_cmd =
   let cores_arg =
     Arg.(value & opt int 3 & info [ "cores" ] ~docv:"N" ~doc:"Core count (2, 3, 6 or 9).")
   in
+  let grid_arg =
+    Arg.(
+      value
+      & opt (some grid_conv) None
+      & info [ "grid" ] ~docv:"RxC"
+          ~doc:
+            "Run on an $(docv) core mesh instead of $(b,--cores) (e.g. \
+             $(b,--grid 8x8); pair larger grids with $(b,--backend sparse)).")
+  in
   let levels_arg =
     Arg.(value & opt int 5 & info [ "levels" ] ~docv:"L" ~doc:"Voltage levels (2..5).")
   in
@@ -316,9 +365,9 @@ let policies_cmd =
       value & flag
       & info [ "seq" ] ~doc:"Run the policy's search sequentially (par = false).")
   in
-  let run list markdown run_name cores levels t_max seq =
+  let run list markdown run_name cores grid levels t_max seq backend =
     match run_name with
-    | Some name -> run_one_policy ~name ~cores ~levels ~t_max ~seq
+    | Some name -> run_one_policy ~name ~cores ~grid ~levels ~t_max ~seq ~backend
     | None ->
         ignore list;
         print_policy_list ~markdown
@@ -327,8 +376,118 @@ let policies_cmd =
     (Cmd.info "policies"
        ~doc:"List the solver registry or run one policy on a standard platform")
     Term.(
-      const run $ list_flag $ markdown_flag $ run_arg $ cores_arg $ levels_arg
-      $ t_max_arg $ seq_flag)
+      const run $ list_flag $ markdown_flag $ run_arg $ cores_arg $ grid_arg
+      $ levels_arg $ t_max_arg $ seq_flag $ backend_arg)
+
+(* ---------------------------------------------------- scale subcommand *)
+
+(* Dense-vs-sparse scaling study on single-layer core sheets.  For each
+   R x C size: assemble the spec (O(nnz)), solve the checkerboard steady
+   peak on the sparse Krylov engine, and — up to --dense-limit nodes —
+   assemble the dense effective conductance and LU-solve the identical
+   system, reporting wall times, speedup and the peak disagreement.
+   Timings include assembly/factorization: the one-shot cost a driver
+   actually pays per floorplan is exactly what the sparse path shrinks. *)
+
+let dense_steady_peak spec psi =
+  let n = Thermal.Spec.n_nodes spec in
+  let g = Linalg.Sparse.to_dense (Linalg.Sparse.of_triplets ~rows:n ~cols:n (Thermal.Spec.g_eff_triplets spec)) in
+  let lu = Linalg.Lu.factorize g in
+  let h = Linalg.Vec.zeros n in
+  Array.iteri
+    (fun k node ->
+      h.(node) <- psi.(k) +. (spec.Thermal.Spec.leak_beta *. spec.Thermal.Spec.ambient))
+    spec.Thermal.Spec.core_nodes;
+  let theta = Linalg.Lu.solve_vec lu h in
+  Array.fold_left
+    (fun acc node -> Float.max acc (theta.(node) +. spec.Thermal.Spec.ambient))
+    neg_infinity spec.Thermal.Spec.core_nodes
+
+(* Checkerboard load: hot cells at [power_w], cold at a quarter — enough
+   spatial structure that the peak is not a uniform-field triviality. *)
+let checkerboard ~rows ~cols power_w =
+  Array.init (rows * cols) (fun i ->
+      if ((i / cols) + (i mod cols)) mod 2 = 0 then power_w
+      else 0.25 *. power_w)
+
+let run_scale ~sizes ~dense_limit ~power_w =
+  let t =
+    Util.Table.create
+      [ "grid"; "nodes"; "sparse (ms)"; "dense (ms)"; "speedup"; "|dpeak| (C)"; "stable (ms)" ]
+  in
+  List.iter
+    (fun (rows, cols) ->
+      let n = rows * cols in
+      let psi = checkerboard ~rows ~cols power_w in
+      let spec = Thermal.Grid_model.sheet_spec ~rows ~cols () in
+      let s_peak, s_time =
+        Util.Timer.time_it (fun () ->
+            (Thermal.Backend.sparse_of_spec spec).Thermal.Backend.steady_peak psi)
+      in
+      (* Stable status of a two-segment oscillation between the
+         checkerboard and its complement — the 1024-node transient the
+         sparse expmv/CG pipeline exists for. *)
+      let psi2 = Array.map (fun p -> (1.25 *. power_w) -. p) psi in
+      let profile =
+        [
+          { Thermal.Matex.duration = 0.05; psi };
+          { Thermal.Matex.duration = 0.05; psi = psi2 };
+        ]
+      in
+      let _, stable_time =
+        Util.Timer.time_it (fun () ->
+            (Thermal.Backend.sparse_of_spec spec).Thermal.Backend.stable_peak
+              profile)
+      in
+      let dense_cell, speedup_cell, dpeak_cell =
+        if n <= dense_limit then begin
+          let d_peak, d_time = Util.Timer.time_it (fun () -> dense_steady_peak spec psi) in
+          ( Printf.sprintf "%.2f" (1e3 *. d_time),
+            Printf.sprintf "%.1fx" (d_time /. s_time),
+            Printf.sprintf "%.2e" (Float.abs (d_peak -. s_peak)) )
+        end
+        else ("-", "-", "-")
+      in
+      Util.Table.add_row t
+        [
+          Printf.sprintf "%dx%d" rows cols;
+          string_of_int n;
+          Printf.sprintf "%.2f" (1e3 *. s_time);
+          dense_cell;
+          speedup_cell;
+          dpeak_cell;
+          Printf.sprintf "%.2f" (1e3 *. stable_time);
+        ])
+    sizes;
+  Util.Table.print t
+
+let scale_cmd =
+  let sizes_arg =
+    Arg.(
+      value
+      & opt (list grid_conv) [ (3, 3); (8, 8); (16, 16); (32, 32) ]
+      & info [ "sizes" ] ~docv:"RxC,..."
+          ~doc:"Comma-separated sheet sizes to sweep (default 3x3,8x8,16x16,32x32).")
+  in
+  let dense_limit_arg =
+    Arg.(
+      value & opt int 1024
+      & info [ "dense-limit" ] ~docv:"N"
+          ~doc:"Skip the dense LU reference above $(docv) nodes.")
+  in
+  let power_arg =
+    Arg.(
+      value & opt float 8.
+      & info [ "power" ] ~docv:"WATTS"
+          ~doc:"Hot-cell power of the checkerboard load.")
+  in
+  let run sizes dense_limit power_w = run_scale ~sizes ~dense_limit ~power_w in
+  Cmd.v
+    (Cmd.info "scale"
+       ~doc:
+         "Dense-vs-sparse thermal-backend scaling study on 3x3 through 32x32 \
+          core sheets")
+    Term.(const run $ sizes_arg $ dense_limit_arg $ power_arg)
 
 (* ------------------------------------------------------------ Cmdliner *)
 
@@ -392,4 +551,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          (List.map cmd_of_experiment experiments @ [ policies_cmd; all ])))
+          (List.map cmd_of_experiment experiments @ [ policies_cmd; scale_cmd; all ])))

@@ -1,15 +1,25 @@
 [@@@fosc.digest_sensitive]
 
+type backend_kind = Dense | Sparse
+
 type t = {
   platform : Platform.t;
   pool : Util.Pool.t;
   steady_cache : Sched.Peak.Cache.t;
   stepup_cache : Sched.Peak.Cache.t;
+  kind : backend_kind;
   engine : Thermal.Modal.t Lazy.t;
       (* The platform's response engine.  [Thermal.Modal.make] memoizes
          per model, so forcing this returns the same engine every direct
          (eval-less) call resolves — all paths superpose over identical
-         unit-response tables and stay bit-compatible. *)
+         unit-response tables and stay bit-compatible.  Never forced by a
+         [Sparse] context's evaluators, so sparse solves skip the O(n³)
+         eigensolve entirely. *)
+  backend : Thermal.Backend.t Lazy.t;
+      (* The uniform-interface view of whichever engine [kind] selects.
+         For [Dense] this wraps the same modal engine as [engine]; for
+         [Sparse] it assembles a Krylov engine from the model's spec on
+         the context's pool. *)
 }
 
 type stats = {
@@ -17,32 +27,85 @@ type stats = {
   stepup : Sched.Peak.Cache.stats;
 }
 
-let create ?pool ?(cache_size = 1024) platform =
+let create ?pool ?(cache_size = 1024) ?(backend = Dense) platform =
   let pool = match pool with Some p -> p | None -> Util.Pool.get () in
   {
     platform;
     pool;
     steady_cache = Sched.Peak.Cache.create ~max_entries:cache_size ();
     stepup_cache = Sched.Peak.Cache.create ~max_entries:cache_size ();
+    kind = backend;
     engine = lazy (Thermal.Modal.make platform.Platform.model);
+    backend =
+      (match backend with
+      | Dense -> lazy (Thermal.Backend.of_model platform.Platform.model)
+      | Sparse ->
+          lazy (Thermal.Backend.sparse_of_model ~pool platform.Platform.model));
   }
 
 let platform t = t.platform
 let pool t = t.pool
+let kind t = t.kind
 let engine t = Lazy.force t.engine
+let backend t = Lazy.force t.backend
 
 let steady_peak t voltages =
-  Sched.Peak.steady_constant_cached ~engine:(Lazy.force t.engine) t.steady_cache
-    t.platform.Platform.model t.platform.Platform.power voltages
+  match t.kind with
+  | Dense ->
+      Sched.Peak.steady_constant_cached ~engine:(Lazy.force t.engine)
+        t.steady_cache t.platform.Platform.model t.platform.Platform.power
+        voltages
+  | Sparse ->
+      Sched.Peak.backend_steady_constant_cached t.steady_cache
+        (Lazy.force t.backend) t.platform.Platform.power voltages
 
 let step_up_peak t s =
-  Sched.Peak.of_step_up_cached ~engine:(Lazy.force t.engine) t.stepup_cache
-    t.platform.Platform.model t.platform.Platform.power s
+  match t.kind with
+  | Dense ->
+      Sched.Peak.of_step_up_cached ~engine:(Lazy.force t.engine) t.stepup_cache
+        t.platform.Platform.model t.platform.Platform.power s
+  | Sparse ->
+      Sched.Peak.backend_of_step_up_cached t.stepup_cache
+        (Lazy.force t.backend) t.platform.Platform.power s
 
 let two_mode_peak t ~period ~low ~high ~high_ratio =
-  Sched.Peak.of_two_mode_cached ~engine:(Lazy.force t.engine) t.stepup_cache
-    t.platform.Platform.model t.platform.Platform.power ~period ~low ~high
-    ~high_ratio
+  match t.kind with
+  | Dense ->
+      Sched.Peak.of_two_mode_cached ~engine:(Lazy.force t.engine) t.stepup_cache
+        t.platform.Platform.model t.platform.Platform.power ~period ~low ~high
+        ~high_ratio
+  | Sparse ->
+      Sched.Peak.backend_of_two_mode_cached t.stepup_cache
+        (Lazy.force t.backend) t.platform.Platform.power ~period ~low ~high
+        ~high_ratio
+
+let any_peak t ?(samples_per_segment = 32) s =
+  match t.kind with
+  | Dense ->
+      Sched.Peak.of_any ~engine:(Lazy.force t.engine) t.platform.Platform.model
+        t.platform.Platform.power ~samples_per_segment s
+  | Sparse ->
+      Sched.Peak.backend_of_any (Lazy.force t.backend)
+        t.platform.Platform.power ~samples_per_segment s
+
+let stable_end_core_temps t s =
+  match t.kind with
+  | Dense ->
+      Sched.Peak.stable_end_core_temps ~engine:(Lazy.force t.engine)
+        t.platform.Platform.model t.platform.Platform.power s
+  | Sparse ->
+      Sched.Peak.backend_stable_end_core_temps (Lazy.force t.backend)
+        t.platform.Platform.power s
+
+let two_mode_end_core_temps t ~period ~low ~high ~high_ratio =
+  match t.kind with
+  | Dense ->
+      Sched.Peak.two_mode_end_core_temps ~engine:(Lazy.force t.engine)
+        t.platform.Platform.model t.platform.Platform.power ~period ~low ~high
+        ~high_ratio
+  | Sparse ->
+      Sched.Peak.backend_two_mode_end_core_temps (Lazy.force t.backend)
+        t.platform.Platform.power ~period ~low ~high ~high_ratio
 
 let stats t =
   {

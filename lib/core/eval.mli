@@ -22,22 +22,42 @@
 
 type t
 
+(** Which thermal engine prices this context's candidates.  [Dense] is
+    the reference {!Thermal.Modal} path (exact eigenbasis, O(n³) build);
+    [Sparse] routes every evaluator through the {!Thermal.Backend}
+    wrapping of the Krylov engine (O(nnz) build, CG + Lanczos solves) —
+    a [Sparse] context never forces the modal engine, so its solves skip
+    the dense eigensolve entirely.  Both kinds share the same memo-table
+    digests, so switching backends changes only who computes a miss. *)
+type backend_kind = Dense | Sparse
+
 type stats = {
   steady : Sched.Peak.Cache.stats;  (** Constant-voltage table counters. *)
   stepup : Sched.Peak.Cache.stats;  (** Step-up schedule table counters. *)
 }
 
-(** [create ?pool ?cache_size platform] builds a context.  [pool]
-    defaults to the shared {!Util.Pool.get} pool; [cache_size] (default
-    1024) bounds each memo table, with [0] disabling memoization — the
-    cache-off mode differential tests run against. *)
-val create : ?pool:Util.Pool.t -> ?cache_size:int -> Platform.t -> t
+(** [create ?pool ?cache_size ?backend platform] builds a context.
+    [pool] defaults to the shared {!Util.Pool.get} pool; [cache_size]
+    (default 1024) bounds each memo table, with [0] disabling
+    memoization — the cache-off mode differential tests run against;
+    [backend] (default [Dense]) selects the thermal engine. *)
+val create :
+  ?pool:Util.Pool.t -> ?cache_size:int -> ?backend:backend_kind -> Platform.t -> t
 
 (** [platform t] is the platform the context evaluates on. *)
 val platform : t -> Platform.t
 
 (** [pool t] is the domain pool searches should fan out on. *)
 val pool : t -> Util.Pool.t
+
+(** [kind t] is the backend the context was created with. *)
+val kind : t -> backend_kind
+
+(** [backend t] is the uniform-interface view of the context's engine,
+    built lazily on first use — ["dense-modal"] wrapping the same engine
+    as {!engine} for a [Dense] context, ["sparse-krylov"] assembled from
+    the model's spec on the context's pool for a [Sparse] one. *)
+val backend : t -> Thermal.Backend.t
 
 (** [engine t] is the platform's {!Thermal.Modal} response engine,
     built lazily on first use.  {!Thermal.Modal.make} memoizes per
@@ -67,6 +87,31 @@ val two_mode_peak :
   high:float array ->
   high_ratio:float array ->
   float
+
+(** [any_peak t ?samples_per_segment s] is the stable-status peak of an
+    arbitrary periodic schedule by dense scanning (default 32 samples
+    per state interval) on the context's backend — the evaluator behind
+    shifted-config pricing (TPT's non-aligned branch, PCO's offset
+    search).  Uncached: scanned peaks are position-dependent and
+    searches rarely revisit them exactly. *)
+val any_peak : t -> ?samples_per_segment:int -> Sched.Schedule.t -> float
+
+(** [stable_end_core_temps t s] are the absolute per-core temperatures
+    at the stable-status period boundary on the context's backend —
+    what the TPT loops read to find the hottest core. *)
+val stable_end_core_temps : t -> Sched.Schedule.t -> Linalg.Vec.t
+
+(** [two_mode_end_core_temps t ~period ~low ~high ~high_ratio] is the
+    fused-candidate counterpart of {!stable_end_core_temps} — the
+    aligned two-mode state intervals are derived without constructing
+    the schedule, bit-identically to {!two_mode_peak}'s decomposition. *)
+val two_mode_end_core_temps :
+  t ->
+  period:float ->
+  low:float array ->
+  high:float array ->
+  high_ratio:float array ->
+  Linalg.Vec.t
 
 (** [stats t] snapshots both tables' hit/miss/entry/eviction counters. *)
 val stats : t -> stats

@@ -8,14 +8,20 @@ type result = {
   fill_steps : int;
 }
 
-let scan_peak (p : Platform.t) c =
-  Sched.Peak.of_any p.model p.power ~samples_per_segment:16 (Tpt.schedule_of_config c)
+let scan_peak ?eval (p : Platform.t) c =
+  match eval with
+  | Some ev when Eval.platform ev == p ->
+      Eval.any_peak ev ~samples_per_segment:16 (Tpt.schedule_of_config c)
+  | Some _ | None ->
+      Sched.Peak.of_any p.model p.power ~samples_per_segment:16
+        (Tpt.schedule_of_config c)
 
 let solve ?eval ?base_period ?m_cap ?t_unit ?(offsets_per_core = 8) ?(rounds = 1)
     ?(par = true) (p : Platform.t) =
   if offsets_per_core < 1 then invalid_arg "Pco.solve: offsets_per_core < 1";
   if rounds < 1 then invalid_arg "Pco.solve: rounds < 1";
   let ao = Ao.solve ?eval ?base_period ?m_cap ?t_unit ~par p in
+  let scan c = scan_peak ?eval p c in
   let n = Platform.n_cores p in
   let config = ref ao.Ao.config in
   (* Greedy per-core phase search: core 0 stays put (only relative phase
@@ -31,11 +37,11 @@ let solve ?eval ?base_period ?m_cap ?t_unit ?(offsets_per_core = 8) ?(rounds = 1
     let base = !config in
     let offset_for k = period *. float_of_int k /. float_of_int offsets_per_core in
     let eval k =
-      if k = 0 then scan_peak p base
+      if k = 0 then scan base
       else begin
         let candidate_offsets = Array.copy base.Tpt.offset in
         candidate_offsets.(i) <- offset_for k;
-        scan_peak p { base with Tpt.offset = candidate_offsets }
+        scan { base with Tpt.offset = candidate_offsets }
       end
     in
     let peaks =
@@ -64,7 +70,7 @@ let solve ?eval ?base_period ?m_cap ?t_unit ?(offsets_per_core = 8) ?(rounds = 1
     schedule;
     m = ao.Ao.m;
     throughput = Tpt.throughput p filled;
-    peak = scan_peak p filled;
+    peak = scan filled;
     ao;
     fill_steps;
   }

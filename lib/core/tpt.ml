@@ -42,15 +42,6 @@ let schedule_of_config c =
    same candidate schedules constantly (the m sweep re-derives configs,
    PCO re-runs AO, fill/adjust walk back over probed exchanges), and a
    hit returns the bit-identical float a fresh solve would have. *)
-(* The response engine to evaluate on: the context's lazily-held engine
-   when one is supplied for this platform (skips the per-model cache
-   lookup and its lock on every candidate), otherwise resolved inside
-   the evaluator. *)
-let engine_of (p : Platform.t) eval =
-  match eval with
-  | Some ev when Eval.platform ev == p -> Some (Eval.engine ev)
-  | Some _ | None -> None
-
 (* The clamped high-time ratio [schedule_of_config] hands to
    [Schedule.two_mode] — the fused evaluators take the same value so
    their decomposition is bit-identical to the schedule's. *)
@@ -81,9 +72,16 @@ let peak (p : Platform.t) ?eval ?(dense = false) c =
     peak_aligned p ?eval ~period:c.period ~low:c.v_low ~high:c.v_high
       ~high_ratio ()
   end
-  else
-    Sched.Peak.of_any ?engine:(engine_of p eval) p.model p.power
-      ~samples_per_segment:16 (schedule_of_config c)
+  else begin
+    (* Shifted configs need the dense scan; the context routes it to
+       whichever backend it was created with. *)
+    match eval with
+    | Some ev when Eval.platform ev == p ->
+        Eval.any_peak ev ~samples_per_segment:16 (schedule_of_config c)
+    | Some _ | None ->
+        Sched.Peak.of_any p.model p.power ~samples_per_segment:16
+          (schedule_of_config c)
+  end
 
 (* Stable-status end-of-period core temperatures (the quantity the TPT
    index differentiates).  For shifted configs we fall back to the peak
@@ -91,12 +89,21 @@ let peak (p : Platform.t) ?eval ?(dense = false) c =
 let hot_metric (p : Platform.t) ?eval c =
   if is_aligned c then begin
     validate c;
-    Sched.Peak.two_mode_end_core_temps ?engine:(engine_of p eval) p.model p.power
-      ~period:c.period ~low:c.v_low ~high:c.v_high ~high_ratio:(two_mode_ratio c)
+    let high_ratio = two_mode_ratio c in
+    match eval with
+    | Some ev when Eval.platform ev == p ->
+        Eval.two_mode_end_core_temps ev ~period:c.period ~low:c.v_low
+          ~high:c.v_high ~high_ratio
+    | Some _ | None ->
+        Sched.Peak.two_mode_end_core_temps p.model p.power ~period:c.period
+          ~low:c.v_low ~high:c.v_high ~high_ratio
   end
   else
-    Sched.Peak.stable_end_core_temps ?engine:(engine_of p eval) p.model p.power
-      (schedule_of_config c)
+    match eval with
+    | Some ev when Eval.platform ev == p ->
+        Eval.stable_end_core_temps ev (schedule_of_config c)
+    | Some _ | None ->
+        Sched.Peak.stable_end_core_temps p.model p.power (schedule_of_config c)
 
 (* A core can give up high time as long as ANY remains — the final
    exchange may be smaller than t_unit (with_high_time clamps at 0), so

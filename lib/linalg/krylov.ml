@@ -1,0 +1,279 @@
+let jacobi d =
+  Array.iteri
+    (fun i di ->
+      if not (di > 0.) then
+        invalid_arg
+          (Printf.sprintf "Krylov.jacobi: diagonal entry %d is %g, not positive"
+             i di))
+    d;
+  fun r ->
+    if Array.length r <> Array.length d then
+      invalid_arg "Krylov.jacobi: operand arity mismatch";
+    Array.mapi (fun i ri -> ri /. d.(i)) r
+
+(* ------------------------------------------------------------------ CG *)
+
+let cg ?(tol = 1e-13) ?(max_iter = 0) ?precond apply b =
+  let n = Array.length b in
+  let max_iter = if max_iter > 0 then max_iter else (20 * n) + 100 in
+  let precond = match precond with Some f -> f | None -> Vec.copy in
+  let x = Vec.zeros n in
+  let b_norm = Vec.norm2 b in
+  if Float.equal b_norm 0. then x
+  else begin
+    let r = Vec.copy b in
+    let z = precond r in
+    let p = Vec.copy z in
+    let rz = ref (Vec.dot r z) in
+    let converged = ref false in
+    let iter = ref 0 in
+    while (not !converged) && !iter < max_iter do
+      let q = apply p in
+      let pq = Vec.dot p q in
+      if not (pq > 0.) then
+        failwith "Krylov.cg: operator is not positive definite";
+      let alpha = !rz /. pq in
+      for i = 0 to n - 1 do
+        x.(i) <- x.(i) +. (alpha *. p.(i));
+        r.(i) <- r.(i) -. (alpha *. q.(i))
+      done;
+      if Vec.norm2 r <= tol *. b_norm then converged := true
+      else begin
+        let z = precond r in
+        let rz' = Vec.dot r z in
+        let beta = rz' /. !rz in
+        for i = 0 to n - 1 do
+          p.(i) <- z.(i) +. (beta *. p.(i))
+        done;
+        rz := rz'
+      end;
+      incr iter
+    done;
+    if not !converged then
+      failwith
+        (Printf.sprintf "Krylov.cg: no convergence in %d iterations (n = %d)"
+           max_iter n);
+    x
+  end
+
+(* ------------------------------------------------------------- Lanczos *)
+
+(* Incrementally grown Lanczos factorization A Q_m = Q_m T_m + beta_m
+   q_{m+1} e_m^T with full reorthogonalization (two modified
+   Gram-Schmidt passes), so T_m remains an accurate projection even
+   after many steps.  [qs] holds m+1 basis vectors; [alpha]/[beta] the
+   tridiagonal.  A step may signal breakdown (residual below the
+   breakdown threshold): the Krylov space is then invariant. *)
+type lanczos_state = {
+  qs : Vec.t array;  (* capacity m_cap + 1; entries 0..steps valid *)
+  alpha : float array;
+  beta : float array;  (* beta.(j) couples basis vectors j and j+1 *)
+  mutable steps : int;
+  mutable invariant : bool;
+}
+
+let lanczos_start ~m_cap q0 =
+  let n = Array.length q0 in
+  let qs = Array.make (m_cap + 1) [||] in
+  qs.(0) <- q0;
+  ignore n;
+  {
+    qs;
+    alpha = Array.make m_cap 0.;
+    beta = Array.make m_cap 0.;
+    steps = 0;
+    invariant = false;
+  }
+
+let reorthogonalize st u =
+  (* Two passes of modified Gram-Schmidt against every basis vector. *)
+  for _pass = 1 to 2 do
+    for i = 0 to st.steps do
+      let c = Vec.dot u st.qs.(i) in
+      if not (Float.equal c 0.) then
+        Array.iteri (fun l qi -> u.(l) <- u.(l) -. (c *. qi)) st.qs.(i)
+    done
+  done
+
+(* One Lanczos step of the operator [apply].  After the call either
+   [st.steps] grew by one, or [st.invariant] is set (and [st.steps] also
+   grew, with [beta = 0] recorded for the final coupling). *)
+let lanczos_step ~apply st =
+  let j = st.steps in
+  let q = st.qs.(j) in
+  let u = apply q in
+  let a = Vec.dot u q in
+  st.alpha.(j) <- a;
+  (* Subtract the local tridiagonal terms first, then fully
+     reorthogonalize — cheap insurance that keeps Q orthonormal. *)
+  Array.iteri (fun l ql -> u.(l) <- u.(l) -. (a *. ql)) q;
+  if j > 0 then begin
+    let b = st.beta.(j - 1) in
+    Array.iteri (fun l ql -> u.(l) <- u.(l) -. (b *. ql)) st.qs.(j - 1)
+  end;
+  reorthogonalize st u;
+  let b = Vec.norm2 u in
+  let scale =
+    Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 1e-300 st.alpha
+  in
+  if b <= 1e-14 *. scale then begin
+    st.beta.(j) <- 0.;
+    st.steps <- j + 1;
+    st.invariant <- true
+  end
+  else begin
+    st.beta.(j) <- b;
+    st.qs.(j + 1) <- Vec.scale (1. /. b) u;
+    st.steps <- j + 1
+  end
+
+let tridiagonal st m =
+  let t = Mat.zeros m m in
+  for i = 0 to m - 1 do
+    Mat.set t i i st.alpha.(i);
+    if i < m - 1 && not (Float.equal st.beta.(i) 0.) then begin
+      Mat.set t i (i + 1) st.beta.(i);
+      Mat.set t (i + 1) i st.beta.(i)
+    end
+  done;
+  t
+
+(* y = f(T_m) e1 through the exact eigendecomposition of the small
+   tridiagonal: y = S diag(f theta) S^T e1. *)
+let apply_tridiag_function st m f =
+  let { Sym_eig.eigenvalues; eigenvectors } = Sym_eig.decompose (tridiagonal st m) in
+  let y = Array.make m 0. in
+  for l = 0 to m - 1 do
+    let w = f eigenvalues.(l) *. Mat.get eigenvectors 0 l in
+    for i = 0 to m - 1 do
+      y.(i) <- y.(i) +. (w *. Mat.get eigenvectors i l)
+    done
+  done;
+  y
+
+(* ------------------------------------------------------------- expm·v *)
+
+let expmv ?(tol = 1e-12) ?(m_max = 64) apply ~t v =
+  let n = Array.length v in
+  if not (t >= 0.) then invalid_arg "Krylov.expmv: negative time";
+  let combine st m beta0 y =
+    let w = Vec.zeros n in
+    for i = 0 to m - 1 do
+      let c = beta0 *. y.(i) in
+      Array.iteri (fun l ql -> w.(l) <- w.(l) +. (c *. ql)) st.qs.(i)
+    done;
+    w
+  in
+  let rec go t v depth =
+    if depth > 60 then failwith "Krylov.expmv: time-splitting did not converge";
+    let beta0 = Vec.norm2 v in
+    if Float.equal beta0 0. then Vec.zeros n
+    else begin
+      let m_cap = Stdlib.min n (Stdlib.max 2 m_max) in
+      let st = lanczos_start ~m_cap (Vec.scale (1. /. beta0) v) in
+      let result = ref None in
+      while Option.is_none !result do
+        lanczos_step ~apply st;
+        let m = st.steps in
+        (* The small eigensolve costs O(m^3): amortize by checking only
+           at exponentially spaced sizes, on breakdown, and at the cap. *)
+        let checkpoint =
+          st.invariant || m >= m_cap || m land (m - 1) = 0 || m mod 8 = 0
+        in
+        if checkpoint then begin
+          let y = apply_tridiag_function st m (fun lam -> Float.exp (-.t *. lam)) in
+          if st.invariant then result := Some (combine st m beta0 y)
+          else begin
+            let err = beta0 *. st.beta.(m - 1) *. Float.abs y.(m - 1) in
+            if err <= tol *. beta0 then result := Some (combine st m beta0 y)
+            else if m >= m_cap then begin
+              (* Stiff step: square the half-time propagator instead. *)
+              let half = go (t /. 2.) v (depth + 1) in
+              result := Some (go (t /. 2.) half (depth + 1))
+            end
+          end
+        end
+      done;
+      Option.get !result
+    end
+  in
+  go t v 0
+
+(* ------------------------------------------- shift-invert eigenpairs *)
+
+(* Deterministic replacement start vector used when a Krylov block
+   closes before the basis is full: coordinate direction [seed]
+   orthogonalized against everything found so far. *)
+let deflated_restart st n =
+  let rec try_seed seed =
+    if seed >= n then None
+    else begin
+      let u = Vec.zeros n in
+      u.(seed) <- 1.;
+      reorthogonalize st u;
+      let norm = Vec.norm2 u in
+      if norm > 1e-8 then Some (Vec.scale (1. /. norm) u)
+      else try_seed (seed + 1)
+    end
+  in
+  try_seed 0
+
+let smallest_eigs ?(tol = 1e-10) ?(m_max = 0) ~n ~k solve =
+  if k <= 0 || k > n then
+    invalid_arg (Printf.sprintf "Krylov.smallest_eigs: k = %d with n = %d" k n);
+  let m_cap =
+    let default = Stdlib.min n (Stdlib.max (4 * k) (2 * k) + 20) in
+    if m_max > 0 then Stdlib.min n (Stdlib.max k m_max) else default
+  in
+  (* Fixed ramp start vector: no randomness (lint R4), and generic
+     enough to have components along every slow mode in practice. *)
+  let v0 = Vec.init n (fun i -> 1. +. (float_of_int (i + 1) /. float_of_int n)) in
+  let st = lanczos_start ~m_cap (Vec.scale (1. /. Vec.norm2 v0) v0) in
+  let finished = ref false in
+  while not !finished do
+    lanczos_step ~apply:solve st;
+    let m = st.steps in
+    if st.invariant && m < m_cap then begin
+      (* Invariant block closed early; deflate into a fresh direction so
+         degenerate eigenspaces are still explored. *)
+      match deflated_restart st n with
+      | Some q ->
+          st.qs.(m) <- q;
+          st.invariant <- false
+      | None -> finished := true
+    end
+    else if m >= m_cap then finished := true
+    else if m >= k then begin
+      (* Converged when the k largest Ritz values of the shift-inverted
+         operator all have small residuals |beta_m . s_{m,j}|. *)
+      let { Sym_eig.eigenvalues; eigenvectors } =
+        Sym_eig.decompose (tridiagonal st m)
+      in
+      let ok = ref true in
+      for j = m - k to m - 1 do
+        let mu = eigenvalues.(j) in
+        let res = st.beta.(m - 1) *. Float.abs (Mat.get eigenvectors (m - 1) j) in
+        if not (mu > 0.) || res > tol *. mu then ok := false
+      done;
+      if !ok then finished := true
+    end
+  done;
+  let m = st.steps in
+  let { Sym_eig.eigenvalues; eigenvectors } = Sym_eig.decompose (tridiagonal st m) in
+  (* Largest mu of A^{-1} are the smallest lambda = 1/mu of A; eigenvalues
+     come back ascending, so walk the top of the spectrum backwards. *)
+  if m < k then
+    failwith
+      (Printf.sprintf "Krylov.smallest_eigs: basis collapsed at %d < k = %d" m k);
+  Array.init k (fun idx ->
+      let j = m - 1 - idx in
+      let mu = eigenvalues.(j) in
+      if not (mu > 0.) then
+        failwith "Krylov.smallest_eigs: operator is not positive definite";
+      let w = Vec.zeros n in
+      for i = 0 to m - 1 do
+        let s = Mat.get eigenvectors i j in
+        Array.iteri (fun l ql -> w.(l) <- w.(l) +. (s *. ql)) st.qs.(i)
+      done;
+      let norm = Vec.norm2 w in
+      (1. /. mu, Vec.scale (1. /. norm) w))

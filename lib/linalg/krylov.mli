@@ -1,0 +1,78 @@
+(** Matrix-free Krylov kernels for symmetric positive (semi-)definite
+    operators.
+
+    The sparse thermal backend works in symmetrized coordinates where
+    the conductance operator [M = C^{-1/2} G' C^{-1/2}] is SPD, so
+    three kernels cover every solve the engine needs:
+
+    - {!cg} — steady states and stable-status systems ([M y = b] and
+      [(I - e^{-M T}) y = d], both SPD);
+    - {!expmv} — the transient propagator [e^{-t M} v] via the Lanczos
+      approximation, never forming the dense exponential;
+    - {!smallest_eigs} — shift-invert Lanczos Ritz pairs of the slowest
+      modes, feeding the reduced-order model ({!Thermal.Reduced}).
+
+    Everything here is matrix-free: operators are plain [Vec.t -> Vec.t]
+    closures, typically {!Sparse.spmv} partial applications.  All
+    iterations are deterministic — fixed start vectors, fixed sweep
+    orders — so results are bit-reproducible across runs and pool sizes
+    (lint rule R4). *)
+
+(** [jacobi d] is the diagonal (Jacobi) preconditioner [r ↦ r ./ d] for
+    {!cg}, built from {!Sparse.diagonal}.  Raises [Invalid_argument] if
+    some [d.(i)] is not strictly positive — the SPD operators here
+    always have positive diagonals. *)
+val jacobi : Vec.t -> Vec.t -> Vec.t
+
+(** [cg ?tol ?max_iter ?precond apply b] solves [A x = b] for an SPD
+    operator [apply : x ↦ A x] by (preconditioned) conjugate gradients
+    from [x0 = 0].  Stops when [‖r‖₂ ≤ tol · ‖b‖₂] (default [tol =
+    1e-13]).  [max_iter] defaults to [20 n + 100]; non-convergence and
+    detected indefiniteness raise [Failure] rather than returning a
+    silently wrong answer. *)
+val cg :
+  ?tol:float ->
+  ?max_iter:int ->
+  ?precond:(Vec.t -> Vec.t) ->
+  (Vec.t -> Vec.t) ->
+  Vec.t ->
+  Vec.t
+
+(** [expmv ?tol ?m_max apply ~t v] approximates [e^{-t A} v] for a
+    symmetric positive semi-definite operator [apply] and [t ≥ 0].
+
+    A Lanczos basis (full reorthogonalization, so the tridiagonal
+    projection stays trustworthy in floating point) is grown until the
+    a-posteriori estimate [β₀ · β_m · |(e^{-t T_m})_{m,1}|] drops below
+    [tol · ‖v‖₂] (default [tol = 1e-12]), the basis spans an invariant
+    subspace (happy breakdown — the result is then exact), or the basis
+    hits [min n m_max] (default [m_max = 64]).  In the last case the
+    step is split as [e^{-tA} = (e^{-tA/2})²] and both halves recurse,
+    so stiff operators with [t·λ_max ≫ m_max²] still converge.  The
+    small [m × m] exponential is evaluated exactly through
+    {!Sym_eig.decompose}. *)
+val expmv :
+  ?tol:float -> ?m_max:int -> (Vec.t -> Vec.t) -> t:float -> Vec.t -> Vec.t
+
+(** [smallest_eigs ?tol ?m_max ~n ~k solve] computes the [k] smallest
+    eigenpairs of an SPD operator [A] given only [solve : b ↦ A⁻¹ b]
+    (shift-invert at zero: the slow thermal modes are the {e dominant}
+    modes of [A⁻¹], where Lanczos converges fastest).
+
+    Returns [(lambda, w)] pairs with [lambda] ascending and [w]
+    orthonormal.  The basis grows until each of the [k] wanted Ritz
+    pairs has shift-invert residual [≤ tol · μ] (default [tol = 1e-10])
+    or spans the whole space, in which case the pairs are exact.
+    Breakdown (an invariant subspace smaller than the basis cap, common
+    on symmetric floorplans with degenerate modes) is handled by
+    deflating in the next coordinate direction, so degenerate
+    eigenspaces are still recovered.  The start vector is a fixed
+    deterministic ramp.  Raises [Invalid_argument] unless
+    [0 < k ≤ n]. *)
+val smallest_eigs :
+  ?tol:float ->
+  ?m_max:int ->
+  n:int ->
+  k:int ->
+  (Vec.t -> Vec.t) ->
+  (float * Vec.t) array

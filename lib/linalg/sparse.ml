@@ -1,0 +1,274 @@
+type t = {
+  rows : int;
+  cols : int;
+  row_ptr : int array;
+  col_idx : int array;
+  values : float array;
+}
+
+let dims a = (a.rows, a.cols)
+let nnz a = a.row_ptr.(a.rows)
+
+let require_square name a =
+  if a.rows <> a.cols then
+    invalid_arg
+      (Printf.sprintf "Sparse.%s: matrix is %dx%d, not square" name a.rows a.cols)
+
+(* Build the canonical CSR from per-row (col, value) buckets: sort each
+   row by column (insertion sort — rows are short), then sum runs of
+   equal columns.  The construction is sequential and index-driven, so
+   the result is identical however the triplets were ordered. *)
+let of_row_buckets ~rows ~cols buckets =
+  let counts = Array.map List.length buckets in
+  let row_ptr = Array.make (rows + 1) 0 in
+  for i = 0 to rows - 1 do
+    row_ptr.(i + 1) <- row_ptr.(i) + counts.(i)
+  done;
+  let total = row_ptr.(rows) in
+  let col_idx = Array.make total 0 in
+  let values = Array.make total 0. in
+  for i = 0 to rows - 1 do
+    let base = row_ptr.(i) in
+    List.iteri
+      (fun k (j, v) ->
+        col_idx.(base + k) <- j;
+        values.(base + k) <- v)
+      buckets.(i);
+    (* Insertion sort of the row segment by column index. *)
+    for k = base + 1 to base + counts.(i) - 1 do
+      let cj = col_idx.(k) and cv = values.(k) in
+      let p = ref (k - 1) in
+      while !p >= base && col_idx.(!p) > cj do
+        col_idx.(!p + 1) <- col_idx.(!p);
+        values.(!p + 1) <- values.(!p);
+        decr p
+      done;
+      col_idx.(!p + 1) <- cj;
+      values.(!p + 1) <- cv
+    done
+  done;
+  (* Compress duplicate columns (summing), rebuilding the row pointers. *)
+  let out_ptr = Array.make (rows + 1) 0 in
+  let w = ref 0 in
+  for i = 0 to rows - 1 do
+    out_ptr.(i) <- !w;
+    let k = ref row_ptr.(i) in
+    while !k < row_ptr.(i + 1) do
+      let j = col_idx.(!k) in
+      let acc = ref values.(!k) in
+      incr k;
+      while !k < row_ptr.(i + 1) && col_idx.(!k) = j do
+        acc := !acc +. values.(!k);
+        incr k
+      done;
+      col_idx.(!w) <- j;
+      values.(!w) <- !acc;
+      incr w
+    done
+  done;
+  out_ptr.(rows) <- !w;
+  {
+    rows;
+    cols;
+    row_ptr = out_ptr;
+    col_idx = Array.sub col_idx 0 !w;
+    values = Array.sub values 0 !w;
+  }
+
+let of_triplets ~rows ~cols ts =
+  if rows < 0 || cols < 0 then invalid_arg "Sparse.of_triplets: negative dimension";
+  let buckets = Array.make rows [] in
+  List.iter
+    (fun (i, j, v) ->
+      if i < 0 || i >= rows || j < 0 || j >= cols then
+        invalid_arg
+          (Printf.sprintf "Sparse.of_triplets: entry (%d, %d) outside %dx%d" i j rows
+             cols);
+      buckets.(i) <- (j, v) :: buckets.(i))
+    ts;
+  (* The bucket lists are built back to front; reverse so equal columns
+     sum in triplet order (stable, hence deterministic). *)
+  of_row_buckets ~rows ~cols (Array.map List.rev buckets)
+
+let of_dense ?(drop = 0.) a =
+  let { Mat.rows; cols; data } = a in
+  let counts = Array.make rows 0 in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      if Float.abs data.((i * cols) + j) > drop then counts.(i) <- counts.(i) + 1
+    done
+  done;
+  let row_ptr = Array.make (rows + 1) 0 in
+  for i = 0 to rows - 1 do
+    row_ptr.(i + 1) <- row_ptr.(i) + counts.(i)
+  done;
+  let total = row_ptr.(rows) in
+  let col_idx = Array.make total 0 in
+  let values = Array.make total 0. in
+  let w = ref 0 in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      let v = data.((i * cols) + j) in
+      if Float.abs v > drop then begin
+        col_idx.(!w) <- j;
+        values.(!w) <- v;
+        incr w
+      end
+    done
+  done;
+  { rows; cols; row_ptr; col_idx; values }
+
+let of_row_arrays ~cols rows =
+  let n_rows = Array.length rows in
+  let row_ptr = Array.make (n_rows + 1) 0 in
+  for i = 0 to n_rows - 1 do
+    let idx, vals = rows.(i) in
+    if Array.length idx <> Array.length vals then
+      invalid_arg
+        (Printf.sprintf "Sparse.of_row_arrays: row %d index/value arity mismatch" i);
+    Array.iteri
+      (fun k j ->
+        if j < 0 || j >= cols then
+          invalid_arg
+            (Printf.sprintf "Sparse.of_row_arrays: row %d column %d out of range" i j);
+        if k > 0 && idx.(k - 1) >= j then
+          invalid_arg
+            (Printf.sprintf
+               "Sparse.of_row_arrays: row %d columns not strictly ascending" i))
+      idx;
+    row_ptr.(i + 1) <- row_ptr.(i) + Array.length idx
+  done;
+  let total = row_ptr.(n_rows) in
+  let col_idx = Array.make total 0 in
+  let values = Array.make total 0. in
+  for i = 0 to n_rows - 1 do
+    let idx, vals = rows.(i) in
+    Array.blit idx 0 col_idx row_ptr.(i) (Array.length idx);
+    Array.blit vals 0 values row_ptr.(i) (Array.length vals)
+  done;
+  { rows = n_rows; cols; row_ptr; col_idx; values }
+
+let to_dense a =
+  let m = Mat.zeros a.rows a.cols in
+  for i = 0 to a.rows - 1 do
+    for k = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do
+      Mat.set m i a.col_idx.(k) a.values.(k)
+    done
+  done;
+  m
+
+let get a i j =
+  if i < 0 || i >= a.rows || j < 0 || j >= a.cols then
+    invalid_arg (Printf.sprintf "Sparse.get: (%d, %d) outside %dx%d" i j a.rows a.cols);
+  let lo = ref a.row_ptr.(i) and hi = ref (a.row_ptr.(i + 1) - 1) in
+  let found = ref 0. in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let c = a.col_idx.(mid) in
+    if c = j then begin
+      found := a.values.(mid);
+      lo := !hi + 1
+    end
+    else if c < j then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+let diagonal a =
+  require_square "diagonal" a;
+  Array.init a.rows (fun i -> get a i i)
+
+let spmv_into a ~dst x =
+  if Array.length x <> a.cols then
+    invalid_arg
+      (Printf.sprintf "Sparse.spmv: %dx%d matrix applied to length-%d vector" a.rows
+         a.cols (Array.length x));
+  if Array.length dst <> a.rows then
+    invalid_arg
+      (Printf.sprintf "Sparse.spmv: %dx%d matrix writing a length-%d result" a.rows
+         a.cols (Array.length dst));
+  let row_ptr = a.row_ptr and col_idx = a.col_idx and values = a.values in
+  for i = 0 to a.rows - 1 do
+    let acc = ref 0. in
+    for k = Array.unsafe_get row_ptr i to Array.unsafe_get row_ptr (i + 1) - 1 do
+      acc :=
+        !acc
+        +. (Array.unsafe_get values k
+           *. Array.unsafe_get x (Array.unsafe_get col_idx k))
+    done;
+    Array.unsafe_set dst i !acc
+  done
+
+let spmv a x =
+  let dst = Array.make a.rows 0. in
+  spmv_into a ~dst x;
+  dst
+
+let transpose a =
+  let counts = Array.make a.cols 0 in
+  let n = nnz a in
+  for k = 0 to n - 1 do
+    counts.(a.col_idx.(k)) <- counts.(a.col_idx.(k)) + 1
+  done;
+  let row_ptr = Array.make (a.cols + 1) 0 in
+  for j = 0 to a.cols - 1 do
+    row_ptr.(j + 1) <- row_ptr.(j) + counts.(j)
+  done;
+  let col_idx = Array.make n 0 in
+  let values = Array.make n 0. in
+  let cursor = Array.copy row_ptr in
+  (* Walking the source in row order drops each transposed row's entries
+     in ascending (source-row) order, so the result is canonical. *)
+  for i = 0 to a.rows - 1 do
+    for k = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do
+      let j = a.col_idx.(k) in
+      let w = cursor.(j) in
+      col_idx.(w) <- i;
+      values.(w) <- a.values.(k);
+      cursor.(j) <- w + 1
+    done
+  done;
+  { rows = a.cols; cols = a.rows; row_ptr; col_idx; values }
+
+let sym_scale a d =
+  require_square "sym_scale" a;
+  if Array.length d <> a.rows then
+    invalid_arg "Sparse.sym_scale: scaling vector arity mismatch";
+  let values = Array.copy a.values in
+  let w = ref 0 in
+  for i = 0 to a.rows - 1 do
+    for k = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do
+      values.(!w) <- d.(i) *. a.values.(k) *. d.(a.col_idx.(k));
+      incr w
+    done
+  done;
+  { a with values }
+
+let is_symmetric ?(tol = 1e-9) a =
+  a.rows = a.cols
+  &&
+  let scale_ref =
+    Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 1. a.values
+  in
+  let at = transpose a in
+  (* Canonical CSR of A and A^T: symmetry of the stored pattern means
+     identical structure arrays, then values compare entrywise. *)
+  a.row_ptr = at.row_ptr
+  && a.col_idx = at.col_idx
+  &&
+  let ok = ref true in
+  Array.iteri
+    (fun k v -> if Float.abs (v -. at.values.(k)) > tol *. scale_ref then ok := false)
+    a.values;
+  !ok
+
+let equal a b =
+  a.rows = b.rows && a.cols = b.cols && a.row_ptr = b.row_ptr
+  && a.col_idx = b.col_idx
+  && Array.length a.values = Array.length b.values
+  &&
+  let ok = ref true in
+  Array.iteri
+    (fun k v -> if not (Int64.equal (Int64.bits_of_float v) (Int64.bits_of_float b.values.(k))) then ok := false)
+    a.values;
+  !ok

@@ -1,0 +1,87 @@
+(** Sparse matrices in compressed sparse row (CSR) form.
+
+    The thermal conductance matrices this repo assembles are extremely
+    sparse — a grid cell couples to its four neighbours and ambient, so
+    [nnz] is O(n) — and every Krylov kernel ({!Krylov}) needs only
+    matrix-vector products.  CSR keeps each row's column indices and
+    values contiguous and ascending, so {!spmv} is one cache-friendly
+    pass over [nnz] entries and structural equality of two matrices is
+    plain array equality (the pool-determinism tests rely on this).
+
+    All constructors produce a {e canonical} CSR: within each row the
+    column indices are strictly ascending and duplicate triplets have
+    been summed.  Matrices are immutable after construction. *)
+
+type t = private {
+  rows : int;
+  cols : int;
+  row_ptr : int array;  (** Length [rows + 1]; row [i] occupies
+                            [row_ptr.(i) .. row_ptr.(i+1) - 1]. *)
+  col_idx : int array;  (** Length [nnz], ascending within each row. *)
+  values : float array;  (** Length [nnz], matching [col_idx]. *)
+}
+
+(** [of_triplets ~rows ~cols ts] assembles a canonical CSR from [(i, j,
+    v)] triplets in any order; duplicates are summed (the natural form
+    of finite-volume assembly).  Entries that sum to exactly [0.] are
+    kept — structure is decided by the caller, not by cancellation.
+    Raises [Invalid_argument] on out-of-range indices or negative
+    dimensions. *)
+val of_triplets : rows:int -> cols:int -> (int * int * float) list -> t
+
+(** [of_dense ?drop a] converts a dense matrix, keeping entries with
+    [|a_ij| > drop] (default [0.]: keep everything non-zero). *)
+val of_dense : ?drop:float -> Mat.t -> t
+
+(** [of_row_arrays ~cols rows] concatenates per-row [(col_idx, values)]
+    pairs — each already canonical (strictly ascending, in-range columns,
+    equal lengths) — into a CSR.  This is the assembly entry point for
+    parallel builders: rows are produced independently (e.g. across a
+    {!Util.Pool}) and concatenation is order-determined, so the result
+    is bit-identical at any pool size.  Raises [Invalid_argument] on a
+    malformed row. *)
+val of_row_arrays : cols:int -> (int array * float array) array -> t
+
+(** [to_dense a] expands back to a dense matrix. *)
+val to_dense : t -> Mat.t
+
+(** [nnz a] is the stored-entry count. *)
+val nnz : t -> int
+
+(** [dims a] is [(rows, cols)]. *)
+val dims : t -> int * int
+
+(** [get a i j] is the entry at [(i, j)] ([0.] when not stored) — a
+    binary search over row [i], for tests and spot reads, not for hot
+    loops. *)
+val get : t -> int -> int -> float
+
+(** [diagonal a] is the main diagonal as a dense vector (missing
+    entries read as [0.]).  Requires a square matrix. *)
+val diagonal : t -> Vec.t
+
+(** [spmv a x] is the matrix-vector product [A x]. *)
+val spmv : t -> Vec.t -> Vec.t
+
+(** [spmv_into a ~dst x] writes [A x] into [dst] without allocating.
+    [dst] and [x] must not alias. *)
+val spmv_into : t -> dst:Vec.t -> Vec.t -> unit
+
+(** [transpose a] is [A^T], again in canonical CSR — a linear-time
+    bucket pass, no sorting. *)
+val transpose : t -> t
+
+(** [sym_scale a d] is [diag(d) A diag(d)] — the similarity scaling
+    that turns the conductance form [C^{-1} G] into the symmetric
+    [C^{-1/2} G C^{-1/2}] the Lanczos kernels need.  Requires a square
+    matrix with [dim d = rows]. *)
+val sym_scale : t -> Vec.t -> t
+
+(** [is_symmetric ?tol a] checks [|a_ij - a_ji| <= tol * max_ij |a_ij|]
+    for every stored entry (default [tol = 1e-9]). *)
+val is_symmetric : ?tol:float -> t -> bool
+
+(** [equal a b] is structural equality: identical dimensions, row
+    pointers, column indices and bit-identical values — the invariant
+    the deterministic parallel assembly is tested against. *)
+val equal : t -> t -> bool

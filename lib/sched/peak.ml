@@ -399,3 +399,105 @@ let of_step_up_cached ?engine cache model pm s =
   else
     Cache.find_or_add cache (Cache.key_of_schedule s)
       (fun () -> of_step_up ?engine model pm s)
+
+(* ------------------------------------- backend-generic evaluators *)
+
+(* The same evaluators against the uniform {!Thermal.Backend} interface,
+   so candidate pricing is implementation-blind: the dense modal engine
+   and the sparse Krylov engine answer through identical entry points.
+   Cache digests are shared with the modal paths above (same voltage /
+   schedule / decomposed-two-mode keys), so a context switching backends
+   keeps exact, bit-pattern memoization semantics — only the floats a
+   miss computes come from a different engine. *)
+
+module B = Thermal.Backend
+
+let backend_profile (b : B.t) pm s =
+  if Schedule.n_cores s <> b.B.n_cores then
+    invalid_arg
+      (Printf.sprintf "Peak.backend_profile: schedule has %d cores, backend has %d"
+         (Schedule.n_cores s) b.B.n_cores);
+  List.map
+    (fun (duration, voltages) ->
+      { Thermal.Matex.duration; psi = Power.Power_model.psi_vector_memo pm voltages })
+    (Schedule.state_intervals s)
+
+let backend_steady_constant (b : B.t) pm voltages =
+  b.B.steady_peak (Power.Power_model.psi_vector_memo pm voltages)
+
+let backend_steady_constant_cached cache b pm voltages =
+  if Cache.disabled cache then
+    Cache.find_or_add cache "" (fun () -> backend_steady_constant b pm voltages)
+  else
+    Cache.find_or_add cache
+      (Cache.key_of_voltages voltages)
+      (fun () -> backend_steady_constant b pm voltages)
+
+let backend_of_step_up (b : B.t) pm s =
+  if not (Stepup.is_step_up s) then
+    invalid_arg "Peak.backend_of_step_up: schedule is not step-up";
+  b.B.stable_peak (backend_profile b pm s)
+
+let backend_of_step_up_cached cache b pm s =
+  if Cache.disabled cache then
+    Cache.find_or_add cache "" (fun () -> backend_of_step_up b pm s)
+  else
+    Cache.find_or_add cache (Cache.key_of_schedule s)
+      (fun () -> backend_of_step_up b pm s)
+
+let backend_of_any (b : B.t) pm ?(samples_per_segment = 32) s =
+  b.B.peak_scan ~samples_per_segment (backend_profile b pm s)
+
+let backend_of_any_refined (b : B.t) pm ?(samples_per_segment = 32) ?(tol = 1e-4) s =
+  b.B.peak_refined ~samples_per_segment ~tol (backend_profile b pm s)
+
+let backend_stable_end_core_temps (b : B.t) pm s =
+  b.B.stable_core_temps (backend_profile b pm s)
+
+(* The profile of an already-decomposed aligned two-mode candidate: the
+   identical spans and midpoint voltage reads as the fused modal path
+   (and as [Schedule.two_mode] + [state_intervals]), materialized as
+   segments for a backend evaluator. *)
+let backend_two_mode_profile pm s ~period ~low ~high kept =
+  let n = Array.length low in
+  let segs = ref [] in
+  for k = kept - 2 downto 0 do
+    let t0 = s.pts.(k) and t1 = s.pts.(k + 1) in
+    let t = two_mode_mid ~period t0 t1 in
+    let psi =
+      Array.init n (fun i ->
+          Power.Power_model.psi pm (two_mode_voltage s ~low ~high t i))
+    in
+    segs := { Thermal.Matex.duration = t1 -. t0; psi } :: !segs
+  done;
+  !segs
+
+let backend_of_two_mode (b : B.t) pm ~period ~low ~high ~high_ratio =
+  let s = two_mode_scratch (Array.length low) in
+  let kept = two_mode_decompose s ~period ~low ~high ~high_ratio in
+  b.B.stable_peak (backend_two_mode_profile pm s ~period ~low ~high kept)
+
+let backend_two_mode_end_core_temps (b : B.t) pm ~period ~low ~high ~high_ratio =
+  let s = two_mode_scratch (Array.length low) in
+  let kept = two_mode_decompose s ~period ~low ~high ~high_ratio in
+  b.B.stable_core_temps (backend_two_mode_profile pm s ~period ~low ~high kept)
+
+let backend_of_two_mode_cached cache b pm ~period ~low ~high ~high_ratio =
+  if Cache.disabled cache then begin
+    Cache.count_miss cache;
+    backend_of_two_mode b pm ~period ~low ~high ~high_ratio
+  end
+  else begin
+    let s = two_mode_scratch (Array.length low) in
+    let kept = two_mode_decompose s ~period ~low ~high ~high_ratio in
+    let key = two_mode_key_decomposed s ~period ~low ~high kept in
+    match Cache.find cache key with
+    | Some v -> v
+    | None ->
+        let v =
+          (b : B.t).B.stable_peak
+            (backend_two_mode_profile pm s ~period ~low ~high kept)
+        in
+        Cache.add cache key v;
+        v
+  end

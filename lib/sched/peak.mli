@@ -194,3 +194,100 @@ val of_step_up_cached :
   Power.Power_model.t ->
   Schedule.t ->
   float
+
+(** {1 Backend-generic evaluators}
+
+    The same evaluator family against the uniform {!Thermal.Backend}
+    interface, so candidate pricing is implementation-blind: the dense
+    modal engine and the sparse Krylov engine answer through identical
+    entry points.  The cached variants reuse the exact digests of the
+    modal paths above ({!Cache.key_of_voltages}, {!Cache.key_of_schedule}
+    and the decomposed two-mode key), so an evaluation context that
+    switches backends keeps bit-pattern memoization semantics — only the
+    floats a miss computes come from a different engine. *)
+
+(** [backend_profile b pm s] is {!profile} against a backend: the
+    schedule's state intervals as a piecewise-constant power profile.
+    Raises [Invalid_argument] on a core-count mismatch with [b]. *)
+val backend_profile :
+  Thermal.Backend.t -> Power.Power_model.t -> Schedule.t -> Thermal.Matex.profile
+
+(** [backend_steady_constant b pm voltages] — {!steady_constant} on [b]. *)
+val backend_steady_constant :
+  Thermal.Backend.t -> Power.Power_model.t -> float array -> float
+
+(** [backend_steady_constant_cached cache b pm voltages] —
+    {!steady_constant_cached} on [b], same key, same platform-pairing
+    contract. *)
+val backend_steady_constant_cached :
+  Cache.t -> Thermal.Backend.t -> Power.Power_model.t -> float array -> float
+
+(** [backend_of_step_up b pm s] — {!of_step_up} on [b].  Raises
+    [Invalid_argument] if [s] is not step-up. *)
+val backend_of_step_up :
+  Thermal.Backend.t -> Power.Power_model.t -> Schedule.t -> float
+
+(** [backend_of_step_up_cached cache b pm s] — {!of_step_up_cached} on
+    [b], keyed by {!Cache.key_of_schedule}. *)
+val backend_of_step_up_cached :
+  Cache.t -> Thermal.Backend.t -> Power.Power_model.t -> Schedule.t -> float
+
+(** [backend_of_any b pm ?samples_per_segment s] — {!of_any} on [b]. *)
+val backend_of_any :
+  Thermal.Backend.t ->
+  Power.Power_model.t ->
+  ?samples_per_segment:int ->
+  Schedule.t ->
+  float
+
+(** [backend_of_any_refined b pm ?samples_per_segment ?tol s] —
+    {!of_any_refined} on [b] (default [tol = 1e-4]). *)
+val backend_of_any_refined :
+  Thermal.Backend.t ->
+  Power.Power_model.t ->
+  ?samples_per_segment:int ->
+  ?tol:float ->
+  Schedule.t ->
+  float
+
+(** [backend_stable_end_core_temps b pm s] — {!stable_end_core_temps} on
+    [b]. *)
+val backend_stable_end_core_temps :
+  Thermal.Backend.t -> Power.Power_model.t -> Schedule.t -> Linalg.Vec.t
+
+(** [backend_of_two_mode b pm ~period ~low ~high ~high_ratio] —
+    {!of_two_mode} on [b]: the aligned two-mode candidate is decomposed
+    exactly as the fused modal path (and as [Schedule.two_mode]) before
+    evaluation, so all three agree on the spans they price. *)
+val backend_of_two_mode :
+  Thermal.Backend.t ->
+  Power.Power_model.t ->
+  period:float ->
+  low:float array ->
+  high:float array ->
+  high_ratio:float array ->
+  float
+
+(** [backend_two_mode_end_core_temps b pm ~period ~low ~high ~high_ratio]
+    — {!two_mode_end_core_temps} on [b]. *)
+val backend_two_mode_end_core_temps :
+  Thermal.Backend.t ->
+  Power.Power_model.t ->
+  period:float ->
+  low:float array ->
+  high:float array ->
+  high_ratio:float array ->
+  Linalg.Vec.t
+
+(** [backend_of_two_mode_cached cache b pm ...] — {!of_two_mode_cached}
+    on [b], sharing the decomposed-schedule digest with the fused and
+    schedule-based entries. *)
+val backend_of_two_mode_cached :
+  Cache.t ->
+  Thermal.Backend.t ->
+  Power.Power_model.t ->
+  period:float ->
+  low:float array ->
+  high:float array ->
+  high_ratio:float array ->
+  float

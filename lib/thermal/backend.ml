@@ -1,0 +1,65 @@
+type t = {
+  name : string;
+  n_nodes : int;
+  n_cores : int;
+  ambient : float;
+  ambient_state : unit -> Linalg.Vec.t;
+  step : dt:float -> state:Linalg.Vec.t -> psi:Linalg.Vec.t -> Linalg.Vec.t;
+  core_temps : Linalg.Vec.t -> Linalg.Vec.t;
+  max_core_temp : Linalg.Vec.t -> float;
+  steady_core_temps : Linalg.Vec.t -> Linalg.Vec.t;
+  steady_peak : Linalg.Vec.t -> float;
+  stable_core_temps : Matex.profile -> Linalg.Vec.t;
+  stable_peak : Matex.profile -> float;
+  peak_scan : samples_per_segment:int -> Matex.profile -> float;
+  peak_refined : samples_per_segment:int -> tol:float -> Matex.profile -> float;
+}
+
+let of_model model =
+  let eng = Modal.make model in
+  {
+    name = "dense-modal";
+    n_nodes = Model.n_nodes model;
+    n_cores = Model.n_cores model;
+    ambient = Model.ambient model;
+    ambient_state = (fun () -> Modal.ambient_state eng);
+    step = (fun ~dt ~state ~psi -> Modal.step eng ~dt ~z:state ~psi);
+    core_temps = Modal.core_temps eng;
+    max_core_temp = Modal.max_core_temp eng;
+    steady_core_temps = (fun psi -> Modal.core_temps eng (Modal.z_inf eng psi));
+    steady_peak = Modal.steady_peak eng;
+    stable_core_temps = Matex.stable_core_temps ~engine:eng model;
+    stable_peak = Matex.end_of_period_peak ~engine:eng model;
+    peak_scan =
+      (fun ~samples_per_segment profile ->
+        Matex.peak_scan ~engine:eng model ~samples_per_segment profile);
+    peak_refined =
+      (fun ~samples_per_segment ~tol profile ->
+        Matex.peak_refined ~engine:eng model ~samples_per_segment ~tol profile);
+  }
+
+let of_sparse eng =
+  {
+    name = "sparse-krylov";
+    n_nodes = Sparse_model.n_nodes eng;
+    n_cores = Sparse_model.n_cores eng;
+    ambient = Sparse_model.ambient eng;
+    ambient_state = (fun () -> Sparse_model.ambient_state eng);
+    step = Sparse_model.step eng;
+    core_temps = Sparse_model.core_temps eng;
+    max_core_temp = Sparse_model.max_core_temp eng;
+    steady_core_temps = Sparse_model.steady_core_temps eng;
+    steady_peak = Sparse_model.steady_peak eng;
+    stable_core_temps = Sparse_model.stable_core_temps eng;
+    stable_peak = Sparse_model.end_of_period_peak eng;
+    peak_scan =
+      (fun ~samples_per_segment profile ->
+        Sparse_model.peak_scan eng ~samples_per_segment profile);
+    peak_refined =
+      (fun ~samples_per_segment ~tol profile ->
+        Sparse_model.peak_refined eng ~samples_per_segment ~tol profile);
+  }
+
+let sparse_of_spec ?pool spec = of_sparse (Sparse_model.of_spec ?pool spec)
+let sparse_of_model ?pool model = of_sparse (Sparse_model.of_model ?pool model)
+let dense_of_spec spec = of_model (Spec.to_model spec)

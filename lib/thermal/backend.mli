@@ -1,0 +1,65 @@
+(** Uniform thermal-evaluation backend interface.
+
+    Policies and experiment drivers ask a small set of questions —
+    steady peaks, stable-status temperatures, scanned/refined period
+    peaks, exact transient steps — and must not care whether the answers
+    come from the dense modal engine ({!Modal}, O(n³) build, exact
+    eigenbasis) or the sparse Krylov engine ({!Sparse_model}, O(nnz)
+    build, CG + Lanczos solves).  A backend is a record of closures over
+    one of those engines; {!Core.Eval} and {!Sched.Peak} consume it, so
+    every registered policy runs unchanged on either implementation.
+
+    States are opaque to callers: modal coordinates for the dense
+    backend, symmetrized node coordinates for the sparse one.  Obtain
+    them only from {!field:ambient_state}/{!field:step} of the SAME
+    backend and read them through {!field:core_temps}/
+    {!field:max_core_temp}.  The differential suite pins both
+    implementations to each other to ≤ 1e-9. *)
+
+type t = {
+  name : string;  (** ["dense-modal"] or ["sparse-krylov"]. *)
+  n_nodes : int;
+  n_cores : int;
+  ambient : float;
+  ambient_state : unit -> Linalg.Vec.t;  (** The all-ambient state. *)
+  step : dt:float -> state:Linalg.Vec.t -> psi:Linalg.Vec.t -> Linalg.Vec.t;
+      (** Exact LTI advance under constant per-core powers. *)
+  core_temps : Linalg.Vec.t -> Linalg.Vec.t;
+      (** Absolute core temperatures of a state. *)
+  max_core_temp : Linalg.Vec.t -> float;
+  steady_core_temps : Linalg.Vec.t -> Linalg.Vec.t;
+      (** Absolute steady core temperatures under constant powers. *)
+  steady_peak : Linalg.Vec.t -> float;
+  stable_core_temps : Matex.profile -> Linalg.Vec.t;
+      (** Absolute core temperatures at the periodic stable-status
+          period boundary. *)
+  stable_peak : Matex.profile -> float;
+      (** Hottest core at the stable-status period boundary — the
+          step-up evaluator of Theorem 1. *)
+  peak_scan : samples_per_segment:int -> Matex.profile -> float;
+      (** Dense scan of the stable-status period. *)
+  peak_refined : samples_per_segment:int -> tol:float -> Matex.profile -> float;
+      (** Scan plus golden-section refinement. *)
+}
+
+(** [of_model model] is the dense reference backend: the model's cached
+    {!Modal} response engine behind the uniform interface. *)
+val of_model : Model.t -> t
+
+(** [sparse_of_model ?pool model] runs the sparse Krylov engine on the
+    spec reconstructed from a dense model ({!Spec.of_model}) — the
+    differential-testing bridge. *)
+val sparse_of_model : ?pool:Util.Pool.t -> Model.t -> t
+
+(** [sparse_of_spec ?pool spec] is the sparse backend of a problem
+    description — never builds anything dense, so it is the only
+    constructor that scales to 256–1024 cells. *)
+val sparse_of_spec : ?pool:Util.Pool.t -> Spec.t -> t
+
+(** [dense_of_spec spec] assembles the dense model of a spec (including
+    its O(n³) eigensolve) and wraps it — the reference arm of
+    dense-versus-sparse comparisons; do not call at large n. *)
+val dense_of_spec : Spec.t -> t
+
+(** [of_sparse eng] wraps an already-assembled sparse engine. *)
+val of_sparse : Sparse_model.t -> t

@@ -2,9 +2,8 @@ module Vec = Linalg.Vec
 
 type t = { model : Model.t; mapping : int array array; subdivisions : int }
 
-let build ?(subdivisions = 3) ?(ambient = 35.) ?(leak_beta = 0.05) fp =
-  if subdivisions < 1 then invalid_arg "Grid_model.build: subdivisions < 1";
-  let k = subdivisions in
+let refine fp k =
+  if k < 1 then invalid_arg "Grid_model: subdivisions < 1";
   let cells =
     Array.to_list fp.Floorplan.blocks
     |> List.concat_map (fun b ->
@@ -21,7 +20,15 @@ let build ?(subdivisions = 3) ?(ambient = 35.) ?(leak_beta = 0.05) fp =
                  height = h;
                }))
   in
-  let fine = { Floorplan.blocks = Array.of_list cells } in
+  { Floorplan.blocks = Array.of_list cells }
+
+let block_mapping fp k =
+  Array.init (Floorplan.n_blocks fp) (fun i ->
+      Array.init (k * k) (fun c -> (i * k * k) + c))
+
+let build ?(subdivisions = 3) ?(ambient = 35.) ?(leak_beta = 0.05) fp =
+  let k = subdivisions in
+  let fine = refine fp k in
   (* The leakage slope is per CORE in the block model; spread it over the
      block's cells so the chip-wide leakage matches. *)
   let model =
@@ -29,11 +36,31 @@ let build ?(subdivisions = 3) ?(ambient = 35.) ?(leak_beta = 0.05) fp =
       ~leak_beta:(leak_beta /. float_of_int (k * k))
       fine
   in
-  let n_blocks = Floorplan.n_blocks fp in
-  let mapping =
-    Array.init n_blocks (fun i -> Array.init (k * k) (fun c -> (i * k * k) + c))
+  { model; mapping = block_mapping fp k; subdivisions = k }
+
+let build_spec ?(subdivisions = 3) ?(ambient = 35.) ?(leak_beta = 0.05) fp =
+  let k = subdivisions in
+  let fine = refine fp k in
+  let net = Hotspot.network_of_floorplan fine in
+  let spec =
+    Spec.of_network ~ambient
+      ~leak_beta:(leak_beta /. float_of_int (k * k))
+      ~core_nodes:(Array.init (Floorplan.n_blocks fine) (fun i -> i))
+      net
   in
-  { model; mapping; subdivisions = k }
+  (spec, block_mapping fp k)
+
+let sheet_floorplan ?(core_width = 4e-3) ?(core_height = 4e-3) ~rows ~cols () =
+  Floorplan.grid ~rows ~cols ~core_width ~core_height
+
+let sheet_spec ?(ambient = Hotspot.default_ambient)
+    ?(leak_beta = Hotspot.default_leak_beta) ?core_width ?core_height ~rows ~cols
+    () =
+  let fp = sheet_floorplan ?core_width ?core_height ~rows ~cols () in
+  let net = Hotspot.network_of_floorplan fp in
+  Spec.of_network ~ambient ~leak_beta
+    ~core_nodes:(Array.init (Floorplan.n_blocks fp) (fun i -> i))
+    net
 
 let expand_powers g psi =
   if Vec.dim psi <> Array.length g.mapping then

@@ -14,6 +14,12 @@
       core-level lumping preserves the dynamics (and to exercise the
       passive-node handling of {!Model}). *)
 
+(** The paper's T_amb (degrees C) and leakage slope (W/K) — the defaults
+    every builder here and in {!Spec}/{!Grid_model} shares. *)
+val default_ambient : float
+
+val default_leak_beta : float
+
 (** [core_level ?ambient ?leak_beta ?lateral_scale ?vertical_scale
     ?capacitance_scale fp] builds the core-level model for floorplan
     [fp].  Defaults: [ambient = 35.] (the paper's T_amb),

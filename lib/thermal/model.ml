@@ -89,6 +89,8 @@ let core_nodes m = Array.copy m.core_nodes
 let ambient m = m.ambient
 let leak_beta m = m.leak_beta
 let a_matrix m = Mat.copy m.a
+let capacitance m = Vec.copy m.capacitance
+let effective_conductance m = Mat.copy m.g_eff
 
 let check_psi m psi =
   if Vec.dim psi <> n_cores m then

@@ -48,6 +48,15 @@ val leak_beta : t -> float
 (** [a_matrix m] is a copy of [A]. *)
 val a_matrix : t -> Linalg.Mat.t
 
+(** [capacitance m] is a copy of the diagonal of [C], J/K. *)
+val capacitance : t -> Linalg.Vec.t
+
+(** [effective_conductance m] is a copy of [G' = G - beta E] — the
+    symmetric positive definite matrix behind every solve.  {!Spec}
+    reconstructs a sparse problem description from it for backend
+    parity testing. *)
+val effective_conductance : t -> Linalg.Mat.t
+
 (** [input_of_core_powers m psi] is [b(psi)]; [psi] has one entry per
     core. *)
 val input_of_core_powers : t -> Linalg.Vec.t -> Linalg.Vec.t

@@ -44,6 +44,8 @@ let node_name net i =
   net.nodes.(i).name
 
 let capacitance_vector net = Array.init net.n (fun i -> net.nodes.(i).capacitance)
+let to_ambient_vector net = Array.init net.n (fun i -> net.nodes.(i).to_ambient)
+let edges net = List.rev net.edges
 
 let conductance_matrix net =
   let g = Linalg.Mat.zeros net.n net.n in

@@ -36,6 +36,16 @@ val node_name : t -> int -> string
 (** [capacitance_vector net] is the diagonal of [C], J/K. *)
 val capacitance_vector : t -> Linalg.Vec.t
 
+(** [to_ambient_vector net] is the per-node ambient conductance, W/K. *)
+val to_ambient_vector : t -> Linalg.Vec.t
+
+(** [edges net] lists the node-to-node conductances [(i, j, g)] in
+    insertion order (duplicates appear as given; they accumulate on
+    assembly).  This is the natural sparsity the sparse backend
+    ({!Spec}, {!Sparse_model}) assembles from without ever forming the
+    dense matrix. *)
+val edges : t -> (int * int * float) list
+
 (** [conductance_matrix net] assembles the symmetric matrix [G]:
     [G_ii = g_ambient_i + sum_j g_ij], [G_ij = -g_ij].  With every node
     grounded through a positive path to ambient, [G] is an irreducibly

@@ -1,67 +1,82 @@
-module Mat = Linalg.Mat
 module Vec = Linalg.Vec
+module Sparse = Linalg.Sparse
+module Krylov = Linalg.Krylov
 
 type t = {
-  model : Model.t;
-  modes : int array; (* indices of retained (slowest) modes *)
-  lambda : Vec.t; (* retained eigenvalues *)
-  w_cols : Mat.t; (* n_nodes x k columns of W for retained modes *)
-  w_inv_rows : Mat.t; (* k x n_nodes rows of W^{-1} *)
+  engine : Sparse_model.t;
+  mu : Vec.t;  (* retained decay rates, ascending, all positive *)
+  basis : Vec.t array;  (* orthonormal Ritz vectors, symmetrized space *)
 }
 
-let default_modes lambda =
-  (* Retain everything within one decade of the slowest mode (index 0:
-     the eigenvalues come ordered closest-to-zero first). *)
-  let n = Vec.dim lambda in
-  let slowest = Float.abs lambda.(0) in
+let default_modes mu =
+  (* Retain everything within one decade of the slowest rate (index 0:
+     rates come ascending), floored at 4 modes, capped at the number of
+     rates actually computed. *)
+  let n = Vec.dim mu in
+  let slowest = Float.abs mu.(0) in
   let count = ref 0 in
   for j = 0 to n - 1 do
-    if Float.abs lambda.(j) <= 10. *. slowest then incr count
+    if Float.abs mu.(j) <= 10. *. slowest then incr count
   done;
-  Stdlib.max 4 !count |> Stdlib.min n
+  Stdlib.min n (Stdlib.max 4 !count)
 
-let build ?modes model =
-  let lambda_all, w, w_inv = Model.eigenbasis model in
-  let n = Vec.dim lambda_all in
-  let k = match modes with Some k -> k | None -> default_modes lambda_all in
-  if k < 1 || k > n then invalid_arg "Reduced.build: modes outside [1, n_nodes]";
-  (* Eigenvalues come ordered closest-to-zero first (lambda = -mu with mu
-     ascending), so the slowest modes are the FIRST k. *)
-  let idx = Array.init k (fun j -> j) in
-  ignore n;
+let of_engine ?modes engine =
+  let n = Sparse_model.n_nodes engine in
+  (match modes with
+  | Some k when k < 1 || k > n ->
+      invalid_arg "Reduced.build: modes outside [1, n_nodes]"
+  | _ -> ());
+  (* With no explicit mode count, probe a few rates beyond the decade
+     heuristic's floor and let [default_modes] truncate. *)
+  let probe = match modes with Some k -> k | None -> Stdlib.min n 12 in
+  let m = Sparse_model.operator engine in
+  let precond = Krylov.jacobi (Sparse.diagonal m) in
+  let solve b = Krylov.cg ~precond (Sparse.spmv m) b in
+  (* Shift-invert Lanczos: O(probe * nnz) per CG iteration, never a
+     dense matrix — this is where the O(n^3) dense eigensolve drops to
+     O(k * nnz). *)
+  let pairs = Krylov.smallest_eigs ~tol:1e-12 ~n ~k:probe solve in
+  let mu_all = Array.map fst pairs in
+  let k = match modes with Some k -> k | None -> default_modes mu_all in
   {
-    model;
-    modes = idx;
-    lambda = Array.map (fun j -> lambda_all.(j)) idx;
-    w_cols = Mat.init n k (fun i j -> Mat.get w i idx.(j));
-    w_inv_rows = Mat.init k n (fun i j -> Mat.get w_inv idx.(i) j);
+    engine;
+    mu = Array.sub mu_all 0 k;
+    basis = Array.init k (fun j -> snd pairs.(j));
   }
 
-let n_modes r = Array.length r.modes
-let full_model r = r.model
-let steady_core_temps r psi = Model.steady_core_temps r.model psi
+let build ?modes model = of_engine ?modes (Sparse_model.of_model model)
+let n_modes r = Vec.dim r.mu
+let engine r = r.engine
+let decay_rates r = Vec.copy r.mu
+let steady_core_temps r psi = Sparse_model.steady_core_temps r.engine psi
 let ambient_state r = Vec.zeros (n_modes r)
 
-(* Retained modes' equilibrium coordinates for input psi:
-   z_inf_j = -(W^{-1} b)_j / lambda_j. *)
+(* Retained modes' equilibrium coordinates: the basis is orthonormal and
+   M w_j = mu_j w_j, so w_j . y_inf = (w_j . b) / mu_j with no solve. *)
 let z_inf r psi =
-  let b = Model.input_of_core_powers r.model psi in
-  let wb = Mat.matvec r.w_inv_rows b in
-  Array.mapi (fun j v -> -.v /. r.lambda.(j)) wb
+  let b = Sparse_model.heat_input r.engine psi in
+  Array.mapi (fun j w -> Vec.dot w b /. r.mu.(j)) r.basis
 
 let step r ~dt ~state ~psi =
   if Vec.dim state <> n_modes r then invalid_arg "Reduced.step: bad state arity";
   let zi = z_inf r psi in
   Array.mapi
-    (fun j z -> zi.(j) +. (exp (r.lambda.(j) *. dt) *. (z -. zi.(j))))
+    (fun j z -> zi.(j) +. (Float.exp (-.r.mu.(j) *. dt) *. (z -. zi.(j))))
     state
 
 let core_temps r ~state ~psi =
-  if Vec.dim state <> n_modes r then invalid_arg "Reduced.core_temps: bad state arity";
-  (* theta(t) = theta_inf + W_k (z - z_inf): exact at DC, modal for the
-     retained dynamics, quasi-static for the truncated fast modes. *)
-  let theta_inf = Model.theta_inf r.model psi in
+  if Vec.dim state <> n_modes r then
+    invalid_arg "Reduced.core_temps: bad state arity";
+  (* y(t) = y_inf + sum_j w_j (z_j - z_inf_j): exact at DC (the CG
+     steady solve), modal for the retained dynamics, quasi-static for
+     the truncated fast modes. *)
+  let y = Sparse_model.steady_state r.engine psi in
   let zi = z_inf r psi in
-  let dz = Vec.sub state zi in
-  let theta = Vec.add theta_inf (Mat.matvec r.w_cols dz) in
-  Model.core_temps_of_theta r.model theta
+  Array.iteri
+    (fun j w ->
+      let dz = state.(j) -. zi.(j) in
+      for i = 0 to Vec.dim y - 1 do
+        y.(i) <- y.(i) +. (dz *. w.(i))
+      done)
+    r.basis;
+  Sparse_model.core_temps r.engine y

@@ -1,30 +1,45 @@
-(** Modal order reduction of the compact thermal model.
+(** Model-order reduction by retained-mode truncation.
 
     Fine-grid models ({!Grid_model}) grow quadratically in node count;
     most of their eigenmodes decay within microseconds and contribute
-    nothing to schedule-scale dynamics.  This module truncates the modal
-    expansion to the [k] slowest modes and patches the lost modes'
-    steady-state contribution with a static correction — the standard
-    modal-truncation + static-correction scheme:
+    nothing to schedule-scale dynamics.  This module retains the [k]
+    slowest modes and patches the truncated modes' contribution with a
+    static (quasi-steady) correction:
 
-    [theta(t) ~ W_k z(t) + (G'^{-1} - W_k diag(1/|lambda_k|) W_k^T C) u]
+    [y(t) ~ y_inf(psi) + sum_j w_j (z_j(t) - z_inf_j)]
 
-    where [z] evolves independently per retained mode.  Accuracy is
-    exact at steady state by construction and degrades only for inputs
-    changing faster than the fastest retained mode. *)
+    where each retained coordinate [z_j] evolves independently at rate
+    [mu_j].  Exact at steady state by construction; degrades only for
+    inputs changing faster than the fastest retained mode.
+
+    The retained pairs [(mu_j, w_j)] are Lanczos Ritz pairs of the
+    sparse symmetrized operator ({!Sparse_model.operator}), computed by
+    shift-invert {!Linalg.Krylov.smallest_eigs} — O(k * nnz) work per
+    iteration, so building a reduction never forms a dense matrix and
+    the O(n^3) dense eigensolve disappears from the build path. *)
 
 type t
 
-(** [build ?modes model] retains the [modes] slowest eigenmodes (default
-    : enough to cover the slowest decade of time constants, at least 4).
-    Raises [Invalid_argument] if [modes] is not in [1, n_nodes]. *)
+(** [of_engine ?modes engine] retains the [modes] slowest eigenmodes of
+    an already-assembled sparse engine (default: enough to cover the
+    slowest decade of decay rates among the first [min n 12] computed,
+    at least 4).  Raises [Invalid_argument] if [modes] is outside
+    [1, n_nodes]. *)
+val of_engine : ?modes:int -> Sparse_model.t -> t
+
+(** [build ?modes model] is {!of_engine} on the sparse engine of a dense
+    model's spec ({!Sparse_model.of_model}). *)
 val build : ?modes:int -> Model.t -> t
 
 (** [n_modes r] is the retained mode count. *)
 val n_modes : t -> int
 
-(** [full_model r] is the model the reduction was built from. *)
-val full_model : t -> Model.t
+(** [engine r] is the sparse engine the reduction projects through. *)
+val engine : t -> Sparse_model.t
+
+(** [decay_rates r] is a copy of the retained decay rates [mu_j]
+    (positive, ascending — the negated slowest eigenvalues of [A]). *)
+val decay_rates : t -> Linalg.Vec.t
 
 (** [steady_core_temps r psi] — exact (the static correction makes the
     reduction lossless at DC). *)

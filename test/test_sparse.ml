@@ -1,0 +1,515 @@
+(* Differential tests for the sparse (CSR + Krylov) path: assembly must
+   round-trip against dense matrices, spmv must agree with Mat.matvec,
+   and the Krylov kernels must reproduce dense LU / expm results to
+   <= 1e-9 on random SPD systems. *)
+
+module Vec = Linalg.Vec
+module Mat = Linalg.Mat
+module Sparse = Linalg.Sparse
+module Krylov = Linalg.Krylov
+
+let seed_gen = QCheck.(make Gen.(int_range 0 1_000_000))
+
+(* Random sparse-ish dense matrix with ~density of entries set. *)
+let random_dense rng rows cols ~density =
+  Mat.init rows cols (fun _ _ ->
+      if Random.State.float rng 1.0 < density then
+        Random.State.float rng 2.0 -. 1.0
+      else 0.)
+
+(* Random RC-network-shaped SPD matrix: diagonally dominant symmetric,
+   positive diagonal — same structure class as the symmetrized thermal
+   conductance operator. *)
+let random_spd rng n =
+  let a = Mat.zeros n n in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Random.State.float rng 1.0 < 0.3 then begin
+        let g = -.Random.State.float rng 1.0 in
+        Mat.set a i j g;
+        Mat.set a j i g
+      end
+    done
+  done;
+  for i = 0 to n - 1 do
+    let off = ref 0. in
+    for j = 0 to n - 1 do
+      if j <> i then off := !off +. Float.abs (Mat.get a i j)
+    done;
+    Mat.set a i i (!off +. 0.1 +. Random.State.float rng 2.0)
+  done;
+  a
+
+(* ------------------------------------------------------ CSR structure *)
+
+let prop_dense_round_trip =
+  QCheck.Test.make ~name:"of_dense |> to_dense is the identity" ~count:100
+    seed_gen (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let rows = 1 + Random.State.int rng 12
+      and cols = 1 + Random.State.int rng 12 in
+      let a = random_dense rng rows cols ~density:0.3 in
+      Mat.approx_equal ~tol:0. a (Sparse.to_dense (Sparse.of_dense a)))
+
+let prop_triplets_match_dense =
+  QCheck.Test.make ~name:"of_triplets sums duplicates like dense assembly"
+    ~count:100 seed_gen (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let rows = 1 + Random.State.int rng 8
+      and cols = 1 + Random.State.int rng 8 in
+      let n_trip = Random.State.int rng 40 in
+      let trips =
+        List.init n_trip (fun _ ->
+            ( Random.State.int rng rows,
+              Random.State.int rng cols,
+              Random.State.float rng 2.0 -. 1.0 ))
+      in
+      let dense = Mat.zeros rows cols in
+      List.iter
+        (fun (i, j, v) -> Mat.set dense i j (Mat.get dense i j +. v))
+        trips;
+      let sparse = Sparse.of_triplets ~rows ~cols trips in
+      Mat.approx_equal ~tol:1e-12 dense (Sparse.to_dense sparse))
+
+let prop_spmv_matches_matvec =
+  QCheck.Test.make ~name:"spmv = Mat.matvec" ~count:100 seed_gen (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let rows = 1 + Random.State.int rng 15
+      and cols = 1 + Random.State.int rng 15 in
+      let a = random_dense rng rows cols ~density:0.4 in
+      let x = Vec.init cols (fun _ -> Random.State.float rng 2.0 -. 1.0) in
+      Vec.dist_inf (Sparse.spmv (Sparse.of_dense a) x) (Mat.matvec a x) <= 1e-12)
+
+let prop_transpose_matches_dense =
+  QCheck.Test.make ~name:"transpose agrees with dense transpose" ~count:100
+    seed_gen (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let rows = 1 + Random.State.int rng 10
+      and cols = 1 + Random.State.int rng 10 in
+      let a = random_dense rng rows cols ~density:0.3 in
+      Mat.approx_equal ~tol:0.
+        (Mat.transpose a)
+        (Sparse.to_dense (Sparse.transpose (Sparse.of_dense a))))
+
+let prop_sym_scale_matches_dense =
+  QCheck.Test.make ~name:"sym_scale = diag(d) A diag(d)" ~count:100 seed_gen
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let n = 1 + Random.State.int rng 10 in
+      let a = random_dense rng n n ~density:0.4 in
+      let d = Vec.init n (fun _ -> 0.1 +. Random.State.float rng 2.0) in
+      let dense = Mat.matmul (Mat.diag d) (Mat.matmul a (Mat.diag d)) in
+      Mat.approx_equal ~tol:1e-12 dense
+        (Sparse.to_dense (Sparse.sym_scale (Sparse.of_dense a) d)))
+
+let test_csr_units () =
+  let a = Sparse.of_triplets ~rows:3 ~cols:3 [ (0, 0, 1.); (2, 1, 5.); (0, 0, 2.) ] in
+  Alcotest.(check int) "duplicates summed into one slot" 2 (Sparse.nnz a);
+  Alcotest.(check (float 0.)) "summed value" 3. (Sparse.get a 0 0);
+  Alcotest.(check (float 0.)) "missing entry reads 0" 0. (Sparse.get a 1 1);
+  Alcotest.(check bool) "structural equality" true
+    (Sparse.equal a (Sparse.of_triplets ~rows:3 ~cols:3 [ (2, 1, 5.); (0, 0, 3.) ]));
+  Alcotest.(check bool) "asymmetric matrix detected" false (Sparse.is_symmetric a);
+  let s =
+    Sparse.of_triplets ~rows:2 ~cols:2 [ (0, 1, -1.); (1, 0, -1.); (0, 0, 2.) ]
+  in
+  Alcotest.(check bool) "symmetric matrix detected" true (Sparse.is_symmetric s);
+  Alcotest.(check (array (float 0.))) "diagonal" [| 2.; 0. |] (Sparse.diagonal s)
+
+(* -------------------------------------------------------------- Krylov *)
+
+let prop_cg_matches_lu =
+  QCheck.Test.make ~name:"cg solves SPD systems like dense LU" ~count:60 seed_gen
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let n = 2 + Random.State.int rng 20 in
+      let a = random_spd rng n in
+      let b = Vec.init n (fun _ -> Random.State.float rng 2.0 -. 1.0) in
+      let reference = Linalg.Lu.solve_vec (Linalg.Lu.factorize a) b in
+      let sp = Sparse.of_dense a in
+      let x =
+        Krylov.cg ~precond:(Krylov.jacobi (Sparse.diagonal sp)) (Sparse.spmv sp) b
+      in
+      Vec.dist_inf reference x <= 1e-9)
+
+let prop_expmv_matches_dense_expm =
+  QCheck.Test.make ~name:"expmv = Sym_eig expm on SPD operators" ~count:60
+    seed_gen (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let n = 2 + Random.State.int rng 20 in
+      let a = random_spd rng n in
+      let t = 0.01 +. Random.State.float rng 3.0 in
+      let v = Vec.init n (fun _ -> Random.State.float rng 2.0 -. 1.0) in
+      let eig = Linalg.Sym_eig.decompose a in
+      let reference =
+        Mat.matvec (Linalg.Sym_eig.apply_function eig (fun lam -> Float.exp (-.t *. lam))) v
+      in
+      let sp = Sparse.of_dense a in
+      let w = Krylov.expmv (Sparse.spmv sp) ~t v in
+      Vec.dist_inf reference w <= 1e-9)
+
+let prop_expmv_small_basis_splits_time =
+  QCheck.Test.make ~name:"expmv stays accurate when m_max forces splitting"
+    ~count:20 seed_gen (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let n = 12 + Random.State.int rng 10 in
+      let a = random_spd rng n in
+      let t = 0.5 +. Random.State.float rng 2.0 in
+      let v = Vec.init n (fun _ -> Random.State.float rng 2.0 -. 1.0) in
+      let eig = Linalg.Sym_eig.decompose a in
+      let reference =
+        Mat.matvec (Linalg.Sym_eig.apply_function eig (fun lam -> Float.exp (-.t *. lam))) v
+      in
+      let sp = Sparse.of_dense a in
+      let w = Krylov.expmv ~m_max:6 (Sparse.spmv sp) ~t v in
+      Vec.dist_inf reference w <= 1e-8)
+
+let prop_smallest_eigs_match_dense =
+  QCheck.Test.make ~name:"smallest_eigs agree with the dense eigensolve"
+    ~count:40 seed_gen (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let n = 4 + Random.State.int rng 16 in
+      let k = 1 + Random.State.int rng (Stdlib.min 4 (n - 1)) in
+      let a = random_spd rng n in
+      let dense = Linalg.Sym_eig.decompose a in
+      let sp = Sparse.of_dense a in
+      let solve =
+        let pre = Krylov.jacobi (Sparse.diagonal sp) in
+        fun b -> Krylov.cg ~precond:pre (Sparse.spmv sp) b
+      in
+      let pairs = Krylov.smallest_eigs ~n ~k solve in
+      Array.length pairs = k
+      && Array.for_all
+           (fun (lambda, w) ->
+             (* Residual check ‖A w − λ w‖ ≤ tol·λ: robust to degenerate
+                eigenvalues, unlike comparing eigenvectors directly. *)
+             let r = Vec.sub (Sparse.spmv sp w) (Vec.scale lambda w) in
+             Vec.norm2 r <= 1e-6 *. lambda
+             && Float.abs (Vec.norm2 w -. 1.) <= 1e-9)
+           pairs
+      && Array.for_all
+           (fun idx ->
+             let lambda, _ = pairs.(idx) in
+             Float.abs (lambda -. dense.eigenvalues.(idx))
+             <= 1e-6 *. dense.eigenvalues.(idx))
+           (Array.init k (fun i -> i)))
+
+(* ------------------------------------------- thermal backend parity *)
+
+(* The sparse engine must agree with the dense Model/Matex path to
+   <= 1e-9 on every evaluator the policies use: steady states, exact
+   transient steps, the periodic stable status, and both peak scans.
+   Hotspot core-level models carry 3 nodes per core, so the 3x3 grid is
+   the n = 27 ceiling named in the differential-test contract. *)
+
+module Model = Thermal.Model
+module Spec = Thermal.Spec
+module Sp_model = Thermal.Sparse_model
+module Matex = Thermal.Matex
+
+let pm = Power.Power_model.default
+let levels5 = Power.Vf.table_iv 5
+
+let model3 =
+  Thermal.Hotspot.core_level
+    (Thermal.Floorplan.grid ~rows:1 ~cols:3 ~core_width:4e-3 ~core_height:4e-3)
+
+let model9 =
+  Thermal.Hotspot.core_level
+    (Thermal.Floorplan.grid ~rows:3 ~cols:3 ~core_width:4e-3 ~core_height:4e-3)
+
+let random_segments rng model n_segs =
+  List.init n_segs (fun _ ->
+      {
+        Thermal.Matex.duration = 0.01 +. Random.State.float rng 0.5;
+        psi =
+          Array.init (Model.n_cores model) (fun _ -> Random.State.float rng 20.);
+      })
+
+let random_step_up rng ~n_cores ~period =
+  Workload.Random_sched.step_up rng ~n_cores ~period ~max_intervals:5
+    ~levels:levels5
+
+let test_spec_model_round_trip () =
+  List.iter
+    (fun model ->
+      let spec = Spec.of_model model in
+      let rebuilt = Spec.to_model spec in
+      let psi = Array.init (Model.n_cores model) (fun i -> 3. +. float_of_int i) in
+      Alcotest.(check bool) "steady temps survive the spec round trip" true
+        (Vec.dist_inf
+           (Model.steady_core_temps model psi)
+           (Model.steady_core_temps rebuilt psi)
+        <= 1e-9))
+    [ model3; model9 ]
+
+let test_operator_is_symmetrized_conductance () =
+  List.iter
+    (fun model ->
+      let eng = Sp_model.of_model model in
+      let n = Model.n_nodes model in
+      let a = Model.a_matrix model in
+      let c = Model.capacitance model in
+      (* A = -C^{-1} G', so M = C^{-1/2} G' C^{-1/2} = -C^{1/2} A C^{-1/2}. *)
+      let expected =
+        Mat.init n n (fun i j ->
+            -.Mat.get a i j *. Float.sqrt c.(i) /. Float.sqrt c.(j))
+      in
+      Alcotest.(check bool) "assembled CSR is the symmetrized operator" true
+        (Mat.approx_equal ~tol:1e-9 expected
+           (Sparse.to_dense (Sp_model.operator eng)));
+      Alcotest.(check bool) "operator is symmetric" true
+        (Sparse.is_symmetric ~tol:1e-12 (Sp_model.operator eng)))
+    [ model3; model9 ]
+
+let prop_sparse_steady_matches_dense =
+  QCheck.Test.make ~name:"sparse steady temps = dense steady temps" ~count:50
+    seed_gen (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let model = if seed mod 2 = 0 then model3 else model9 in
+      let eng = Sp_model.of_model model in
+      let psi =
+        Array.init (Model.n_cores model) (fun _ -> Random.State.float rng 25.)
+      in
+      Vec.dist_inf
+        (Sp_model.steady_core_temps eng psi)
+        (Model.steady_core_temps model psi)
+      <= 1e-9
+      && Float.abs
+           (Sp_model.steady_peak eng psi -. Vec.max (Model.steady_core_temps model psi))
+         <= 1e-9)
+
+let prop_sparse_trajectory_matches_dense =
+  QCheck.Test.make ~name:"sparse step = Model.step along trajectories" ~count:40
+    seed_gen (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let model = if seed mod 2 = 0 then model3 else model9 in
+      let eng = Sp_model.of_model model in
+      let segs = random_segments rng model 5 in
+      let theta = ref (Vec.zeros (Model.n_nodes model)) in
+      let y = ref (Sp_model.ambient_state eng) in
+      List.for_all
+        (fun (s : Thermal.Matex.segment) ->
+          theta := Model.step model ~dt:s.duration ~theta:!theta ~psi:s.psi;
+          y := Sp_model.step eng ~dt:s.duration ~state:!y ~psi:s.psi;
+          Vec.dist_inf !theta (Sp_model.to_theta eng !y) <= 1e-9
+          && Float.abs
+               (Sp_model.max_core_temp eng !y -. Model.max_core_temp model !theta)
+             <= 1e-9)
+        segs)
+
+let prop_sparse_stable_matches_dense =
+  QCheck.Test.make ~name:"sparse stable status = Matex.stable_start" ~count:40
+    seed_gen (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let model = if seed mod 2 = 0 then model3 else model9 in
+      let eng = Sp_model.of_model model in
+      let s = random_step_up rng ~n_cores:(Model.n_cores model) ~period:5. in
+      let profile = Sched.Peak.profile model pm s in
+      let dense = Matex.stable_start model profile in
+      Vec.dist_inf dense (Sp_model.to_theta eng (Sp_model.stable_start eng profile))
+      <= 1e-9
+      && Vec.dist_inf
+           (Matex.stable_core_temps model profile)
+           (Sp_model.stable_core_temps eng profile)
+         <= 1e-9
+      && Float.abs
+           (Matex.end_of_period_peak model profile
+           -. Sp_model.end_of_period_peak eng profile)
+         <= 1e-9)
+
+let prop_sparse_peak_scan_matches_dense =
+  QCheck.Test.make ~name:"sparse peak_scan = Matex.peak_scan" ~count:25 seed_gen
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let segs = random_segments rng model3 4 in
+      Float.abs
+        (Matex.peak_scan model3 ~samples_per_segment:16 segs
+        -. Sp_model.peak_scan
+             (Sp_model.of_model model3)
+             ~samples_per_segment:16 segs)
+      <= 1e-9)
+
+let prop_sparse_peak_refined_matches_dense =
+  QCheck.Test.make ~name:"sparse peak_refined = Matex.peak_refined" ~count:20
+    seed_gen (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let ratio () = 0.1 +. Random.State.float rng 0.8 in
+      let s =
+        Sched.Schedule.two_mode ~period:0.1 ~low:[| 0.6; 0.6; 0.6 |]
+          ~high:[| 1.3; 1.3; 1.3 |]
+          ~high_ratio:[| ratio (); ratio (); ratio () |]
+      in
+      let profile = Sched.Peak.profile model3 pm s in
+      Float.abs
+        (Matex.peak_refined model3 ~samples_per_segment:16 profile
+        -. Sp_model.peak_refined
+             (Sp_model.of_model model3)
+             ~samples_per_segment:16 profile)
+      <= 1e-9)
+
+let test_parallel_assembly_deterministic () =
+  let spec = Spec.of_model model9 in
+  let sequential = Util.Pool.create ~size:1 () in
+  let parallel = Util.Pool.create ~size:4 () in
+  let a = Sp_model.operator (Sp_model.of_spec ~pool:sequential spec) in
+  let b = Sp_model.operator (Sp_model.of_spec ~pool:parallel spec) in
+  Util.Pool.shutdown sequential;
+  Util.Pool.shutdown parallel;
+  Alcotest.(check bool) "assembly is bit-identical at any pool size" true
+    (Sparse.equal a b)
+
+let test_steady_batch_matches_sequential () =
+  let eng = Sp_model.of_model model9 in
+  let rng = Random.State.make [| 7 |] in
+  let psis =
+    List.init 12 (fun _ -> Array.init 9 (fun _ -> Random.State.float rng 25.))
+  in
+  let batched = Sp_model.steady_batch eng psis in
+  let sequential = List.map (Sp_model.steady_state eng) psis in
+  Alcotest.(check int) "batch preserves arity" (List.length sequential)
+    (List.length batched);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool) "batched solve matches sequential" true
+        (Vec.dist_inf a b <= 1e-12))
+    batched sequential
+
+(* ----------------------------- backend dispatch through Core.Eval *)
+
+module Eval = Core.Eval
+module Solver = Core.Solver
+
+let seq = { Solver.default_params with Solver.par = false }
+
+let test_backend_names () =
+  let p = Workload.Configs.platform ~cores:3 ~levels:3 ~t_max:65. in
+  Alcotest.(check string) "dense context wraps the modal engine" "dense-modal"
+    (Eval.backend (Eval.create ~backend:Eval.Dense p)).Thermal.Backend.name;
+  Alcotest.(check string) "sparse context wraps the Krylov engine"
+    "sparse-krylov"
+    (Eval.backend (Eval.create ~backend:Eval.Sparse p)).Thermal.Backend.name
+
+(* Every Eval entry point must answer the same (to 1e-9) from a Dense
+   and a Sparse context on the 3x3 grid — the property that lets a
+   policy switch backends without noticing. *)
+let test_eval_backends_agree () =
+  let p = Core.Platform.grid ~rows:3 ~cols:3 ~levels:levels5 ~t_max:80. () in
+  let dense = Eval.create ~backend:Eval.Dense p in
+  let sparse = Eval.create ~backend:Eval.Sparse p in
+  let rng = Random.State.make [| 42 |] in
+  for _ = 1 to 8 do
+    let v = Array.init 9 (fun _ -> 0.6 +. Random.State.float rng 0.7) in
+    Alcotest.(check bool) "steady_peak agrees" true
+      (Float.abs (Eval.steady_peak dense v -. Eval.steady_peak sparse v)
+      <= 1e-9)
+  done;
+  for _ = 1 to 5 do
+    let s = random_step_up rng ~n_cores:9 ~period:5. in
+    Alcotest.(check bool) "step_up_peak agrees" true
+      (Float.abs (Eval.step_up_peak dense s -. Eval.step_up_peak sparse s)
+      <= 1e-9);
+    Alcotest.(check bool) "stable_end_core_temps agrees" true
+      (Vec.dist_inf
+         (Eval.stable_end_core_temps dense s)
+         (Eval.stable_end_core_temps sparse s)
+      <= 1e-9);
+    Alcotest.(check bool) "any_peak agrees" true
+      (Float.abs
+         (Eval.any_peak dense ~samples_per_segment:8 s
+         -. Eval.any_peak sparse ~samples_per_segment:8 s)
+      <= 1e-9)
+  done;
+  for _ = 1 to 5 do
+    let ratio () = Random.State.float rng 1. in
+    let low = Array.make 9 0.6 and high = Array.make 9 1.3 in
+    let high_ratio = Array.init 9 (fun _ -> ratio ()) in
+    Alcotest.(check bool) "two_mode_peak agrees" true
+      (Float.abs
+         (Eval.two_mode_peak dense ~period:0.1 ~low ~high ~high_ratio
+         -. Eval.two_mode_peak sparse ~period:0.1 ~low ~high ~high_ratio)
+      <= 1e-9);
+    Alcotest.(check bool) "two_mode_end_core_temps agrees" true
+      (Vec.dist_inf
+         (Eval.two_mode_end_core_temps dense ~period:0.1 ~low ~high ~high_ratio)
+         (Eval.two_mode_end_core_temps sparse ~period:0.1 ~low ~high
+            ~high_ratio)
+      <= 1e-9)
+  done
+
+(* All eight registered policies must solve unchanged on a Sparse
+   context and land on the dense answer.  Search trajectories are
+   identical as long as no comparison straddles the ~1e-12 backend
+   disagreement, so the outcomes match far inside 1e-6. *)
+let test_policies_run_on_either_backend () =
+  let p = Workload.Configs.platform ~cores:3 ~levels:3 ~t_max:65. in
+  List.iter
+    (fun (pol : Solver.t) ->
+      let d = Solver.run ~params:seq pol (Eval.create ~backend:Eval.Dense p) in
+      let s = Solver.run ~params:seq pol (Eval.create ~backend:Eval.Sparse p) in
+      Alcotest.(check bool)
+        (pol.Solver.name ^ ": peaks agree across backends")
+        true
+        (Float.abs (d.Solver.peak -. s.Solver.peak) <= 1e-6);
+      Alcotest.(check bool)
+        (pol.Solver.name ^ ": throughputs agree across backends")
+        true
+        (Float.abs (d.Solver.throughput -. s.Solver.throughput) <= 1e-6);
+      Array.iteri
+        (fun i dv ->
+          Alcotest.(check bool)
+            (pol.Solver.name ^ ": delivered speeds agree across backends")
+            true
+            (Float.abs (dv -. s.Solver.voltages.(i)) <= 1e-6))
+        d.Solver.voltages)
+    Core.Registry.all
+
+let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let () =
+  Alcotest.run "sparse"
+    [
+      qsuite "csr"
+        [
+          prop_dense_round_trip;
+          prop_triplets_match_dense;
+          prop_spmv_matches_matvec;
+          prop_transpose_matches_dense;
+          prop_sym_scale_matches_dense;
+        ];
+      ("csr units", [ Alcotest.test_case "assembly basics" `Quick test_csr_units ]);
+      qsuite "krylov"
+        [
+          prop_cg_matches_lu;
+          prop_expmv_matches_dense_expm;
+          prop_expmv_small_basis_splits_time;
+          prop_smallest_eigs_match_dense;
+        ];
+      qsuite "thermal parity"
+        [
+          prop_sparse_steady_matches_dense;
+          prop_sparse_trajectory_matches_dense;
+          prop_sparse_stable_matches_dense;
+          prop_sparse_peak_scan_matches_dense;
+          prop_sparse_peak_refined_matches_dense;
+        ];
+      ( "thermal units",
+        [
+          Alcotest.test_case "spec/model round trip" `Quick
+            test_spec_model_round_trip;
+          Alcotest.test_case "operator assembly" `Quick
+            test_operator_is_symmetrized_conductance;
+          Alcotest.test_case "pool-deterministic assembly" `Quick
+            test_parallel_assembly_deterministic;
+          Alcotest.test_case "steady_batch" `Quick
+            test_steady_batch_matches_sequential;
+        ] );
+      ( "backend",
+        [
+          Alcotest.test_case "backend names" `Quick test_backend_names;
+          Alcotest.test_case "eval entry points agree" `Quick
+            test_eval_backends_agree;
+          Alcotest.test_case "all policies on either backend" `Quick
+            test_policies_run_on_either_backend;
+        ] );
+    ]
