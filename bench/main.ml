@@ -225,6 +225,114 @@ let tests () =
                  (fun acc node ->
                    Float.max acc (theta.(node) +. spec64.Thermal.Spec.ambient))
                  neg_infinity spec64.Thermal.Spec.core_nodes))));
+    (* Two-tier candidate evaluation at 64+ cells: the same AO-style
+       m sweep (fixed per-core duty ratios, period shrinking with m)
+       priced three ways.  The screened arm scores every candidate on
+       the Lanczos-reduced model and re-verifies only the near-minimum
+       survivors through the superposition engine (cache disabled, so
+       each survivor pays its real warm-started fixed point); the
+       baseline twin pays the pre-screening cost — one direct Krylov
+       stable solve per candidate, per-segment CG equilibria and a cold
+       fixed point.  Their ratio is the policy-search win the response
+       engine + screening tier buy at many-core sizes. *)
+    (let eng64 =
+       Thermal.Sparse_model.of_spec
+         (Thermal.Grid_model.sheet_spec ~rows:8 ~cols:8 ())
+     in
+     let resp64 = Thermal.Sparse_response.make eng64 in
+     let rom64 = Thermal.Reduced.of_engine eng64 in
+     let low = Array.make 64 0.8 and high = Array.make 64 1.3 in
+     let high_ratio =
+       Array.init 64 (fun i -> 0.2 +. (0.6 *. float_of_int (i mod 8) /. 7.))
+     in
+     let period m = 0.1 /. float_of_int (m + 1) in
+     let cache = Sched.Peak.Cache.create ~max_entries:0 () in
+     Test.make ~name:"kernel/ao-64cell-sparse/screened"
+       (Staged.stage (fun () ->
+            ignore
+              (Core.Screen.select ~par:false ~margin:0.5 ~n:24
+                 ~rom:(fun i ->
+                   Sched.Peak.rom_of_two_mode rom64 pm ~period:(period i) ~low
+                     ~high ~high_ratio)
+                 ~exact:(fun i ->
+                   Sched.Peak.response_of_two_mode_cached cache resp64 pm
+                     ~period:(period i) ~low ~high ~high_ratio)
+                 ()))));
+    (* The screening tier alone: ROM-score the full 24-candidate batch
+       with no exact re-verification.  Against the exact baseline below
+       this is the per-candidate evaluation throughput the reduced
+       model buys — the ratio the two-tier search approaches as the
+       survivor fraction shrinks. *)
+    (let eng64 =
+       Thermal.Sparse_model.of_spec
+         (Thermal.Grid_model.sheet_spec ~rows:8 ~cols:8 ())
+     in
+     let rom64 = Thermal.Reduced.of_engine eng64 in
+     let low = Array.make 64 0.8 and high = Array.make 64 1.3 in
+     let high_ratio =
+       Array.init 64 (fun i -> 0.2 +. (0.6 *. float_of_int (i mod 8) /. 7.))
+     in
+     let period m = 0.1 /. float_of_int (m + 1) in
+     Test.make ~name:"kernel/ao-64cell-sparse/rom-screen-tier"
+       (Staged.stage (fun () ->
+            for i = 0 to 23 do
+              ignore
+                (Sched.Peak.rom_of_two_mode rom64 pm ~period:(period i) ~low
+                   ~high ~high_ratio)
+            done)));
+    (let eng64 =
+       Thermal.Sparse_model.of_spec
+         (Thermal.Grid_model.sheet_spec ~rows:8 ~cols:8 ())
+     in
+     let b64 = Thermal.Backend.of_sparse eng64 in
+     let low = Array.make 64 0.8 and high = Array.make 64 1.3 in
+     let high_ratio =
+       Array.init 64 (fun i -> 0.2 +. (0.6 *. float_of_int (i mod 8) /. 7.))
+     in
+     let period m = 0.1 /. float_of_int (m + 1) in
+     Test.make ~name:"kernel/ao-64cell-sparse/exact-baseline"
+       (Staged.stage (fun () ->
+            for i = 0 to 23 do
+              ignore
+                (Sched.Peak.backend_of_two_mode b64 pm ~period:(period i) ~low
+                   ~high ~high_ratio)
+            done)));
+    (* The same two-tier sweep at 256 cells — the TPT/Demand m-sweep
+       shape the 16x16 scaling study runs. *)
+    (let eng256 =
+       Thermal.Sparse_model.of_spec
+         (Thermal.Grid_model.sheet_spec ~rows:16 ~cols:16 ())
+     in
+     let resp256 = Thermal.Sparse_response.make eng256 in
+     let rom256 = Thermal.Reduced.of_engine eng256 in
+     let low = Array.make 256 0.8 and high = Array.make 256 1.3 in
+     let high_ratio =
+       Array.init 256 (fun i -> 0.2 +. (0.6 *. float_of_int (i mod 16) /. 15.))
+     in
+     let period m = 0.1 /. float_of_int (m + 1) in
+     let cache = Sched.Peak.Cache.create ~max_entries:0 () in
+     Test.make ~name:"kernel/tpt-256cell-screened"
+       (Staged.stage (fun () ->
+            ignore
+              (Core.Screen.select ~par:false ~margin:0.5 ~n:12
+                 ~rom:(fun i ->
+                   Sched.Peak.rom_of_two_mode rom256 pm ~period:(period i) ~low
+                     ~high ~high_ratio)
+                 ~exact:(fun i ->
+                   Sched.Peak.response_of_two_mode_cached cache resp256 pm
+                     ~period:(period i) ~low ~high ~high_ratio)
+                 ()))));
+    (* One-time response-engine assembly at 256 cells: the n_cores + 1
+       pool-parallel unit CG solves a platform pays before its first
+       candidate — [build], not the memoized [make], so every run pays
+       the real assembly. *)
+    (let eng256 =
+       Thermal.Sparse_model.of_spec
+         (Thermal.Grid_model.sheet_spec ~rows:16 ~cols:16 ())
+     in
+     Test.make ~name:"kernel/sparse-response-build-256"
+       (Staged.stage (fun () ->
+            ignore (Thermal.Sparse_response.build eng256))));
     (let profile3 = Sched.Peak.profile model3 pm (Sched.Schedule.two_mode ~period:0.1 ~low:[| 0.6; 0.6; 0.6 |] ~high:[| 1.3; 1.3; 1.3 |] ~high_ratio:[| 0.4; 0.5; 0.6 |]) in
      Test.make ~name:"ext/peak-refined-3core"
        (Staged.stage (fun () ->

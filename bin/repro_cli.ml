@@ -461,6 +461,75 @@ let run_scale ~sizes ~dense_limit ~power_w =
     sizes;
   Util.Table.print t
 
+(* Policy-search throughput sweep: run one registered policy end to end
+   on the sparse backend at each mesh size, reporting how many
+   candidates the search priced per second and where they were answered
+   (memo tables, ROM screening, superposition engine).  "Candidates"
+   counts every priced schedule: exact-tier memo lookups plus
+   ROM-screened scores. *)
+let run_scale_policy ~name ~sizes ~levels ~t_max ~seq =
+  let policy = Core.Registry.find_exn name in
+  Printf.printf "%s on the sparse backend — %s\n\n" policy.Core.Solver.name
+    policy.Core.Solver.doc;
+  let t =
+    Util.Table.create
+      [
+        "grid"; "cores"; "wall (s)"; "cands"; "cand/s"; "cache hit";
+        "screen (scored->exact)"; "response (builds/superpose/solves)";
+      ]
+  in
+  List.iter
+    (fun (rows, cols) ->
+      Core.Screen.reset_stats ();
+      let platform =
+        Core.Platform.sheet ~rows ~cols ~levels:(Power.Vf.table_iv levels)
+          ~t_max ()
+      in
+      let ev = Core.Eval.create ~backend:Core.Eval.Sparse platform in
+      let params =
+        { Core.Solver.default_params with Core.Solver.par = not seq }
+      in
+      let o = Core.Solver.run ~params policy ev in
+      let stats = Core.Eval.stats ev in
+      let lookups =
+        stats.Core.Eval.steady.Sched.Peak.Cache.hits
+        + stats.Core.Eval.steady.Sched.Peak.Cache.misses
+        + stats.Core.Eval.stepup.Sched.Peak.Cache.hits
+        + stats.Core.Eval.stepup.Sched.Peak.Cache.misses
+      in
+      let scr = Core.Screen.stats () in
+      let cands = lookups + scr.Core.Screen.scored in
+      let screen_cell =
+        if scr.Core.Screen.scored = 0 then "-"
+        else
+          Printf.sprintf "%d->%d" scr.Core.Screen.scored
+            scr.Core.Screen.survivors
+      in
+      let response_cell =
+        match Core.Eval.sparse_response_stats ev with
+        | Some r ->
+            Printf.sprintf "%d/%d/%d" r.Thermal.Sparse_response.builds
+              r.Thermal.Sparse_response.superpose_evals
+              r.Thermal.Sparse_response.stable_solves
+        | None -> "-"
+      in
+      Util.Table.add_row t
+        [
+          Printf.sprintf "%dx%d" rows cols;
+          string_of_int (rows * cols);
+          Printf.sprintf "%.3f" o.Core.Solver.wall_time;
+          string_of_int cands;
+          (if o.Core.Solver.wall_time > 0. then
+             Printf.sprintf "%.0f"
+               (float_of_int cands /. o.Core.Solver.wall_time)
+           else "-");
+          Printf.sprintf "%.0f%%" (100. *. Core.Eval.hit_rate ev);
+          screen_cell;
+          response_cell;
+        ])
+    sizes;
+  Util.Table.print t
+
 let scale_cmd =
   let sizes_arg =
     Arg.(
@@ -481,13 +550,47 @@ let scale_cmd =
       & info [ "power" ] ~docv:"WATTS"
           ~doc:"Hot-cell power of the checkerboard load.")
   in
-  let run sizes dense_limit power_w = run_scale ~sizes ~dense_limit ~power_w in
+  let policy_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "policy" ] ~docv:"NAME"
+          ~doc:
+            "Instead of the kernel study, sweep a full $(docv) policy search \
+             on the sparse backend at each size, reporting candidates/sec \
+             plus memo-cache, screening and response-engine statistics.")
+  in
+  let levels_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "levels" ] ~docv:"L"
+          ~doc:"Voltage levels for $(b,--policy) platforms (2..5).")
+  in
+  let t_max_arg =
+    Arg.(
+      value & opt float 65.
+      & info [ "t-max" ] ~docv:"CELSIUS"
+          ~doc:"Peak threshold for $(b,--policy) platforms.")
+  in
+  let seq_flag =
+    Arg.(
+      value & flag
+      & info [ "seq" ]
+          ~doc:"With $(b,--policy), run the search sequentially (par = false).")
+  in
+  let run sizes dense_limit power_w policy levels t_max seq =
+    match policy with
+    | Some name -> run_scale_policy ~name ~sizes ~levels ~t_max ~seq
+    | None -> run_scale ~sizes ~dense_limit ~power_w
+  in
   Cmd.v
     (Cmd.info "scale"
        ~doc:
          "Dense-vs-sparse thermal-backend scaling study on 3x3 through 32x32 \
-          core sheets")
-    Term.(const run $ sizes_arg $ dense_limit_arg $ power_arg)
+          core sheets, or (--policy) a policy-search throughput sweep")
+    Term.(
+      const run $ sizes_arg $ dense_limit_arg $ power_arg $ policy_arg
+      $ levels_arg $ t_max_arg $ seq_flag)
 
 (* ------------------------------------------------------------ Cmdliner *)
 

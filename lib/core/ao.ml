@@ -75,7 +75,7 @@ let solve ?eval ?(base_period = 0.1) ?(m_cap = 512) ?t_unit ?(fill = false)
        mirror [config_for_m] term for term, so each candidate's digest —
        and peak — is bit-identical to evaluating the built config, without
        allocating one per m. *)
-    let eval_m i =
+    let ratios_for i =
       let mini = base_period /. float_of_int (i + 1) in
       let high_ratio =
         Array.init n (fun j ->
@@ -87,12 +87,39 @@ let solve ?eval ?(base_period = 0.1) ?(m_cap = 512) ?t_unit ?(fill = false)
             in
             Float.max 0. (Float.min 1. (ht /. mini)))
       in
-      Tpt.peak_aligned p ?eval ~period:mini ~low:v_low ~high:v_high ~high_ratio ()
+      (mini, high_ratio)
     in
-    (* Chunked claims: a 3-core candidate evaluation is under a
-       microsecond, so per-index claiming would spend comparable time on
-       the shared counter as on the work. *)
-    if par then Util.Pool.init ~chunk:16 m_max eval_m else Array.init m_max eval_m
+    let eval_m i =
+      let period, high_ratio = ratios_for i in
+      Tpt.peak_aligned p ?eval ~period ~low:v_low ~high:v_high ~high_ratio ()
+    in
+    let pool = Option.map Eval.pool eval in
+    match Option.bind eval Eval.screening with
+    | Some margin ->
+        (* Two-tier sweep on a screening (sparse) context: every m is
+           ROM-scored, only those within [margin] of the ROM minimum pay
+           an exact fixed-point solve.  Pruned slots come back +inf, so
+           the sequential argmin below (and its smallest-m tie-break) is
+           untouched. *)
+        let rom_m i =
+          let period, high_ratio = ratios_for i in
+          Tpt.rom_peak_aligned p ?eval ~period ~low:v_low ~high:v_high
+            ~high_ratio ()
+        in
+        Screen.select ?pool ~par ~always:[] ~margin ~n:m_max ~rom:rom_m
+          ~exact:eval_m ()
+    | None ->
+        (* Exhaustive sweep.  Fan out only when the batch carries real
+           work: a 3-core dense candidate evaluation is under a
+           microsecond, and waking the pool for ~10k such evaluations
+           costs more than running them inline.  The m * cores * nodes
+           product tracks the per-sweep floating-point volume across
+           platform sizes. *)
+        let work = m_max * n * Thermal.Model.n_nodes p.model in
+        if par && work >= 32768 then
+          Util.Pool.init ?pool ~chunk:(Util.Pool.chunk_hint ?pool m_max) m_max
+            eval_m
+        else Array.init m_max eval_m
   in
   let best_m = ref 1 in
   let best_peak = ref infinity in

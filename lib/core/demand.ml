@@ -56,10 +56,24 @@ let solve ?eval ?(base_period = 0.1) ?(m_cap = 512) ?(par = true) (p : Platform.
   in
   (* Each m's stable-status evaluation is independent: fan the sweep
      across the pool, then reduce in m order exactly as before (ties
-     keep the smallest m). *)
+     keep the smallest m).  On a screening context the sweep is
+     two-tier — ROM scores for everyone, exact solves for the
+     near-minimum survivors — and pruned slots come back +inf, which
+     the reduction below never selects. *)
   let peaks =
     let eval_m i = Tpt.peak p ?eval (config_for (i + 1)) in
-    if par then Util.Pool.init m_max eval_m else Array.init m_max eval_m
+    let pool = Option.map Eval.pool eval in
+    match Option.bind eval Eval.screening with
+    | Some margin ->
+        let rom_m i = Tpt.rom_peak p ?eval (config_for (i + 1)) in
+        Screen.select ?pool ~par ~always:[] ~margin ~n:m_max ~rom:rom_m
+          ~exact:eval_m ()
+    | None ->
+        let work = m_max * n * Thermal.Model.n_nodes p.model in
+        if par && work >= 32768 then
+          Util.Pool.init ?pool ~chunk:(Util.Pool.chunk_hint ?pool m_max) m_max
+            eval_m
+        else Array.init m_max eval_m
   in
   let best_m = ref 1 and best_peak = ref infinity in
   for m = 1 to m_max do

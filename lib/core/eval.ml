@@ -8,6 +8,10 @@ type t = {
   steady_cache : Sched.Peak.Cache.t;
   stepup_cache : Sched.Peak.Cache.t;
   kind : backend_kind;
+  screen_margin : float;
+      (* ROM-screening margin in kelvin; 0 disables screening.  Only a
+         [Sparse] context ever screens — [Dense] contexts report no
+         screening regardless. *)
   engine : Thermal.Modal.t Lazy.t;
       (* The platform's response engine.  [Thermal.Modal.make] memoizes
          per model, so forcing this returns the same engine every direct
@@ -15,11 +19,22 @@ type t = {
          unit-response tables and stay bit-compatible.  Never forced by a
          [Sparse] context's evaluators, so sparse solves skip the O(n³)
          eigensolve entirely. *)
+  sparse : Thermal.Sparse_model.t Lazy.t;
+      (* The Krylov engine of the model's spec, assembled on the
+         context's pool — shared by the response engine, the reduction
+         and the backend view, so all three superpose/project over one
+         operator. *)
+  response : Thermal.Sparse_response.t Lazy.t;
+      (* Superposition tables over [sparse] ([Thermal.Sparse_response.make]
+         memoizes per engine).  Never forced by a [Dense] context. *)
+  rom : Thermal.Reduced.t Lazy.t;
+      (* The Lanczos-reduced screening model over [sparse].  Never
+         forced by a [Dense] context. *)
   backend : Thermal.Backend.t Lazy.t;
       (* The uniform-interface view of whichever engine [kind] selects.
          For [Dense] this wraps the same modal engine as [engine]; for
-         [Sparse] it assembles a Krylov engine from the model's spec on
-         the context's pool. *)
+         [Sparse] it wraps the response engine, so backend evaluators
+         superpose instead of re-solving per-candidate steady states. *)
 }
 
 type stats = {
@@ -27,20 +42,30 @@ type stats = {
   stepup : Sched.Peak.Cache.stats;
 }
 
-let create ?pool ?(cache_size = 1024) ?(backend = Dense) platform =
+let create ?pool ?(cache_size = 1024) ?(backend = Dense) ?(screen_margin = 0.5)
+    platform =
+  if not (screen_margin >= 0.) then
+    invalid_arg "Eval.create: negative screen_margin";
   let pool = match pool with Some p -> p | None -> Util.Pool.get () in
+  let sparse =
+    lazy (Thermal.Sparse_model.of_model ~pool platform.Platform.model)
+  in
+  let response = lazy (Thermal.Sparse_response.make (Lazy.force sparse)) in
   {
     platform;
     pool;
     steady_cache = Sched.Peak.Cache.create ~max_entries:cache_size ();
     stepup_cache = Sched.Peak.Cache.create ~max_entries:cache_size ();
     kind = backend;
+    screen_margin;
     engine = lazy (Thermal.Modal.make platform.Platform.model);
+    sparse;
+    response;
+    rom = lazy (Thermal.Reduced.of_engine (Lazy.force sparse));
     backend =
       (match backend with
       | Dense -> lazy (Thermal.Backend.of_model platform.Platform.model)
-      | Sparse ->
-          lazy (Thermal.Backend.sparse_of_model ~pool platform.Platform.model));
+      | Sparse -> lazy (Thermal.Backend.of_response (Lazy.force response)));
   }
 
 let platform t = t.platform
@@ -75,8 +100,10 @@ let two_mode_peak t ~period ~low ~high ~high_ratio =
         t.platform.Platform.model t.platform.Platform.power ~period ~low ~high
         ~high_ratio
   | Sparse ->
-      Sched.Peak.backend_of_two_mode_cached t.stepup_cache
-        (Lazy.force t.backend) t.platform.Platform.power ~period ~low ~high
+      (* The fused streaming path: superposed equilibria, no schedule
+         materialization, same digest as the generic backend path. *)
+      Sched.Peak.response_of_two_mode_cached t.stepup_cache
+        (Lazy.force t.response) t.platform.Platform.power ~period ~low ~high
         ~high_ratio
 
 let any_peak t ?(samples_per_segment = 32) s =
@@ -107,11 +134,53 @@ let two_mode_end_core_temps t ~period ~low ~high ~high_ratio =
       Sched.Peak.backend_two_mode_end_core_temps (Lazy.force t.backend)
         t.platform.Platform.power ~period ~low ~high ~high_ratio
 
+(* ---------------------------------------------- two-tier screening *)
+
+let screening t =
+  match t.kind with
+  | Dense -> None
+  | Sparse ->
+      if t.screen_margin > 0. then begin
+        (* Force the screening models on the submitting domain NOW:
+           OCaml's [Lazy] is not domain-safe, and a screened sweep's
+           first ROM scores may otherwise race to force [response]/[rom]
+           from several pool workers at once. *)
+        ignore (Lazy.force t.response : Thermal.Sparse_response.t);
+        ignore (Lazy.force t.rom : Thermal.Reduced.t);
+        Some t.screen_margin
+      end
+      else None
+
+let rom_two_mode_peak t ~period ~low ~high ~high_ratio =
+  match t.kind with
+  | Dense ->
+      (* No reduction on the dense path: the "approximate" score is the
+         exact evaluation, which keeps callers backend-blind. *)
+      two_mode_peak t ~period ~low ~high ~high_ratio
+  | Sparse ->
+      Sched.Peak.rom_of_two_mode (Lazy.force t.rom) t.platform.Platform.power
+        ~period ~low ~high ~high_ratio
+
+let rom_any_peak t ?(samples_per_segment = 32) s =
+  match t.kind with
+  | Dense -> any_peak t ~samples_per_segment s
+  | Sparse ->
+      Sched.Peak.rom_of_any (Lazy.force t.rom) t.platform.Platform.power
+        ~samples_per_segment s
+
 let stats t =
   {
     steady = Sched.Peak.Cache.stats t.steady_cache;
     stepup = Sched.Peak.Cache.stats t.stepup_cache;
   }
+
+let sparse_response_stats t =
+  match t.kind with
+  | Dense -> None
+  | Sparse ->
+      if Lazy.is_val t.response then
+        Some (Thermal.Sparse_response.stats (Lazy.force t.response))
+      else None
 
 let response_stats t = Thermal.Modal.stats (Lazy.force t.engine)
 

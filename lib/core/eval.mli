@@ -36,13 +36,22 @@ type stats = {
   stepup : Sched.Peak.Cache.stats;  (** Step-up schedule table counters. *)
 }
 
-(** [create ?pool ?cache_size ?backend platform] builds a context.
-    [pool] defaults to the shared {!Util.Pool.get} pool; [cache_size]
-    (default 1024) bounds each memo table, with [0] disabling
-    memoization — the cache-off mode differential tests run against;
-    [backend] (default [Dense]) selects the thermal engine. *)
+(** [create ?pool ?cache_size ?backend ?screen_margin platform] builds a
+    context.  [pool] defaults to the shared {!Util.Pool.get} pool;
+    [cache_size] (default 1024) bounds each memo table, with [0]
+    disabling memoization — the cache-off mode differential tests run
+    against; [backend] (default [Dense]) selects the thermal engine;
+    [screen_margin] (kelvin, default 0.5, [0.] disables) is how far
+    above the batch ROM minimum a candidate may score and still be
+    re-verified exactly during two-tier screening ({!screening}).
+    Raises [Invalid_argument] on a negative margin. *)
 val create :
-  ?pool:Util.Pool.t -> ?cache_size:int -> ?backend:backend_kind -> Platform.t -> t
+  ?pool:Util.Pool.t ->
+  ?cache_size:int ->
+  ?backend:backend_kind ->
+  ?screen_margin:float ->
+  Platform.t ->
+  t
 
 (** [platform t] is the platform the context evaluates on. *)
 val platform : t -> Platform.t
@@ -55,8 +64,9 @@ val kind : t -> backend_kind
 
 (** [backend t] is the uniform-interface view of the context's engine,
     built lazily on first use — ["dense-modal"] wrapping the same engine
-    as {!engine} for a [Dense] context, ["sparse-krylov"] assembled from
-    the model's spec on the context's pool for a [Sparse] one. *)
+    as {!engine} for a [Dense] context, ["sparse-response"] (the
+    superposition engine over the Krylov engine assembled from the
+    model's spec on the context's pool) for a [Sparse] one. *)
 val backend : t -> Thermal.Backend.t
 
 (** [engine t] is the platform's {!Thermal.Modal} response engine,
@@ -113,8 +123,47 @@ val two_mode_end_core_temps :
   high_ratio:float array ->
   Linalg.Vec.t
 
+(** {1 Two-tier ROM screening}
+
+    A [Sparse] context carries a Lanczos-reduced screening model
+    ({!Thermal.Reduced}) beside its exact superposition engine.  Search
+    loops ask {!screening}: [Some margin] means "score the whole batch
+    with {!rom_two_mode_peak}/{!rom_any_peak}, then re-verify only the
+    candidates within [margin] of the ROM minimum exactly" (via
+    {!Screen.select}); [None] means evaluate everything exactly.  ROM
+    scores never enter the exact memo tables. *)
+
+(** [screening t] is [Some margin] when this context wants two-tier
+    screened sweeps ([Sparse] backend, positive [screen_margin]),
+    [None] otherwise.  Forces the screening models on the calling
+    domain before returning, so pool workers never race to build them
+    ([Lazy] is not domain-safe). *)
+val screening : t -> float option
+
+(** [rom_two_mode_peak t ~period ~low ~high ~high_ratio] is the
+    screening score of the fused two-mode candidate: the reduced-model
+    peak on a [Sparse] context, the exact evaluation on a [Dense] one
+    (keeping callers backend-blind).  Never cached. *)
+val rom_two_mode_peak :
+  t ->
+  period:float ->
+  low:float array ->
+  high:float array ->
+  high_ratio:float array ->
+  float
+
+(** [rom_any_peak t ?samples_per_segment s] is the screening score of an
+    arbitrary periodic schedule — {!Sched.Peak.rom_of_any} on [Sparse],
+    {!any_peak} on [Dense]. *)
+val rom_any_peak : t -> ?samples_per_segment:int -> Sched.Schedule.t -> float
+
 (** [stats t] snapshots both tables' hit/miss/entry/eviction counters. *)
 val stats : t -> stats
+
+(** [sparse_response_stats t] snapshots the sparse superposition
+    engine's counters — [Some] only for a [Sparse] context whose
+    response engine has actually been built (never forces it). *)
+val sparse_response_stats : t -> Thermal.Sparse_response.stats option
 
 (** [response_stats t] snapshots the response-engine counters
     (superposition evaluations, decay-table hits/misses, and the

@@ -4,6 +4,7 @@ type result = {
   peak : float;
   evaluated : int;
   feasible : bool;
+  exhaustive : bool;
 }
 
 let mean a = Array.fold_left ( +. ) 0. a /. float_of_int (Array.length a)
@@ -49,7 +50,8 @@ let enumerate ~n ~l ~on_tick ~visit =
   done;
   !count
 
-let best_result (p : Platform.t) best_digits best_score levels evaluated =
+let best_result ?(exhaustive = true) (p : Platform.t) best_digits best_score
+    levels evaluated =
   match best_digits with
   | Some digits ->
       let voltages = Array.map (fun d -> levels.(d)) digits in
@@ -59,6 +61,7 @@ let best_result (p : Platform.t) best_digits best_score levels evaluated =
         peak = Sched.Peak.steady_constant p.model p.power voltages;
         evaluated;
         feasible = true;
+        exhaustive;
       }
   | None ->
       ignore best_score;
@@ -68,6 +71,7 @@ let best_result (p : Platform.t) best_digits best_score levels evaluated =
         peak = infinity;
         evaluated;
         feasible = false;
+        exhaustive;
       }
 
 (* Steady core temps are affine in the power vector:
@@ -163,6 +167,75 @@ let solve_naive (p : Platform.t) =
   let evaluated = enumerate ~n ~l ~on_tick:(fun _ _ _ -> ()) ~visit in
   best_result p !best_digits !best_score levels evaluated
 
+(* Deterministic greedy warm start: from the all-lowest assignment,
+   repeatedly raise one core a single level, choosing among the
+   still-feasible raises the one whose resulting hottest temperature is
+   smallest (ties to the lowest core index), until no raise fits under
+   [t_max].  Pure function of the steady factorization, so every solver
+   seeding from it stays deterministic.  Returns [None] when even the
+   all-lowest assignment violates the constraint. *)
+let greedy_fill { levels; l; n; psi_of_level; columns; base_temps } ~t_max =
+  let temps = Array.copy base_temps in
+  let hottest t =
+    let h = ref neg_infinity in
+    for i = 0 to n - 1 do
+      if t.(i) > !h then h := t.(i)
+    done;
+    !h
+  in
+  if hottest temps > t_max +. 1e-9 then None
+  else begin
+    let digits = Array.make n 0 in
+    let continue = ref true in
+    while !continue do
+      (* Best single-level raise: feasible, with the coolest resulting
+         hot spot. *)
+      let best_j = ref (-1) and best_hot = ref infinity in
+      for j = 0 to n - 1 do
+        if digits.(j) + 1 < l then begin
+          let dpsi = psi_of_level.(digits.(j) + 1) -. psi_of_level.(digits.(j)) in
+          let h = ref neg_infinity in
+          for i = 0 to n - 1 do
+            let t = temps.(i) +. (columns.(j).(i) *. dpsi) in
+            if t > !h then h := t
+          done;
+          if !h <= t_max +. 1e-9 && !h < !best_hot then begin
+            best_hot := !h;
+            best_j := j
+          end
+        end
+      done;
+      if !best_j < 0 then continue := false
+      else begin
+        let j = !best_j in
+        let dpsi = psi_of_level.(digits.(j) + 1) -. psi_of_level.(digits.(j)) in
+        for i = 0 to n - 1 do
+          temps.(i) <- temps.(i) +. (columns.(j).(i) *. dpsi)
+        done;
+        digits.(j) <- digits.(j) + 1
+      end
+    done;
+    let score = ref 0. in
+    for j = 0 to n - 1 do
+      score := !score +. levels.(digits.(j))
+    done;
+    Some (digits, !score)
+  end
+
+(* Search-node budget: exact (unlimited) when the full space is small
+   enough to enumerate outright; past that, a fixed node cap turns the
+   branch-and-bound into a deterministic anytime search seeded by
+   [greedy_fill] — the many-core regime where [levels^cores] is
+   astronomically beyond any exact method.  Both thresholds are pure
+   functions of (levels, cores), so a platform always gets the same
+   budget. *)
+let exact_space_limit = 4_194_304.
+let anytime_node_cap = 16_777_216
+
+let default_node_cap ~l ~n =
+  if float_of_int l ** float_of_int n <= exact_space_limit then max_int
+  else anytime_node_cap
+
 (* Branch-and-bound over cores [start .. n-1].  [digits]/[temps] hold the
    caller's state: cores below [start] fixed at their digits, cores from
    [start] preloaded at level 0 (so [temps] is the subtree's temperature
@@ -173,9 +246,11 @@ let solve_naive (p : Platform.t) =
    below the incumbent (beyond the 1e-12 float guard): subtrees that can
    merely *tie* are explored, so the lexicographic tie-break of
    [improves] sees every tying assignment and stays deterministic.
+   Stops descending once [node_cap] nodes have been visited (setting
+   [capped]), unwinding with the state-restoration discipline intact.
    Returns the number of visited search nodes. *)
-let bnb { levels; l; n; psi_of_level; columns; _ } ~t_max ~digits ~temps
-    ~best_score ~offer ~start ~score0 =
+let bnb { levels; l; n; psi_of_level; columns; _ } ~t_max ~node_cap ~capped
+    ~digits ~temps ~best_score ~offer ~start ~score0 =
   let v_top = levels.(l - 1) in
   let visited = ref 0 in
   let bump j d_old d_new =
@@ -194,23 +269,28 @@ let bnb { levels; l; n; psi_of_level; columns; _ } ~t_max ~digits ~temps
   (* Assign core j; cores 0..j-1 hold their digits, cores j..n-1 sit at
      level 0.  [score] is the partial voltage sum of cores 0..j-1. *)
   let rec assign j score =
-    incr visited;
-    if hottest () > t_max +. 1e-9 then
-      (* Even with the rest at minimum this subtree violates: prune. *)
-      ()
-    else if j = n then offer score digits
-    else if score +. (float_of_int (n - j) *. v_top) < best_score () -. 1e-12 then
-      (* Bound: cannot beat or tie the incumbent even at full speed. *)
-      ()
-    else
-      (* Try levels high-to-low so good incumbents appear early and the
-         score bound bites. *)
-      for d = l - 1 downto 0 do
-        bump j digits.(j) d;
-        digits.(j) <- d;
-        assign (j + 1) (score +. levels.(d))
-      done;
-    (* Restore core j to level 0 for the caller. *)
+    if !visited >= node_cap then capped := true
+    else begin
+      incr visited;
+      if hottest () > t_max +. 1e-9 then
+        (* Even with the rest at minimum this subtree violates: prune. *)
+        ()
+      else if j = n then offer score digits
+      else if score +. (float_of_int (n - j) *. v_top) < best_score () -. 1e-12
+      then
+        (* Bound: cannot beat or tie the incumbent even at full speed. *)
+        ()
+      else
+        (* Try levels high-to-low so good incumbents appear early and the
+           score bound bites. *)
+        for d = l - 1 downto 0 do
+          bump j digits.(j) d;
+          digits.(j) <- d;
+          assign (j + 1) (score +. levels.(d))
+        done
+    end;
+    (* Restore core j to level 0 for the caller (a no-op on a
+       budget-stopped frame, whose digit is still 0). *)
     if j < n then begin
       bump j digits.(j) 0;
       digits.(j) <- 0
@@ -219,12 +299,23 @@ let bnb { levels; l; n; psi_of_level; columns; _ } ~t_max ~digits ~temps
   assign start score0;
   !visited
 
-let solve_pruned (p : Platform.t) =
+let solve_pruned ?node_cap (p : Platform.t) =
   let st = steady_setup p in
+  let node_cap =
+    match node_cap with Some c -> c | None -> default_node_cap ~l:st.l ~n:st.n
+  in
   let digits = Array.make st.n 0 in
   let temps = Array.copy st.base_temps in
   let best_score = ref neg_infinity in
   let best_digits = ref None in
+  (* Seed the incumbent with the greedy warm start so the score bound
+     bites from the first node — essential when the budget is finite,
+     harmless (same result, fewer visits) when it is not. *)
+  (match greedy_fill st ~t_max:p.t_max with
+  | Some (digits, score) ->
+      best_score := score;
+      best_digits := Some digits
+  | None -> ());
   let offer score digits =
     if improves ~score ~digits ~best_score:!best_score ~best_digits:!best_digits
     then begin
@@ -232,12 +323,14 @@ let solve_pruned (p : Platform.t) =
       best_digits := Some (Array.copy digits)
     end
   in
+  let capped = ref false in
   let visited =
-    bnb st ~t_max:p.t_max ~digits ~temps
+    bnb st ~t_max:p.t_max ~node_cap ~capped ~digits ~temps
       ~best_score:(fun () -> !best_score)
       ~offer ~start:0 ~score0:0.
   in
-  best_result p !best_digits !best_score st.levels visited
+  best_result ~exhaustive:(not !capped) p !best_digits !best_score st.levels
+    visited
 
 let solve_par ?pool ?(par = true) (p : Platform.t) =
   let st = steady_setup p in
@@ -248,15 +341,25 @@ let solve_par ?pool ?(par = true) (p : Platform.t) =
   in
   let space = float_of_int st.l ** float_of_int st.n in
   (* The fan-out only pays above a minimum search-space size; tiny
-     problems (and 1-domain pools) take the sequential path outright. *)
-  if (not par) || pool_size <= 1 || st.n < 2 || space < 1024. then solve_pruned p
+     problems (and 1-domain pools) take the sequential path outright.
+     Budget-truncated searches also stay sequential: a node cap split
+     across racing subtrees would make the *result* depend on incumbent
+     propagation timing, and determinism outranks parallelism in the
+     anytime regime. *)
+  if
+    (not par) || pool_size <= 1 || st.n < 2 || space < 1024.
+    || default_node_cap ~l:st.l ~n:st.n < max_int
+  then solve_pruned p
   else begin
     (* Shared incumbent: lock-free [Atomic.get] for the bound inside
        every subtree, CAS-loop publication on improvement.  The bound is
        admissible because an incumbent score only ever grows and pruning
        requires being strictly below it (minus the float guard), so no
        optimal-or-tying assignment is ever cut. *)
-    let incumbent = Atomic.make None in
+    let incumbent =
+      Atomic.make
+        (Option.map (fun (d, s) -> (s, d)) (greedy_fill st ~t_max:p.t_max))
+    in
     let best_score () =
       match Atomic.get incumbent with None -> neg_infinity | Some (s, _) -> s
     in
@@ -284,8 +387,8 @@ let solve_par ?pool ?(par = true) (p : Platform.t) =
         temps.(i) <- temps.(i) +. (st.columns.(0).(i) *. dpsi)
       done;
       digits.(0) <- d0;
-      bnb st ~t_max:p.t_max ~digits ~temps ~best_score ~offer ~start:1
-        ~score0:st.levels.(d0)
+      bnb st ~t_max:p.t_max ~node_cap:max_int ~capped:(ref false) ~digits
+        ~temps ~best_score ~offer ~start:1 ~score0:st.levels.(d0)
     in
     let order = Array.init st.l (fun i -> st.l - 1 - i) in
     let visits = Util.Pool.map_array ?pool subtree order in

@@ -15,7 +15,11 @@
     order — higher total frequency wins, exact ties go to the
     lexicographically smallest level vector — so {!solve},
     {!solve_naive}, {!solve_pruned} and {!solve_par} return identical
-    [voltages]/[throughput]/[peak]/[feasible] on every platform. *)
+    [voltages]/[throughput]/[peak]/[feasible] on every platform whose
+    search space fits the exact regime; past it (many-core platforms,
+    where enumeration is physically impossible) the branch-and-bound
+    solvers run as budgeted deterministic anytime searches and say so
+    via [result.exhaustive]. *)
 
 type result = {
   voltages : float array;  (** Best feasible assignment (lowest levels when
@@ -24,6 +28,12 @@ type result = {
   peak : float;  (** Steady peak of the best assignment, [infinity] if none. *)
   evaluated : int;  (** Combinations examined. *)
   feasible : bool;  (** Whether any assignment met the constraint. *)
+  exhaustive : bool;
+      (** [true] when the search ran to completion (the returned
+          assignment is the proven optimum); [false] when a node budget
+          truncated the branch-and-bound ({!solve_pruned} on many-core
+          platforms), making the result the best of the greedy warm
+          start and everything visited under the budget. *)
 }
 
 (** [solve platform] runs the incremental exhaustive search. *)
@@ -34,15 +44,25 @@ val solve : Platform.t -> result
     ablation benchmark. *)
 val solve_naive : Platform.t -> result
 
-(** [solve_pruned platform] runs a branch-and-bound enumeration instead
-    of the flat odometer: cores are assigned one at a time
+(** [solve_pruned ?node_cap platform] runs a branch-and-bound
+    enumeration instead of the flat odometer: the incumbent is seeded
+    with a deterministic greedy warm start (single-level raises chosen
+    by coolest resulting hot spot), cores are assigned one at a time
     (highest-level-first), and a subtree is cut when (a) the steady
     temperature with every remaining core at the LOWEST level already
     violates [t_max] — monotonicity makes the whole subtree infeasible —
     or (b) the best possible remaining score cannot beat the incumbent.
-    Same result as {!solve}; [evaluated] counts visited search nodes,
-    typically a small fraction of [levels^cores]. *)
-val solve_pruned : Platform.t -> result
+    [evaluated] counts visited search nodes.
+
+    [node_cap] bounds the visited nodes.  Its default is a pure
+    function of (levels, cores): unlimited while [levels^cores] fits an
+    outright enumeration (~4·10^6, covering every paper-scale platform,
+    where the result equals {!solve}'s proven optimum), and a fixed
+    ~1.7·10^7-node budget past that — the many-core regime where no
+    exact method terminates — turning the search into a deterministic
+    anytime solver whose truncation is reported via
+    [result.exhaustive]. *)
+val solve_pruned : ?node_cap:int -> Platform.t -> result
 
 (** [solve_par ?pool ?par platform] is {!solve_pruned} with the
     top-level digit subtrees of the branch-and-bound fanned out across
@@ -54,7 +74,10 @@ val solve_pruned : Platform.t -> result
     deterministic optimum the sequential solvers find.  Only
     [evaluated] (visited node count) varies with scheduling.  Falls
     back to {!solve_pruned} when [par] is [false], the pool has a
-    single participant, or the search space is tiny. *)
+    single participant, the search space is tiny, or the default node
+    budget is finite (a cap split across racing subtrees would make the
+    result depend on incumbent propagation timing — determinism
+    outranks parallelism in the anytime regime). *)
 val solve_par : ?pool:Util.Pool.t -> ?par:bool -> Platform.t -> result
 
 type Solver.details += Details of result

@@ -16,11 +16,22 @@ let scan_peak ?eval (p : Platform.t) c =
       Sched.Peak.of_any p.model p.power ~samples_per_segment:16
         (Tpt.schedule_of_config c)
 
+let rom_scan_peak ?eval (p : Platform.t) c =
+  match eval with
+  | Some ev when Eval.platform ev == p ->
+      Eval.rom_any_peak ev ~samples_per_segment:16 (Tpt.schedule_of_config c)
+  | Some _ | None ->
+      Sched.Peak.of_any p.model p.power ~samples_per_segment:16
+        (Tpt.schedule_of_config c)
+
 let solve ?eval ?base_period ?m_cap ?t_unit ?(offsets_per_core = 8) ?(rounds = 1)
     ?(par = true) (p : Platform.t) =
   if offsets_per_core < 1 then invalid_arg "Pco.solve: offsets_per_core < 1";
   if rounds < 1 then invalid_arg "Pco.solve: rounds < 1";
   let ao = Ao.solve ?eval ?base_period ?m_cap ?t_unit ~par p in
+  (* [eval] is shadowed by the per-candidate closure inside the grid
+     loop; keep the context reachable under another name. *)
+  let eval_ctx = eval in
   let scan c = scan_peak ?eval p c in
   let n = Platform.n_cores p in
   let config = ref ao.Ao.config in
@@ -36,17 +47,27 @@ let solve ?eval ?base_period ?m_cap ?t_unit ?(offsets_per_core = 8) ?(rounds = 1
   for i = 1 to n - 1 do
     let base = !config in
     let offset_for k = period *. float_of_int k /. float_of_int offsets_per_core in
-    let eval k =
-      if k = 0 then scan base
-      else begin
-        let candidate_offsets = Array.copy base.Tpt.offset in
-        candidate_offsets.(i) <- offset_for k;
-        scan { base with Tpt.offset = candidate_offsets }
-      end
+    let candidate k =
+      let candidate_offsets = Array.copy base.Tpt.offset in
+      candidate_offsets.(i) <- offset_for k;
+      { base with Tpt.offset = candidate_offsets }
     in
+    let eval k = if k = 0 then scan base else scan (candidate k) in
     let peaks =
-      if par then Util.Pool.init offsets_per_core eval
-      else Array.init offsets_per_core eval
+      let pool = Option.map Eval.pool eval_ctx in
+      match Option.bind eval_ctx Eval.screening with
+      | Some margin ->
+          (* Slot 0 is the incumbent: the selection below reads its
+             exact peak unconditionally, so it must always survive. *)
+          let rom k =
+            if k = 0 then rom_scan_peak ?eval:eval_ctx p base
+            else rom_scan_peak ?eval:eval_ctx p (candidate k)
+          in
+          Screen.select ?pool ~par ~always:[ 0 ] ~margin ~n:offsets_per_core
+            ~rom ~exact:eval ()
+      | None ->
+          if par then Util.Pool.init ?pool offsets_per_core eval
+          else Array.init offsets_per_core eval
     in
     let best_offset = ref base.Tpt.offset.(i) in
     let best_peak = ref peaks.(0) in

@@ -20,6 +20,13 @@ let grid ?power ?tau ?(ambient = 35.) ~rows ~cols ~levels ~t_max () =
   let model = Thermal.Hotspot.core_level ~ambient ~leak_beta:beta fp in
   make ?power ?tau ~levels ~t_max model
 
+let sheet ?power ?tau ?(ambient = 35.) ~rows ~cols ~levels ~t_max () =
+  let beta =
+    match power with Some pm -> pm.Power.Power_model.beta | None -> Power.Power_model.default.Power.Power_model.beta
+  in
+  let spec = Thermal.Grid_model.sheet_spec ~ambient ~leak_beta:beta ~rows ~cols () in
+  make ?power ?tau ~levels ~t_max (Thermal.Spec.to_model spec)
+
 let n_cores p = Thermal.Model.n_cores p.model
 
 let feasible p =

@@ -41,6 +41,24 @@ val grid :
   unit ->
   t
 
+(** [sheet ?power ?tau ?ambient ~rows ~cols ~levels ~t_max ()] builds a
+    many-core platform on the single-layer conduction sheet
+    ({!Thermal.Grid_model.sheet_spec}): every cell is one core node, so
+    an [8x8] grid is a 64-node problem — the scaling-study geometry the
+    sparse backend and the response-engine search tiers are sized for,
+    three times smaller than {!grid}'s core-level HotSpot stack at equal
+    core count. *)
+val sheet :
+  ?power:Power.Power_model.t ->
+  ?tau:float ->
+  ?ambient:float ->
+  rows:int ->
+  cols:int ->
+  levels:Power.Vf.level_set ->
+  t_max:float ->
+  unit ->
+  t
+
 (** [n_cores p] is the platform's core count. *)
 val n_cores : t -> int
 

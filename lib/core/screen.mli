@@ -1,0 +1,45 @@
+(** Two-tier ROM-screened candidate selection.
+
+    Score a whole candidate batch on a cheap approximate evaluator (the
+    Lanczos-reduced model, {!Thermal.Reduced}), then re-evaluate only
+    the candidates within [margin] of the approximate minimum with the
+    exact evaluator.  Pruned candidates report [infinity], so the
+    caller's sequential argmin (and its tie-breaking) is unchanged —
+    every value it can select was computed by an exact solve.
+
+    Soundness: if the ROM error over the batch is bounded by [eps] and
+    [margin >= 2 eps], the exact argmin always survives, so screening
+    returns exactly the exhaustive sweep's answer; unconditionally the
+    selected schedule's peak is an exact evaluation (see DESIGN.md
+    §12). *)
+
+(** Process-wide screening counters (monotonic). *)
+type stats = {
+  scored : int;  (** Candidates ROM-scored. *)
+  survivors : int;  (** Candidates re-verified exactly. *)
+}
+
+val stats : unit -> stats
+val reset_stats : unit -> unit
+
+(** [select ?pool ?chunk ?par ?always ~margin ~n ~rom ~exact ()] prices
+    candidates [0 .. n-1]: every index through [rom], survivors (ROM
+    score within [margin] of the batch ROM minimum, plus every index in
+    [always]) through [exact], pruned slots [infinity].  [par] fans both
+    tiers across [pool] (default: the shared pool) with claim chunk
+    [chunk] (default: {!Util.Pool.chunk_hint}); results are in index
+    order either way.  [always] forces indices whose exact value the
+    caller reads unconditionally (e.g. an incumbent at slot 0) to
+    survive.  Raises [Invalid_argument] on a negative [margin] or an
+    out-of-range [always] index. *)
+val select :
+  ?pool:Util.Pool.t ->
+  ?chunk:int ->
+  ?par:bool ->
+  ?always:int list ->
+  margin:float ->
+  n:int ->
+  rom:(int -> float) ->
+  exact:(int -> float) ->
+  unit ->
+  float array

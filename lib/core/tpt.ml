@@ -62,6 +62,17 @@ let peak_aligned (p : Platform.t) ?eval ~period ~low ~high ~high_ratio () =
   | Some _ | None ->
       Sched.Peak.of_two_mode p.model p.power ~period ~low ~high ~high_ratio
 
+(* The screening-tier counterpart: the reduced-model score of the same
+   fused candidate (exact on a dense or eval-less context, where no
+   reduction exists).  Only meaningful when [Eval.screening] returned
+   [Some margin] — callers re-verify survivors through [peak_aligned]. *)
+let rom_peak_aligned (p : Platform.t) ?eval ~period ~low ~high ~high_ratio () =
+  match eval with
+  | Some ev when Eval.platform ev == p ->
+      Eval.rom_two_mode_peak ev ~period ~low ~high ~high_ratio
+  | Some _ | None ->
+      Sched.Peak.of_two_mode p.model p.power ~period ~low ~high ~high_ratio
+
 let peak (p : Platform.t) ?eval ?(dense = false) c =
   if is_aligned c && not dense then begin
     (* Fused path: aligned two-mode candidates are evaluated straight
@@ -82,6 +93,25 @@ let peak (p : Platform.t) ?eval ?(dense = false) c =
         Sched.Peak.of_any p.model p.power ~samples_per_segment:16
           (schedule_of_config c)
   end
+
+(* Screening-tier counterpart of [peak]: reduced-model score for aligned
+   configs, exact scan for shifted ones (screening only targets the
+   aligned sweeps, and a shifted candidate's exact scan is what the
+   search would pay anyway). *)
+let rom_peak (p : Platform.t) ?eval c =
+  if is_aligned c then begin
+    validate c;
+    let high_ratio = two_mode_ratio c in
+    rom_peak_aligned p ?eval ~period:c.period ~low:c.v_low ~high:c.v_high
+      ~high_ratio ()
+  end
+  else
+    match eval with
+    | Some ev when Eval.platform ev == p ->
+        Eval.rom_any_peak ev ~samples_per_segment:16 (schedule_of_config c)
+    | Some _ | None ->
+        Sched.Peak.of_any p.model p.power ~samples_per_segment:16
+          (schedule_of_config c)
 
 (* Stable-status end-of-period core temperatures (the quantity the TPT
    index differentiates).  For shifted configs we fall back to the peak

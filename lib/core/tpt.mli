@@ -55,6 +55,26 @@ val peak_aligned :
   unit ->
   float
 
+(** [rom_peak_aligned p ?eval ~period ~low ~high ~high_ratio ()] is the
+    screening-tier score of the same fused candidate: the reduced-model
+    peak when [eval] is a sparse context ({!Eval.rom_two_mode_peak}),
+    the exact evaluation otherwise.  Approximate — m-sweeps use it only
+    to pick survivors for exact re-verification ({!Screen.select}). *)
+val rom_peak_aligned :
+  Platform.t ->
+  ?eval:Eval.t ->
+  period:float ->
+  low:float array ->
+  high:float array ->
+  high_ratio:float array ->
+  unit ->
+  float
+
+(** [rom_peak p ?eval c] is the screening-tier score of a config:
+    {!rom_peak_aligned} for aligned configs, the reduced-model scan
+    ({!Eval.rom_any_peak}) for shifted ones. *)
+val rom_peak : Platform.t -> ?eval:Eval.t -> config -> float
+
 (** [adjust_to_constraint platform ?t_unit c] is the Algorithm 2 loop:
     returns the adjusted config and the number of [t_unit] exchanges.
     [t_unit] defaults to [c.period / 100].  Gives up (returning the

@@ -13,19 +13,34 @@ let jacobi d =
 
 (* ------------------------------------------------------------------ CG *)
 
-let cg ?(tol = 1e-13) ?(max_iter = 0) ?precond apply b =
+let cg ?(tol = 1e-13) ?(max_iter = 0) ?precond ?x0 apply b =
   let n = Array.length b in
   let max_iter = if max_iter > 0 then max_iter else (20 * n) + 100 in
   let precond = match precond with Some f -> f | None -> Vec.copy in
-  let x = Vec.zeros n in
   let b_norm = Vec.norm2 b in
-  if Float.equal b_norm 0. then x
+  if Float.equal b_norm 0. then Vec.zeros n
   else begin
-    let r = Vec.copy b in
+    (* Warm start: iterate on the residual system from [x0].  The
+       stopping test stays relative to ‖b‖ (not the initial residual), so
+       a warm start can only shorten the iteration, never loosen the
+       answer — callers passing a candidate-local deterministic guess
+       (e.g. the accumulated periodic drive) keep bit-reproducibility
+       across pool sizes. *)
+    let x, r =
+      match x0 with
+      | None -> (Vec.zeros n, Vec.copy b)
+      | Some x0 ->
+          if Array.length x0 <> n then
+            invalid_arg "Krylov.cg: warm-start arity mismatch";
+          (Vec.copy x0, Vec.sub b (apply x0))
+    in
     let z = precond r in
     let p = Vec.copy z in
     let rz = ref (Vec.dot r z) in
-    let converged = ref false in
+    (* A warm start may already satisfy the tolerance (cold starts never
+       do: ‖b‖ > 0 here); entering the loop with a zero residual would
+       trip the definiteness check on a zero search direction. *)
+    let converged = ref (Vec.norm2 r <= tol *. b_norm) in
     let iter = ref 0 in
     while (not !converged) && !iter < max_iter do
       let q = apply p in
@@ -86,12 +101,18 @@ let lanczos_start ~m_cap q0 =
   }
 
 let reorthogonalize st u =
-  (* Two passes of modified Gram-Schmidt against every basis vector. *)
+  (* Two passes of modified Gram-Schmidt against every basis vector.
+     Slot [steps] is unassigned (empty) while an invariant breakdown is
+     pending — a deflated restart reorthogonalizes in exactly that
+     state, so skip it. *)
   for _pass = 1 to 2 do
     for i = 0 to st.steps do
-      let c = Vec.dot u st.qs.(i) in
-      if not (Float.equal c 0.) then
-        Array.iteri (fun l qi -> u.(l) <- u.(l) -. (c *. qi)) st.qs.(i)
+      let qi = st.qs.(i) in
+      if Array.length qi > 0 then begin
+        let c = Vec.dot u qi in
+        if not (Float.equal c 0.) then
+          Array.iteri (fun l q -> u.(l) <- u.(l) -. (c *. q)) qi
+      end
     done
   done
 
@@ -151,19 +172,21 @@ let apply_tridiag_function st m f =
   done;
   y
 
+(* Reconstruct beta0 * Q_m y in node space. *)
+let lanczos_combine st ~n m beta0 y =
+  let w = Vec.zeros n in
+  for i = 0 to m - 1 do
+    let c = beta0 *. y.(i) in
+    Array.iteri (fun l ql -> w.(l) <- w.(l) +. (c *. ql)) st.qs.(i)
+  done;
+  w
+
 (* ------------------------------------------------------------- expm·v *)
 
 let expmv ?(tol = 1e-12) ?(m_max = 64) apply ~t v =
   let n = Array.length v in
   if not (t >= 0.) then invalid_arg "Krylov.expmv: negative time";
-  let combine st m beta0 y =
-    let w = Vec.zeros n in
-    for i = 0 to m - 1 do
-      let c = beta0 *. y.(i) in
-      Array.iteri (fun l ql -> w.(l) <- w.(l) +. (c *. ql)) st.qs.(i)
-    done;
-    w
-  in
+  let combine st m beta0 y = lanczos_combine st ~n m beta0 y in
   let rec go t v depth =
     if depth > 60 then failwith "Krylov.expmv: time-splitting did not converge";
     let beta0 = Vec.norm2 v in
@@ -198,6 +221,53 @@ let expmv ?(tol = 1e-12) ?(m_max = 64) apply ~t v =
     end
   in
   go t v 0
+
+(* ------------------------------------------------------------- f(A)·v *)
+
+let funmv ?(tol = 1e-13) ?(m_max = 256) apply ~f v =
+  let n = Array.length v in
+  let beta0 = Vec.norm2 v in
+  if Float.equal beta0 0. then Vec.zeros n
+  else begin
+    let m_cap = Stdlib.min n (Stdlib.max 2 m_max) in
+    let st = lanczos_start ~m_cap (Vec.scale (1. /. beta0) v) in
+    (* Gauss-quadrature convergence: the coefficient vector f(T_m) e1
+       stabilizes geometrically for smooth positive [f]; accept once two
+       consecutive checkpoints agree to [tol] relative — a plateau of
+       one checkpoint is not trusted (symmetric spectra can stall one
+       step before a new Ritz value splits off). *)
+    let prev = ref [||] in
+    let streak = ref 0 in
+    let result = ref None in
+    while Option.is_none !result do
+      lanczos_step ~apply st;
+      let m = st.steps in
+      let checkpoint = st.invariant || m >= m_cap || m mod 4 = 0 in
+      if checkpoint then begin
+        let y = apply_tridiag_function st m f in
+        if st.invariant then result := Some (lanczos_combine st ~n m beta0 y)
+        else begin
+          let delta = ref 0.
+          and scale = ref 0. in
+          for i = 0 to m - 1 do
+            let yp = if i < Array.length !prev then !prev.(i) else 0. in
+            let d = y.(i) -. yp in
+            delta := !delta +. (d *. d);
+            scale := !scale +. (y.(i) *. y.(i))
+          done;
+          if Float.sqrt !delta <= tol *. Float.sqrt !scale then incr streak
+          else streak := 0;
+          prev := y;
+          if !streak >= 2 then result := Some (lanczos_combine st ~n m beta0 y)
+          else if m >= m_cap then
+            failwith
+              (Printf.sprintf "Krylov.funmv: no convergence in %d steps (n = %d)"
+                 m_cap n)
+        end
+      end
+    done;
+    Option.get !result
+  end
 
 (* ------------------------------------------- shift-invert eigenpairs *)
 

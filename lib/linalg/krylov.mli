@@ -24,16 +24,21 @@
     always have positive diagonals. *)
 val jacobi : Vec.t -> Vec.t -> Vec.t
 
-(** [cg ?tol ?max_iter ?precond apply b] solves [A x = b] for an SPD
+(** [cg ?tol ?max_iter ?precond ?x0 apply b] solves [A x = b] for an SPD
     operator [apply : x ↦ A x] by (preconditioned) conjugate gradients
-    from [x0 = 0].  Stops when [‖r‖₂ ≤ tol · ‖b‖₂] (default [tol =
-    1e-13]).  [max_iter] defaults to [20 n + 100]; non-convergence and
-    detected indefiniteness raise [Failure] rather than returning a
-    silently wrong answer. *)
+    from [x0] (default the zero vector).  Stops when [‖r‖₂ ≤ tol · ‖b‖₂]
+    (default [tol = 1e-13]) — relative to [b], not to the initial
+    residual, so a warm start tightens nothing and loosens nothing, it
+    only shortens the iteration.  Callers wanting determinism across
+    pool sizes must derive [x0] from the candidate being solved, never
+    from worker-local history.  [max_iter] defaults to [20 n + 100];
+    non-convergence and detected indefiniteness raise [Failure] rather
+    than returning a silently wrong answer. *)
 val cg :
   ?tol:float ->
   ?max_iter:int ->
   ?precond:(Vec.t -> Vec.t) ->
+  ?x0:Vec.t ->
   (Vec.t -> Vec.t) ->
   Vec.t ->
   Vec.t
@@ -53,6 +58,27 @@ val cg :
     {!Sym_eig.decompose}. *)
 val expmv :
   ?tol:float -> ?m_max:int -> (Vec.t -> Vec.t) -> t:float -> Vec.t -> Vec.t
+
+(** [funmv ?tol ?m_max apply ~f v] is [f(A) v] for a smooth positive
+    function [f] of the SPD operator behind [apply], by a single Lanczos
+    factorization: [f(A) v ≈ β Q_m f(T_m) e1].  One O(nnz) operator
+    application per step — where [f] encodes work that would otherwise
+    need an iterative solve with an [expmv] per iteration (e.g. the
+    periodic fixed point [(I - e^{-T A})^{-1}], [f(λ) =
+    1/(1 - e^{-T λ})]), this collapses that nested iteration into one
+    basis build.  Convergence is declared when the coefficient vector
+    [f(T_m) e1] agrees between two consecutive checkpoints to [tol]
+    relative (default [1e-13]); an invariant Krylov subspace makes the
+    result exact.  Raises [Failure] if [m_max] (default 256) steps do
+    not converge.  Deterministic: the iteration depends only on
+    [(apply, f, v)], never on worker or call order. *)
+val funmv :
+  ?tol:float ->
+  ?m_max:int ->
+  (Vec.t -> Vec.t) ->
+  f:(float -> float) ->
+  Vec.t ->
+  Vec.t
 
 (** [smallest_eigs ?tol ?m_max ~n ~k solve] computes the [k] smallest
     eigenpairs of an SPD operator [A] given only [solve : b ↦ A⁻¹ b]

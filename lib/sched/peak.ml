@@ -501,3 +501,83 @@ let backend_of_two_mode_cached cache b pm ~period ~low ~high ~high_ratio =
         Cache.add cache key v;
         v
   end
+
+(* ------------------------------ fused sparse-response / ROM evaluators *)
+
+module R = Thermal.Sparse_response
+module Rom = Thermal.Reduced
+
+(* The fused modal hot path, ported to the sparse superposition engine:
+   decompose once into this domain's scratch, stream the spans through
+   [Sparse_response.stable_begin]/[stable_feed]/[stable_solve] (each
+   feed superposes the span's equilibrium allocation-free, no CG steady
+   solves), and share the exact bit-pattern digest with every other
+   two-mode entry point — a context switching between the modal, the
+   generic-backend and this path keeps one coherent memo table. *)
+let response_of_two_mode_cached cache resp pm ~period ~low ~high ~high_ratio =
+  let eng = R.engine resp in
+  let s = two_mode_scratch (Array.length low) in
+  let kept = two_mode_decompose s ~period ~low ~high ~high_ratio in
+  let evaluate () =
+    R.stable_begin resp;
+    let n = Array.length low in
+    for k = 0 to kept - 2 do
+      let t0 = s.pts.(k) and t1 = s.pts.(k + 1) in
+      let t = two_mode_mid ~period t0 t1 in
+      for i = 0 to n - 1 do
+        s.psi.(i) <- Power.Power_model.psi pm (two_mode_voltage s ~low ~high t i)
+      done;
+      R.stable_feed resp ~duration:(t1 -. t0) ~psi:s.psi
+    done;
+    Thermal.Sparse_model.max_core_temp eng (R.stable_solve resp ~t_p:period)
+  in
+  if Cache.disabled cache then begin
+    Cache.count_miss cache;
+    evaluate ()
+  end
+  else begin
+    let key = two_mode_key_decomposed s ~period ~low ~high kept in
+    match Cache.find cache key with
+    | Some v -> v
+    | None ->
+        let v = evaluate () in
+        Cache.add cache key v;
+        v
+  end
+
+(* ROM screening scores.  Same decomposition, same span midpoints, but
+   priced on the Lanczos-reduced model — O(n_cores^2 + k n_cores), zero
+   Krylov work.  NEVER cached: the exact memo tables must only ever hold
+   exact evaluations (a screened search re-verifies survivors through
+   the cached exact entry points above, and a ROM float behind an exact
+   digest would silently corrupt that re-check). *)
+let rom_of_two_mode rom pm ~period ~low ~high ~high_ratio =
+  let s = two_mode_scratch (Array.length low) in
+  let kept = two_mode_decompose s ~period ~low ~high ~high_ratio in
+  Rom.rom_begin rom;
+  let n = Array.length low in
+  for k = 0 to kept - 2 do
+    let t0 = s.pts.(k) and t1 = s.pts.(k + 1) in
+    let t = two_mode_mid ~period t0 t1 in
+    for i = 0 to n - 1 do
+      s.psi.(i) <- Power.Power_model.psi pm (two_mode_voltage s ~low ~high t i)
+    done;
+    Rom.rom_feed rom ~duration:(t1 -. t0) ~psi:s.psi
+  done;
+  Rom.rom_solve rom ~t_p:period
+
+let rom_profile rom pm s =
+  if Schedule.n_cores s
+     <> Thermal.Sparse_model.n_cores (Thermal.Reduced.engine rom)
+  then
+    invalid_arg
+      (Printf.sprintf "Peak.rom_of_any: schedule has %d cores, engine has %d"
+         (Schedule.n_cores s)
+         (Thermal.Sparse_model.n_cores (Thermal.Reduced.engine rom)));
+  List.map
+    (fun (duration, voltages) ->
+      { Thermal.Matex.duration; psi = Power.Power_model.psi_vector_memo pm voltages })
+    (Schedule.state_intervals s)
+
+let rom_of_any rom pm ?(samples_per_segment = 32) s =
+  Rom.rom_peak_scan rom ~samples_per_segment (rom_profile rom pm s)

@@ -291,3 +291,57 @@ val backend_of_two_mode_cached :
   high:float array ->
   high_ratio:float array ->
   float
+
+(** {1 Sparse-response and ROM evaluators}
+
+    The many-core candidate hot path.  [response_of_two_mode_cached] is
+    the exact tier: the fused two-mode evaluation streamed through a
+    {!Thermal.Sparse_response} superposition engine (no per-candidate CG
+    steady solves, fixed-point CG warm-started), memoized under the same
+    decomposed-schedule digest as every other two-mode entry point.
+    [rom_of_two_mode] / [rom_of_any] are the screening tier: the same
+    candidates priced on a Lanczos-reduced model in O(n_cores² +
+    k·n_cores) with zero Krylov work.  ROM scores are deliberately
+    UNCACHED — the exact memo tables must never hold approximate floats,
+    since screened searches re-verify survivors through the cached exact
+    entry points. *)
+
+(** [response_of_two_mode_cached cache resp pm ~period ~low ~high
+    ~high_ratio] — {!of_two_mode_cached} on a sparse superposition
+    engine.  Bit-interchangeable digests with the modal and generic
+    two-mode paths; the values differ from {!backend_of_two_mode_cached}
+    over {!Thermal.Backend.of_sparse} only by Krylov truncation. *)
+val response_of_two_mode_cached :
+  Cache.t ->
+  Thermal.Sparse_response.t ->
+  Power.Power_model.t ->
+  period:float ->
+  low:float array ->
+  high:float array ->
+  high_ratio:float array ->
+  float
+
+(** [rom_of_two_mode rom pm ~period ~low ~high ~high_ratio] is the
+    approximate stable-status peak of the fused two-mode candidate on
+    the reduced model — the screening score.  Never cached. *)
+val rom_of_two_mode :
+  Thermal.Reduced.t ->
+  Power.Power_model.t ->
+  period:float ->
+  low:float array ->
+  high:float array ->
+  high_ratio:float array ->
+  float
+
+(** [rom_of_any rom pm ?samples_per_segment s] is the approximate
+    scanned peak of an arbitrary periodic schedule on the reduced model
+    ({!Thermal.Reduced.rom_peak_scan}, default 32 samples per segment) —
+    the screening counterpart of {!backend_of_any}.  Raises
+    [Invalid_argument] on a core-count mismatch with the reduction's
+    engine. *)
+val rom_of_any :
+  Thermal.Reduced.t ->
+  Power.Power_model.t ->
+  ?samples_per_segment:int ->
+  Schedule.t ->
+  float

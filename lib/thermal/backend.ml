@@ -60,6 +60,29 @@ let of_sparse eng =
         Sparse_model.peak_refined eng ~samples_per_segment ~tol profile);
   }
 
+let of_response resp =
+  let eng = Sparse_response.engine resp in
+  {
+    name = "sparse-response";
+    n_nodes = Sparse_response.n_nodes resp;
+    n_cores = Sparse_response.n_cores resp;
+    ambient = Sparse_response.ambient resp;
+    ambient_state = (fun () -> Sparse_model.ambient_state eng);
+    step = Sparse_response.step resp;
+    core_temps = Sparse_model.core_temps eng;
+    max_core_temp = Sparse_model.max_core_temp eng;
+    steady_core_temps = Sparse_response.steady_core_temps resp;
+    steady_peak = Sparse_response.steady_peak resp;
+    stable_core_temps = Sparse_response.stable_core_temps resp;
+    stable_peak = Sparse_response.end_of_period_peak resp;
+    peak_scan =
+      (fun ~samples_per_segment profile ->
+        Sparse_response.peak_scan resp ~samples_per_segment profile);
+    peak_refined =
+      (fun ~samples_per_segment ~tol profile ->
+        Sparse_response.peak_refined resp ~samples_per_segment ~tol profile);
+  }
+
 let sparse_of_spec ?pool spec = of_sparse (Sparse_model.of_spec ?pool spec)
 let sparse_of_model ?pool model = of_sparse (Sparse_model.of_model ?pool model)
 let dense_of_spec spec = of_model (Spec.to_model spec)

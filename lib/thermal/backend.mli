@@ -17,7 +17,8 @@
     implementations to each other to ≤ 1e-9. *)
 
 type t = {
-  name : string;  (** ["dense-modal"] or ["sparse-krylov"]. *)
+  name : string;
+      (** ["dense-modal"], ["sparse-krylov"], or ["sparse-response"]. *)
   n_nodes : int;
   n_cores : int;
   ambient : float;
@@ -63,3 +64,11 @@ val dense_of_spec : Spec.t -> t
 
 (** [of_sparse eng] wraps an already-assembled sparse engine. *)
 val of_sparse : Sparse_model.t -> t
+
+(** [of_response resp] wraps a {!Sparse_response} superposition engine:
+    steady and stable evaluators superpose over the unit-response tables
+    (and warm-start the fixed-point CG) instead of solving per-candidate
+    steady systems.  Same answers as {!of_sparse} to Krylov truncation;
+    pays the [n_cores + 1] unit solves up front, so prefer {!of_sparse}
+    for one-shot evaluations and this wrapper inside search loops. *)
+val of_response : Sparse_response.t -> t

@@ -2,10 +2,34 @@ module Vec = Linalg.Vec
 module Sparse = Linalg.Sparse
 module Krylov = Linalg.Krylov
 
+(* Per-domain scratch for the streaming screening evaluators below:
+   retained-mode drive accumulation and core-temperature reads, all
+   allocation-free.  Pool workers each see their own copy via
+   Domain.DLS, so concurrent candidate scores never share partial
+   sums. *)
+type rom_scratch = {
+  zd : float array;  (* accumulated per-mode periodic drive *)
+  z_eq : float array;  (* current segment's retained equilibrium *)
+  z_last : float array;  (* last-fed segment's retained equilibrium *)
+  th : float array;  (* last-fed segment's static core temps (rel.) *)
+  z_cur : float array;  (* scan cursor at segment boundaries *)
+  z_smp : float array;  (* scan sub-step walker *)
+}
+
 type t = {
   engine : Sparse_model.t;
   mu : Vec.t;  (* retained decay rates, ascending, all positive *)
   basis : Vec.t array;  (* orthonormal Ritz vectors, symmetrized space *)
+  cw : float array array;
+  (* row j: c^{-1/2}_k w_j(core_k) per core k — one table serving both
+     the heat-input projection (w_j . b = sum_k cw_jk (psi_k + beta
+     T_amb)) and the core-temperature read of mode j's contribution. *)
+  beta_tamb : float;
+  response : Sparse_response.t Lazy.t;
+  (* The static (quasi-steady) tier of the screening evaluators: forced
+     on first ROM evaluation, shared per engine via
+     [Sparse_response.make]. *)
+  rom_scratch_key : rom_scratch Domain.DLS.key;
 }
 
 let default_modes mu =
@@ -38,10 +62,32 @@ let of_engine ?modes engine =
   let pairs = Krylov.smallest_eigs ~tol:1e-12 ~n ~k:probe solve in
   let mu_all = Array.map fst pairs in
   let k = match modes with Some k -> k | None -> default_modes mu_all in
+  let spec = Sparse_model.spec engine in
+  let nc = Array.length spec.Spec.core_nodes in
+  let basis = Array.init k (fun j -> snd pairs.(j)) in
   {
     engine;
     mu = Array.sub mu_all 0 k;
-    basis = Array.init k (fun j -> snd pairs.(j));
+    basis;
+    cw =
+      Array.map
+        (fun w ->
+          Array.map
+            (fun node -> w.(node) /. sqrt spec.Spec.capacitance.(node))
+            spec.Spec.core_nodes)
+        basis;
+    beta_tamb = spec.Spec.leak_beta *. spec.Spec.ambient;
+    response = lazy (Sparse_response.make engine);
+    rom_scratch_key =
+      Domain.DLS.new_key (fun () ->
+          {
+            zd = Array.make k 0.;
+            z_eq = Array.make k 0.;
+            z_last = Array.make k 0.;
+            th = Array.make nc 0.;
+            z_cur = Array.make k 0.;
+            z_smp = Array.make k 0.;
+          });
   }
 
 let build ?modes model = of_engine ?modes (Sparse_model.of_model model)
@@ -63,6 +109,130 @@ let step r ~dt ~state ~psi =
   Array.mapi
     (fun j z -> zi.(j) +. (Float.exp (-.r.mu.(j) *. dt) *. (z -. zi.(j))))
     state
+
+(* ------------------------------------------- streaming ROM screening *)
+
+(* The screening tier: score a candidate's end-of-period stable peak on
+   the retained modes plus the quasi-static correction, in O(n_cores^2
+   + k n_cores) per candidate with zero Krylov work.  Mirrors
+   [Modal.stable_begin]/[stable_feed]/[stable_solve]: per-mode drives
+   fold through per-domain scratch and the fixed point is the per-mode
+   closed form z*_j = d_j / (1 - e^{-mu_j T_p}).  The score is
+   approximate (truncated fast modes are treated quasi-statically);
+   screened searches must re-verify survivors with an exact sparse
+   solve — see Core.Screen. *)
+
+let check_rom_psi r psi =
+  if Vec.dim psi <> Array.length (r.cw.(0)) then
+    invalid_arg "Reduced: power vector arity differs from the engine's core count"
+
+(* Retained equilibrium coordinates into [dst]: z_inf_j = (w_j . b) /
+   mu_j, with the projection read off the core-row table (b vanishes
+   away from core nodes). *)
+let rom_z_inf_into r dst psi =
+  for j = 0 to n_modes r - 1 do
+    let row = r.cw.(j) in
+    let acc = ref 0. in
+    for i = 0 to Array.length row - 1 do
+      acc := !acc +. ((psi.(i) +. r.beta_tamb) *. Array.unsafe_get row i)
+    done;
+    dst.(j) <- !acc /. r.mu.(j)
+  done
+
+let rom_begin r =
+  let s = Domain.DLS.get r.rom_scratch_key in
+  Array.fill s.zd 0 (n_modes r) 0.
+
+let rom_feed r ~duration ~psi =
+  if duration <= 0. then invalid_arg "Reduced.rom_feed: non-positive duration";
+  check_rom_psi r psi;
+  let s = Domain.DLS.get r.rom_scratch_key in
+  rom_z_inf_into r s.z_eq psi;
+  for j = 0 to n_modes r - 1 do
+    let g = -.Float.expm1 (-.r.mu.(j) *. duration) in
+    s.zd.(j) <- ((1. -. g) *. s.zd.(j)) +. (g *. s.z_eq.(j))
+  done;
+  (* The static tier remembers the last-fed segment: at the period
+     boundary the truncated fast modes sit at the equilibrium of the
+     input that drove them there. *)
+  Sparse_response.steady_core_into (Lazy.force r.response) s.th psi;
+  Array.blit s.z_eq 0 s.z_last 0 (n_modes r)
+
+let rom_solve r ~t_p =
+  if not (t_p > 0.) then invalid_arg "Reduced.rom_solve: non-positive period";
+  let s = Domain.DLS.get r.rom_scratch_key in
+  let k = n_modes r in
+  (* z*_j in place of the drive (it is consumed here), then read the
+     superposed peak: static part + retained-mode deviation. *)
+  for j = 0 to k - 1 do
+    s.zd.(j) <- s.zd.(j) /. -.Float.expm1 (-.r.mu.(j) *. t_p)
+  done;
+  let nc = Array.length r.cw.(0) in
+  let best = ref neg_infinity in
+  for c = 0 to nc - 1 do
+    let acc = ref s.th.(c) in
+    for j = 0 to k - 1 do
+      acc := !acc +. (Array.unsafe_get r.cw.(j) c *. (s.zd.(j) -. s.z_last.(j)))
+    done;
+    if !acc > !best then best := !acc
+  done;
+  !best +. Sparse_model.ambient r.engine
+
+let rom_stable_peak r profile =
+  (match profile with [] -> invalid_arg "Reduced.rom_stable_peak: empty profile" | _ -> ());
+  rom_begin r;
+  List.iter
+    (fun (seg : Matex.segment) -> rom_feed r ~duration:seg.duration ~psi:seg.psi)
+    profile;
+  rom_solve r ~t_p:(Matex.period profile)
+
+let rom_peak_scan r ?(samples_per_segment = 32) profile =
+  (match profile with [] -> invalid_arg "Reduced.rom_peak_scan: empty profile" | _ -> ());
+  if samples_per_segment < 1 then
+    invalid_arg "Reduced.rom_peak_scan: non-positive sample count";
+  let resp = Lazy.force r.response in
+  let k = n_modes r in
+  let s = Domain.DLS.get r.rom_scratch_key in
+  rom_begin r;
+  List.iter
+    (fun (seg : Matex.segment) -> rom_feed r ~duration:seg.duration ~psi:seg.psi)
+    profile;
+  let t_p = Matex.period profile in
+  (* Stable retained state at the period start (periodicity makes it
+     also the end, so the boundary state is covered by the last
+     segment's final sample). *)
+  for j = 0 to k - 1 do
+    s.z_cur.(j) <- s.zd.(j) /. -.Float.expm1 (-.r.mu.(j) *. t_p)
+  done;
+  let nc = Array.length r.cw.(0) in
+  let best = ref neg_infinity in
+  List.iter
+    (fun (seg : Matex.segment) ->
+      rom_z_inf_into r s.z_eq seg.psi;
+      Sparse_response.steady_core_into resp s.th seg.psi;
+      let dt = seg.duration /. float_of_int samples_per_segment in
+      Array.blit s.z_cur 0 s.z_smp 0 k;
+      for _ = 1 to samples_per_segment do
+        for j = 0 to k - 1 do
+          let g = -.Float.expm1 (-.r.mu.(j) *. dt) in
+          s.z_smp.(j) <- ((1. -. g) *. s.z_smp.(j)) +. (g *. s.z_eq.(j))
+        done;
+        for c = 0 to nc - 1 do
+          let acc = ref s.th.(c) in
+          for j = 0 to k - 1 do
+            acc :=
+              !acc +. (Array.unsafe_get r.cw.(j) c *. (s.z_smp.(j) -. s.z_eq.(j)))
+          done;
+          if !acc > !best then best := !acc
+        done
+      done;
+      (* Exact full-duration boundary step from the segment start. *)
+      for j = 0 to k - 1 do
+        let g = -.Float.expm1 (-.r.mu.(j) *. seg.duration) in
+        s.z_cur.(j) <- ((1. -. g) *. s.z_cur.(j)) +. (g *. s.z_eq.(j))
+      done)
+    profile;
+  !best +. Sparse_model.ambient r.engine
 
 let core_temps r ~state ~psi =
   if Vec.dim state <> n_modes r then

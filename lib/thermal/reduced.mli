@@ -58,3 +58,40 @@ val ambient_state : t -> Linalg.Vec.t
     from the modal state (the static correction needs the current input
     [psi]). *)
 val core_temps : t -> state:Linalg.Vec.t -> psi:Linalg.Vec.t -> Linalg.Vec.t
+
+(** {1 Streaming ROM screening}
+
+    Approximate stable-peak scores for two-tier candidate screening:
+    O(n_cores² + k·n_cores) per candidate, zero Krylov work after the
+    shared {!Sparse_response} tables exist.  The API mirrors {!Modal}'s
+    streaming evaluators ([stable_begin]/[stable_feed]/[stable_solve])
+    and runs on per-domain scratch, so pool workers never share partial
+    sums.  Scores are approximate — truncated fast modes are treated
+    quasi-statically — so screened searches must re-verify survivors
+    with an exact sparse solve (see [Core.Screen]). *)
+
+(** [rom_begin r] resets this domain's accumulated per-mode drive. *)
+val rom_begin : t -> unit
+
+(** [rom_feed r ~duration ~psi] folds one periodic segment into the
+    drive.  Raises [Invalid_argument] on a non-positive duration or a
+    power vector whose arity differs from the engine's core count. *)
+val rom_feed : t -> duration:float -> psi:Linalg.Vec.t -> unit
+
+(** [rom_solve r ~t_p] closes the period-[t_p] fixed point per retained
+    mode and returns the approximate hottest core temperature at the
+    period boundary (static tier: the last-fed segment's steady
+    superposition). *)
+val rom_solve : t -> t_p:float -> float
+
+(** [rom_stable_peak r profile] is [rom_begin]; [rom_feed] every
+    segment; [rom_solve] at the profile's period — the ROM counterpart
+    of {!Sparse_model.end_of_period_peak}. *)
+val rom_stable_peak : t -> Matex.profile -> float
+
+(** [rom_peak_scan r ?samples_per_segment profile] approximates
+    {!Sparse_model.peak_scan}: walks the stable period on the retained
+    modes ([samples_per_segment] sub-steps per segment, default 32,
+    exact full-duration boundary steps) with per-segment quasi-static
+    corrections. *)
+val rom_peak_scan : t -> ?samples_per_segment:int -> Matex.profile -> float

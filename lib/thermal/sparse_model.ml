@@ -175,8 +175,16 @@ let stable_start t profile =
         advance t ~dt:s.duration ~y_inf:(steady_state t s.psi) y)
       (Vec.zeros t.n) profile
   in
-  let period_map y = Vec.sub y (Krylov.expmv ~tol:expmv_tol (apply t) ~t:t_p y) in
-  Krylov.cg ~tol:cg_tol period_map d
+  (* y* = (I - e^{-T_p M})^{-1} d is a matrix function of M applied to
+     the drive: one Lanczos basis on [d] replaces a CG iteration whose
+     every step was a full-period expmv (itself a basis build, with
+     time-splitting on stiff spectra).  1/-expm1(-x) is the numerically
+     stable form of 1/(1 - e^{-x}) for the slow modes (T_p lambda << 1).
+     [d] is a pure function of the candidate profile — no worker-local
+     history — so results stay bit-identical at any pool size. *)
+  Krylov.funmv ~tol:cg_tol (apply t)
+    ~f:(fun lam -> 1. /. -.Float.expm1 (-.t_p *. lam))
+    d
 
 let stable_core_temps t profile = core_temps t (stable_start t profile)
 let end_of_period_peak t profile = max_core_temp t (stable_start t profile)

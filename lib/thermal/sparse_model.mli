@@ -82,6 +82,14 @@ val steady_batch : ?pool:Util.Pool.t -> t -> Linalg.Vec.t list -> Linalg.Vec.t l
     under constant powers — one CG solve plus one [expmv]. *)
 val step : t -> dt:float -> state:Linalg.Vec.t -> psi:Linalg.Vec.t -> Linalg.Vec.t
 
+(** [advance t ~dt ~y_inf y] is the exact LTI advance toward an
+    already-known equilibrium: [y_inf + e^{-dt M} (y - y_inf)], one
+    [expmv] and no solve.  {!Sparse_response} feeds superposed
+    equilibria through this to price candidates without per-segment CG
+    solves. *)
+val advance :
+  t -> dt:float -> y_inf:Linalg.Vec.t -> Linalg.Vec.t -> Linalg.Vec.t
+
 (** [core_temps t state] / [max_core_temp t state] read absolute core
     temperatures straight off the state — O(n_cores). *)
 val core_temps : t -> Linalg.Vec.t -> Linalg.Vec.t

@@ -1,0 +1,116 @@
+(** Linear-response superposition engine for the sparse backend.
+
+    The dense pipeline amortizes candidate evaluation through
+    {!Modal}'s unit-response tables: per-core unit steady responses are
+    solved once per platform, after which every candidate equilibrium
+    is an O(n · n_cores) superposition and every stable-status solve
+    streams segments through per-domain scratch.  This module is the
+    same idea ported to {!Sparse_model}, where no eigenbasis exists:
+
+    - build solves the [n_cores + 1] unit steady systems once, by
+      pool-parallel preconditioned CG ({!Sparse_model.steady_batch});
+    - every segment equilibrium thereafter is a superposition over the
+      unit responses — no per-candidate CG steady solves;
+    - the constant-voltage steady peak reads a precomputed
+      core-row table, O(n_cores²) per candidate with zero allocation;
+    - the periodic stable status accumulates the drive [d] through
+      allocation-free streaming feeds ({!stable_begin}/{!stable_feed}/
+      {!stable_solve}, mirroring {!Modal}'s API; the [e^{-dt M}]
+      applications still build their Krylov bases) and solves the SPD
+      fixed point [(I - e^{-T_p M}) y* = d] by CG warm-started at
+      [x0 = d] — a candidate-local deterministic guess, so results are
+      bit-identical at any pool size.
+
+    Superposition is mathematically exact (the heat input is affine in
+    the power vector); the engine differs from per-candidate
+    {!Sparse_model} solves only by Krylov truncation, three orders of
+    magnitude under the differential suite's 1e-9 bound. *)
+
+type t
+
+type stats = {
+  builds : int;  (** Engines constructed process-wide. *)
+  superpose_evals : int;  (** Superposed equilibrium evaluations. *)
+  stable_solves : int;  (** Streaming stable-status fixed points solved. *)
+}
+
+(** [build eng] solves the unit responses and assembles the tables —
+    [n_cores + 1] preconditioned CG solves fanned across the engine's
+    pool.  Prefer {!make}, which shares the result per engine. *)
+val build : Sparse_model.t -> t
+
+(** [make eng] is the memoized {!build}: one response engine per sparse
+    engine (physical identity), so every evaluation context on a
+    platform superposes over identical tables. *)
+val make : Sparse_model.t -> t
+
+(** [engine t] is the sparse engine the responses were solved on. *)
+val engine : t -> Sparse_model.t
+
+val n_nodes : t -> int
+val n_cores : t -> int
+val ambient : t -> float
+
+(** [stats t] snapshots the counters ([builds] is process-wide). *)
+val stats : t -> stats
+
+(** [y_inf t psi] is the superposed equilibrium state under constant
+    per-core powers — bitwise a weighted sum of the unit responses, no
+    solve.  {!y_inf_into} writes it into a caller buffer instead. *)
+val y_inf : t -> Linalg.Vec.t -> Linalg.Vec.t
+
+val y_inf_into : t -> Linalg.Vec.t -> Linalg.Vec.t -> unit
+
+(** [steady_core_into t dst psi] writes the ambient-relative steady
+    core temperatures (superposed off the core-row table, O(n_cores²))
+    into [dst] — the static tier {!Reduced}'s screening evaluators sit
+    on. *)
+val steady_core_into : t -> Linalg.Vec.t -> Linalg.Vec.t -> unit
+
+(** [steady_core_temps t psi] / [steady_peak t psi] are the absolute
+    steady core temperatures / their maximum, by superposition. *)
+val steady_core_temps : t -> Linalg.Vec.t -> Linalg.Vec.t
+
+val steady_peak : t -> Linalg.Vec.t -> float
+
+(** [step t ~dt ~state ~psi] — exact LTI advance with a superposed
+    equilibrium: one [expmv], no CG. *)
+val step : t -> dt:float -> state:Linalg.Vec.t -> psi:Linalg.Vec.t -> Linalg.Vec.t
+
+(** {1 Streaming stable-status evaluation}
+
+    The candidate hot path, mirroring {!Modal.stable_begin}/
+    [stable_feed]/[stable_solve]: fold a periodic profile's segments
+    through per-domain scratch (each feed superposes the segment's
+    equilibrium allocation-free, then applies one [e^{-dt M}]), then
+    solve the fixed point.  Pool workers each see their own scratch
+    through [Domain.DLS], so concurrent candidates never share partial
+    sums. *)
+
+(** [stable_begin t] resets this domain's accumulated drive. *)
+val stable_begin : t -> unit
+
+(** [stable_feed t ~duration ~psi] folds one segment into the drive.
+    Raises [Invalid_argument] on a non-positive duration. *)
+val stable_feed : t -> duration:float -> psi:Linalg.Vec.t -> unit
+
+(** [stable_solve t ~t_p] solves the period-[t_p] fixed point from the
+    accumulated drive and returns the stable state at the period
+    boundary (a fresh vector). *)
+val stable_solve : t -> t_p:float -> Linalg.Vec.t
+
+(** {1 Profile evaluators}
+
+    {!Sparse_model}'s profile interface on the superposition tables —
+    per-segment equilibria come from {!y_inf_into} instead of CG
+    solves, and the stable fixed point is warm-started; everything else
+    (validation, sampling semantics, golden-section refinement) matches
+    the direct engine exactly. *)
+
+val stable_start : t -> Matex.profile -> Linalg.Vec.t
+val stable_core_temps : t -> Matex.profile -> Linalg.Vec.t
+val end_of_period_peak : t -> Matex.profile -> float
+val peak_scan : t -> ?samples_per_segment:int -> Matex.profile -> float
+
+val peak_refined :
+  t -> ?samples_per_segment:int -> ?tol:float -> Matex.profile -> float

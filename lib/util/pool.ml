@@ -207,3 +207,11 @@ let map ?pool ?chunk f xs =
   | [] -> []
   | [ x ] -> [ f x ]
   | _ -> Array.to_list (map_array ?pool ?chunk f (Array.of_list xs))
+
+let chunk_hint ?pool n =
+  let pool = match pool with Some p -> p | None -> get () in
+  (* Aim for ~4 claims per participant: enough slack that an unlucky
+     chunk of slow tasks rebalances, few enough atomic fetches that
+     cheap tasks aren't dominated by counter traffic.  Capped at 32 so
+     one claim never serializes a visible fraction of the batch. *)
+  Stdlib.max 1 (Stdlib.min 32 (n / (4 * size pool)))

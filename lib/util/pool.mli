@@ -57,6 +57,13 @@ val map_array : ?pool:t -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [init ?pool ?chunk n f] is [map_array] over indices [0 .. n - 1]. *)
 val init : ?pool:t -> ?chunk:int -> int -> (int -> 'a) -> 'a array
 
+(** [chunk_hint ?pool n] is a claim-chunk size for a batch of [n]
+    similar-cost tasks on [pool] (default: the shared {!get} pool):
+    roughly four claims per participant, clamped to [1, 32].  Use it
+    instead of hard-coding [~chunk] so batch sizes and pool widths
+    picked at run time stay balanced. *)
+val chunk_hint : ?pool:t -> int -> int
+
 (** [shutdown pool] joins the pool's worker domains.  Subsequent
     submissions to a shut-down pool run sequentially on the submitter.
     The shared {!get} pool is shut down automatically at exit. *)

@@ -158,6 +158,24 @@ let test_exs_pruned_matches_flat () =
         (cores < 6 || pruned.Core.Exs.evaluated < flat.Core.Exs.evaluated))
     [ (2, 2, 65.); (3, 3, 65.); (3, 5, 55.); (6, 4, 60.); (9, 3, 55.); (3, 2, 36.) ]
 
+(* The anytime regime: a finite node budget must still return a
+   feasible assignment (the greedy warm start at minimum), never beat
+   the proven optimum, and report the truncation; the exact regime must
+   report completeness. *)
+let test_exs_anytime_budget () =
+  let p = Workload.Configs.platform ~cores:6 ~levels:4 ~t_max:60. in
+  let exact = Core.Exs.solve_pruned p in
+  Alcotest.(check bool) "paper-scale search completes" true
+    exact.Core.Exs.exhaustive;
+  let capped = Core.Exs.solve_pruned ~node_cap:1 p in
+  Alcotest.(check bool) "truncation reported" false capped.Core.Exs.exhaustive;
+  Alcotest.(check bool) "greedy seed keeps the result feasible" true
+    capped.Core.Exs.feasible;
+  Alcotest.(check bool) "within constraint" true
+    (capped.Core.Exs.peak <= p.Core.Platform.t_max +. 1e-6);
+  Alcotest.(check bool) "anytime result never beats the optimum" true
+    (capped.Core.Exs.throughput <= exact.Core.Exs.throughput +. 1e-12)
+
 let test_exs_motivation_pattern () =
   (* The paper's motivation: with levels {0.6, 1.3} at 65C, EXS can raise
      a strict subset of cores to 1.3 V. *)
@@ -383,6 +401,7 @@ let () =
           Alcotest.test_case "respects T_max" `Quick test_exs_respects_tmax;
           Alcotest.test_case "incremental = naive" `Quick test_exs_incremental_matches_naive;
           Alcotest.test_case "pruned = flat" `Quick test_exs_pruned_matches_flat;
+          Alcotest.test_case "anytime budget" `Quick test_exs_anytime_budget;
           Alcotest.test_case "motivation pattern" `Quick test_exs_motivation_pattern;
           Alcotest.test_case "infeasible platform" `Quick test_exs_infeasible_platform;
           Alcotest.test_case "all solvers agree (incl. parallel)" `Quick

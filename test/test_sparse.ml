@@ -386,8 +386,8 @@ let test_backend_names () =
   let p = Workload.Configs.platform ~cores:3 ~levels:3 ~t_max:65. in
   Alcotest.(check string) "dense context wraps the modal engine" "dense-modal"
     (Eval.backend (Eval.create ~backend:Eval.Dense p)).Thermal.Backend.name;
-  Alcotest.(check string) "sparse context wraps the Krylov engine"
-    "sparse-krylov"
+  Alcotest.(check string) "sparse context wraps the superposition engine"
+    "sparse-response"
     (Eval.backend (Eval.create ~backend:Eval.Sparse p)).Thermal.Backend.name
 
 (* Every Eval entry point must answer the same (to 1e-9) from a Dense

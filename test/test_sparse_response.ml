@@ -1,0 +1,325 @@
+(* Differential tests for the sparse superposition engine and the
+   two-tier ROM screening path: superposed equilibria and streamed
+   stable statuses must agree with per-candidate Sparse_model CG solves
+   to <= 1e-9 at n <= 27, per-domain scratch must neither contend (pool
+   sizes 1 and 4 bit-identical) nor cross-contaminate between engines,
+   and a screened search with a sound margin must return exactly the
+   exhaustive exact search's answer. *)
+
+module Vec = Linalg.Vec
+module Model = Thermal.Model
+module Sp = Thermal.Sparse_model
+module Resp = Thermal.Sparse_response
+module Reduced = Thermal.Reduced
+module Matex = Thermal.Matex
+
+let seed_gen = QCheck.(make Gen.(int_range 0 1_000_000))
+
+(* Random small platform (<= 27 nodes: core-level carries 3 nodes per
+   core, 3x3 cores max), with varied ambient and leakage so the
+   beta*T_amb fold into the unit responses is stressed. *)
+let random_model rng =
+  let rows = 1 + Random.State.int rng 2 in
+  let cols = 1 + Random.State.int rng 3 in
+  let ambient = -10. +. Random.State.float rng 70. in
+  let leak_beta = Random.State.float rng 0.1 in
+  Thermal.Hotspot.core_level ~ambient ~leak_beta
+    (Thermal.Floorplan.grid ~rows ~cols ~core_width:4e-3 ~core_height:4e-3)
+
+let random_psi rng n =
+  Array.init n (fun _ ->
+      if Random.State.float rng 1. < 0.3 then 0.
+      else Random.State.float rng 20.)
+
+let random_profile rng n =
+  let n_segs = 1 + Random.State.int rng 6 in
+  List.init n_segs (fun _ ->
+      {
+        Thermal.Matex.duration = 0.01 +. Random.State.float rng 0.5;
+        psi = random_psi rng n;
+      })
+
+(* ------------------------------------- superposition vs direct CG *)
+
+let prop_steady_superposition_matches_cg =
+  QCheck.Test.make ~name:"superposed steady temps = per-candidate CG solve"
+    ~count:60 seed_gen (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let model = random_model rng in
+      let eng = Sp.of_model model in
+      let resp = Resp.build eng in
+      let psi = random_psi rng (Sp.n_cores eng) in
+      Vec.dist_inf (Resp.steady_core_temps resp psi) (Sp.steady_core_temps eng psi)
+      <= 1e-9
+      && Float.abs (Resp.steady_peak resp psi -. Sp.steady_peak eng psi) <= 1e-9)
+
+let prop_y_inf_matches_steady_state =
+  QCheck.Test.make ~name:"superposed y_inf = CG steady state" ~count:60
+    seed_gen (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let model = random_model rng in
+      let eng = Sp.of_model model in
+      let resp = Resp.build eng in
+      let psi = random_psi rng (Sp.n_cores eng) in
+      Vec.dist_inf (Resp.y_inf resp psi) (Sp.steady_state eng psi) <= 1e-9)
+
+let prop_streaming_stable_matches_segment_path =
+  QCheck.Test.make
+    ~name:"streamed stable status/peaks = Sparse_model segment path"
+    ~count:40 seed_gen (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let model = random_model rng in
+      let eng = Sp.of_model model in
+      let resp = Resp.build eng in
+      let profile = random_profile rng (Sp.n_cores eng) in
+      Vec.dist_inf (Resp.stable_start resp profile) (Sp.stable_start eng profile)
+      <= 1e-9
+      && Float.abs
+           (Resp.end_of_period_peak resp profile
+           -. Sp.end_of_period_peak eng profile)
+         <= 1e-9
+      && Float.abs (Resp.peak_scan resp profile -. Sp.peak_scan eng profile)
+         <= 1e-9
+      && Float.abs
+           (Resp.peak_refined resp profile -. Sp.peak_refined eng profile)
+         <= 1e-9)
+
+let prop_step_matches_engine =
+  QCheck.Test.make ~name:"superposed step = Sparse_model.step" ~count:60
+    seed_gen (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let model = random_model rng in
+      let eng = Sp.of_model model in
+      let resp = Resp.build eng in
+      let n = Sp.n_cores eng in
+      let psi = random_psi rng n in
+      let state =
+        Sp.step eng ~dt:(0.01 +. Random.State.float rng 0.2)
+          ~state:(Sp.ambient_state eng) ~psi:(random_psi rng n)
+      in
+      let dt = 0.01 +. Random.State.float rng 0.3 in
+      Vec.dist_inf (Resp.step resp ~dt ~state ~psi) (Sp.step eng ~dt ~state ~psi)
+      <= 1e-9)
+
+(* --------------------------------------------- scratch isolation *)
+
+let model27 =
+  Thermal.Hotspot.core_level
+    (Thermal.Floorplan.grid ~rows:3 ~cols:3 ~core_width:4e-3 ~core_height:4e-3)
+
+(* The same batch of streamed evaluations must come back bit-identical
+   at pool sizes 1 and 4: per-domain DLS scratch means workers never
+   share partial sums, and index-ordered results mean the comparison is
+   positional. *)
+let test_pool_size_determinism () =
+  let rng = Random.State.make [| 42 |] in
+  let eng = Sp.of_model model27 in
+  let resp = Resp.build eng in
+  let profiles =
+    Array.init 24 (fun _ -> random_profile rng (Sp.n_cores eng))
+  in
+  let run pool_size =
+    let pool = Util.Pool.create ~size:pool_size () in
+    let out =
+      Util.Pool.init ~pool (Array.length profiles) (fun i ->
+          Resp.end_of_period_peak resp profiles.(i))
+    in
+    Util.Pool.shutdown pool;
+    out
+  in
+  let seq = run 1 and par = run 4 in
+  Array.iteri
+    (fun i a ->
+      Alcotest.(check bool)
+        (Printf.sprintf "profile %d bit-identical at pool sizes 1 and 4" i)
+        true
+        (Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float par.(i))))
+    seq
+
+(* Two engines evaluated interleaved on one domain: each engine's
+   DLS scratch is keyed per engine, so feeds never leak across. *)
+let test_scratch_cross_engine_isolation () =
+  let rng = Random.State.make [| 7 |] in
+  let eng_a = Sp.of_model model27 in
+  let model_b =
+    Thermal.Hotspot.core_level ~ambient:45.
+      (Thermal.Floorplan.grid ~rows:2 ~cols:2 ~core_width:3e-3 ~core_height:3e-3)
+  in
+  let eng_b = Sp.of_model model_b in
+  let ra = Resp.build eng_a and rb = Resp.build eng_b in
+  let pa = random_profile rng (Sp.n_cores eng_a) in
+  let pb = random_profile rng (Sp.n_cores eng_b) in
+  let expect_a = Resp.end_of_period_peak ra pa in
+  let expect_b = Resp.end_of_period_peak rb pb in
+  (* Interleave the streaming feeds by hand. *)
+  Resp.stable_begin ra;
+  Resp.stable_begin rb;
+  List.iter
+    (fun (s : Matex.segment) -> Resp.stable_feed ra ~duration:s.duration ~psi:s.psi)
+    pa;
+  List.iter
+    (fun (s : Matex.segment) -> Resp.stable_feed rb ~duration:s.duration ~psi:s.psi)
+    pb;
+  let za = Resp.stable_solve ra ~t_p:(Matex.period pa) in
+  let zb = Resp.stable_solve rb ~t_p:(Matex.period pb) in
+  Alcotest.(check bool) "engine A undisturbed by interleaved B feeds" true
+    (Float.equal (Sp.max_core_temp eng_a za) expect_a);
+  Alcotest.(check bool) "engine B undisturbed by interleaved A feeds" true
+    (Float.equal (Sp.max_core_temp eng_b zb) expect_b)
+
+let test_make_is_memoized () =
+  let eng = Sp.of_model model27 in
+  Alcotest.(check bool) "make returns one engine per sparse engine" true
+    (Resp.make eng == Resp.make eng)
+
+(* ------------------------------------------- ROM screening soundness *)
+
+(* Screened selection must equal the exhaustive exact search when the
+   margin covers twice the worst ROM error over the batch (DESIGN.md
+   §12) — asserted on randomized sheet platforms up to 8x8 = 64 cells
+   with randomized candidate batches.  Also asserts the unconditional
+   guarantee: the selected value is an exact evaluation (bit-equal to
+   the direct solve), never a ROM score. *)
+let prop_screened_search_equals_exhaustive =
+  QCheck.Test.make ~name:"screened argmin = exhaustive exact argmin"
+    ~count:15 seed_gen (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let rows = 2 + Random.State.int rng 7 in
+      let cols = 2 + Random.State.int rng (Stdlib.min 7 ((64 / rows) - 1)) in
+      let spec = Thermal.Grid_model.sheet_spec ~rows ~cols () in
+      let eng = Sp.of_spec spec in
+      let rom = Reduced.of_engine eng in
+      let nc = Sp.n_cores eng in
+      let n_cand = 8 + Random.State.int rng 9 in
+      let candidates =
+        Array.init n_cand (fun _ -> random_profile rng nc)
+      in
+      let exact_all =
+        Array.map (fun p -> Sp.end_of_period_peak eng p) candidates
+      in
+      let rom_all =
+        Array.map (fun p -> Reduced.rom_stable_peak rom p) candidates
+      in
+      (* Sound margin: twice the realized worst-case ROM error, plus
+         slack — the premise of the equality theorem, computed from the
+         batch itself so the property tests the theorem and not a
+         hand-tuned constant. *)
+      let eps =
+        Array.fold_left Float.max 0.
+          (Array.mapi (fun i r -> Float.abs (r -. exact_all.(i))) rom_all)
+      in
+      let margin = (2. *. eps) +. 1e-9 in
+      let screened =
+        Core.Screen.select ~par:false ~margin ~n:n_cand
+          ~rom:(fun i -> rom_all.(i))
+          ~exact:(fun i -> exact_all.(i))
+          ()
+      in
+      (* The searches' shared reduction: strict improvement by more than
+         1e-12 keeps the smallest index. *)
+      let argmin a =
+        let best = ref 0 in
+        for i = 1 to Array.length a - 1 do
+          if a.(i) < a.(!best) -. 1e-12 then best := i
+        done;
+        !best
+      in
+      let i_screen = argmin screened and i_exact = argmin exact_all in
+      i_screen = i_exact
+      && Int64.equal
+           (Int64.bits_of_float screened.(i_screen))
+           (Int64.bits_of_float exact_all.(i_screen)))
+
+(* Pruned slots are +inf and survivors carry bit-exact values, at any
+   margin (including one too small for the equality guarantee). *)
+let prop_screened_values_are_exact_or_inf =
+  QCheck.Test.make ~name:"screened slots are exact floats or +inf" ~count:30
+    seed_gen (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let n = 5 + Random.State.int rng 20 in
+      let exact = Array.init n (fun _ -> 40. +. Random.State.float rng 40.) in
+      let rom =
+        Array.map (fun v -> v +. (Random.State.float rng 2. -. 1.)) exact
+      in
+      let margin = Random.State.float rng 1.5 in
+      let screened =
+        Core.Screen.select ~par:false ~margin ~n
+          ~rom:(fun i -> rom.(i))
+          ~exact:(fun i -> exact.(i))
+          ()
+      in
+      let rom_min = Array.fold_left Float.min infinity rom in
+      Array.for_all
+        (fun ok -> ok)
+        (Array.mapi
+           (fun i v ->
+             if rom.(i) <= rom_min +. margin then Float.equal v exact.(i)
+             else Float.equal v infinity)
+           screened))
+
+(* [always] indices survive regardless of their ROM score. *)
+let test_screen_always_survives () =
+  let exact = [| 50.; 51.; 52.; 49. |] in
+  let rom = [| 100.; 51.; 52.; 49. |] in
+  let screened =
+    Core.Screen.select ~par:false ~always:[ 0 ] ~margin:0.5 ~n:4
+      ~rom:(fun i -> rom.(i))
+      ~exact:(fun i -> exact.(i))
+      ()
+  in
+  Alcotest.(check bool) "slot 0 evaluated exactly despite worst ROM score" true
+    (Float.equal screened.(0) 50.);
+  Alcotest.(check bool) "far slot pruned" true (Float.equal screened.(1) infinity)
+
+(* Screened policy runs agree with unscreened ones end to end: the AO
+   m-sweep under a sparse screening context returns the same schedule
+   and peak as with screening disabled. *)
+let test_screened_ao_matches_unscreened () =
+  let p = Workload.Configs.platform ~cores:3 ~levels:5 ~t_max:65. in
+  let run margin =
+    let ev =
+      Core.Eval.create ~backend:Core.Eval.Sparse ~screen_margin:margin p
+    in
+    Core.Ao.solve ~eval:ev ~par:false p
+  in
+  let screened = run 0.5 and exhaustive = run 0. in
+  Alcotest.(check int) "same m" exhaustive.Core.Ao.m screened.Core.Ao.m;
+  Alcotest.(check bool) "same peak" true
+    (Float.equal exhaustive.Core.Ao.peak screened.Core.Ao.peak);
+  Alcotest.(check bool) "same throughput" true
+    (Float.equal exhaustive.Core.Ao.throughput screened.Core.Ao.throughput)
+
+let qsuite name tests =
+  (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let () =
+  Alcotest.run "sparse_response"
+    [
+      qsuite "superposition"
+        [
+          prop_steady_superposition_matches_cg;
+          prop_y_inf_matches_steady_state;
+          prop_streaming_stable_matches_segment_path;
+          prop_step_matches_engine;
+        ];
+      ( "scratch",
+        [
+          Alcotest.test_case "pool-size determinism" `Quick
+            test_pool_size_determinism;
+          Alcotest.test_case "cross-engine isolation" `Quick
+            test_scratch_cross_engine_isolation;
+          Alcotest.test_case "make memoization" `Quick test_make_is_memoized;
+        ] );
+      qsuite "screening"
+        [
+          prop_screened_search_equals_exhaustive;
+          prop_screened_values_are_exact_or_inf;
+        ];
+      ( "screening-units",
+        [
+          Alcotest.test_case "always-indices survive" `Quick
+            test_screen_always_survives;
+          Alcotest.test_case "screened AO = unscreened AO" `Quick
+            test_screened_ao_matches_unscreened;
+        ] );
+    ]
