@@ -261,7 +261,9 @@ let run_one_policy ~name ~cores ~grid ~levels ~t_max ~seq ~backend =
           rows * cols )
     | None -> (Workload.Configs.platform ~cores ~levels ~t_max, cores)
   in
-  let ev = Core.Eval.create ~backend platform in
+  (* Screening is opt-in at the library level; the CLI's sparse runs opt
+     in at the 0.5 K margin DESIGN.md §12 calibrates (no-op on Dense). *)
+  let ev = Core.Eval.create ~backend ~screen_margin:0.5 platform in
   let params = { Core.Solver.default_params with Core.Solver.par = not seq } in
   let o = Core.Solver.run ~params policy ev in
   Printf.printf "%s — %s\n" policy.Core.Solver.name policy.Core.Solver.doc;
@@ -485,7 +487,9 @@ let run_scale_policy ~name ~sizes ~levels ~t_max ~seq =
         Core.Platform.sheet ~rows ~cols ~levels:(Power.Vf.table_iv levels)
           ~t_max ()
       in
-      let ev = Core.Eval.create ~backend:Core.Eval.Sparse platform in
+      let ev =
+        Core.Eval.create ~backend:Core.Eval.Sparse ~screen_margin:0.5 platform
+      in
       let params =
         { Core.Solver.default_params with Core.Solver.par = not seq }
       in

@@ -94,6 +94,14 @@ let solve ?eval ?(base_period = 0.1) ?(m_cap = 512) ?t_unit ?(fill = false)
       Tpt.peak_aligned p ?eval ~period ~low:v_low ~high:v_high ~high_ratio ()
     in
     let pool = Option.map Eval.pool eval in
+    (* Fan out only when the batch carries real work: a 3-core dense
+       candidate evaluation is under a microsecond, and waking the pool
+       for ~10k such evaluations costs more than running them inline.
+       The m * cores * nodes product tracks the per-sweep floating-point
+       volume across platform sizes; the same gate covers the screened
+       branch, whose ROM scores are cheaper still. *)
+    let work = m_max * n * Thermal.Model.n_nodes p.model in
+    let par = par && work >= 32768 in
     match Option.bind eval Eval.screening with
     | Some margin ->
         (* Two-tier sweep on a screening (sparse) context: every m is
@@ -109,14 +117,7 @@ let solve ?eval ?(base_period = 0.1) ?(m_cap = 512) ?t_unit ?(fill = false)
         Screen.select ?pool ~par ~always:[] ~margin ~n:m_max ~rom:rom_m
           ~exact:eval_m ()
     | None ->
-        (* Exhaustive sweep.  Fan out only when the batch carries real
-           work: a 3-core dense candidate evaluation is under a
-           microsecond, and waking the pool for ~10k such evaluations
-           costs more than running them inline.  The m * cores * nodes
-           product tracks the per-sweep floating-point volume across
-           platform sizes. *)
-        let work = m_max * n * Thermal.Model.n_nodes p.model in
-        if par && work >= 32768 then
+        if par then
           Util.Pool.init ?pool ~chunk:(Util.Pool.chunk_hint ?pool m_max) m_max
             eval_m
         else Array.init m_max eval_m

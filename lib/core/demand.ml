@@ -63,14 +63,17 @@ let solve ?eval ?(base_period = 0.1) ?(m_cap = 512) ?(par = true) (p : Platform.
   let peaks =
     let eval_m i = Tpt.peak p ?eval (config_for (i + 1)) in
     let pool = Option.map Eval.pool eval in
+    (* Same work-size gate as the AO m-sweep: small batches stay inline
+       on both the screened and the exhaustive branch. *)
+    let work = m_max * n * Thermal.Model.n_nodes p.model in
+    let par = par && work >= 32768 in
     match Option.bind eval Eval.screening with
     | Some margin ->
         let rom_m i = Tpt.rom_peak p ?eval (config_for (i + 1)) in
         Screen.select ?pool ~par ~always:[] ~margin ~n:m_max ~rom:rom_m
           ~exact:eval_m ()
     | None ->
-        let work = m_max * n * Thermal.Model.n_nodes p.model in
-        if par && work >= 32768 then
+        if par then
           Util.Pool.init ?pool ~chunk:(Util.Pool.chunk_hint ?pool m_max) m_max
             eval_m
         else Array.init m_max eval_m

@@ -42,7 +42,7 @@ type stats = {
   stepup : Sched.Peak.Cache.stats;
 }
 
-let create ?pool ?(cache_size = 1024) ?(backend = Dense) ?(screen_margin = 0.5)
+let create ?pool ?(cache_size = 1024) ?(backend = Dense) ?(screen_margin = 0.)
     platform =
   if not (screen_margin >= 0.) then
     invalid_arg "Eval.create: negative screen_margin";
@@ -144,9 +144,11 @@ let screening t =
         (* Force the screening models on the submitting domain NOW:
            OCaml's [Lazy] is not domain-safe, and a screened sweep's
            first ROM scores may otherwise race to force [response]/[rom]
-           from several pool workers at once. *)
+           from several pool workers at once.  [Reduced.prepare] covers
+           the reduction's own inner static-tier lazy, which forcing
+           [t.rom] alone would leave for the workers to race on. *)
         ignore (Lazy.force t.response : Thermal.Sparse_response.t);
-        ignore (Lazy.force t.rom : Thermal.Reduced.t);
+        Thermal.Reduced.prepare (Lazy.force t.rom);
         Some t.screen_margin
       end
       else None

@@ -41,9 +41,14 @@ type stats = {
     [cache_size] (default 1024) bounds each memo table, with [0]
     disabling memoization — the cache-off mode differential tests run
     against; [backend] (default [Dense]) selects the thermal engine;
-    [screen_margin] (kelvin, default 0.5, [0.] disables) is how far
+    [screen_margin] (kelvin, default [0.] — screening off) is how far
     above the batch ROM minimum a candidate may score and still be
     re-verified exactly during two-tier screening ({!screening}).
+    Screening is opt-in because its soundness needs the margin to cover
+    twice the batch ROM error oscillation (DESIGN.md §12), which nothing
+    estimates at runtime: pass a positive margin (the CLI and benches
+    use 0.5 K, calibrated against the measured ≈0.1 K AO-batch error
+    range at 8×8/16×16) only when that bound is believed to hold.
     Raises [Invalid_argument] on a negative margin. *)
 val create :
   ?pool:Util.Pool.t ->

@@ -54,8 +54,19 @@ let select ?pool ?chunk ?(par = false) ?(always = []) ~margin ~n ~rom ~exact ()
       if par then Util.Pool.init ?pool ~chunk n rom else Array.init n rom
     in
     Atomic.fetch_and_add scored_count n |> ignore;
-    let rom_min = Array.fold_left Float.min infinity scores in
-    let keep = Array.map (fun s -> s <= rom_min +. margin) scores in
+    (* NaN scores neither poison the minimum ([Float.min] propagates
+       NaN, which would fail every keep test and prune the whole batch)
+       nor get pruned themselves: a NaN survives to the exact tier, so a
+       broken ROM score surfaces as an exact evaluation rather than a
+       silently all-infinity sweep. *)
+    let rom_min =
+      Array.fold_left
+        (fun acc s -> if Float.is_nan s then acc else Float.min acc s)
+        infinity scores
+    in
+    let keep =
+      Array.map (fun s -> Float.is_nan s || s <= rom_min +. margin) scores
+    in
     List.iter (fun i -> keep.(i) <- true) always;
     let survivors = Array.fold_left (fun a k -> if k then a + 1 else a) 0 keep in
     Atomic.fetch_and_add survivor_count survivors |> ignore;

@@ -30,8 +30,10 @@ val reset_stats : unit -> unit
     [chunk] (default: {!Util.Pool.chunk_hint}); results are in index
     order either way.  [always] forces indices whose exact value the
     caller reads unconditionally (e.g. an incumbent at slot 0) to
-    survive.  Raises [Invalid_argument] on a negative [margin] or an
-    out-of-range [always] index. *)
+    survive.  NaN ROM scores are excluded from the batch minimum and
+    survive to the exact tier, so a broken score cannot silently prune
+    the whole batch.  Raises [Invalid_argument] on a negative [margin]
+    or an out-of-range [always] index. *)
 val select :
   ?pool:Util.Pool.t ->
   ?chunk:int ->

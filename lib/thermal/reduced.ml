@@ -91,6 +91,12 @@ let of_engine ?modes engine =
   }
 
 let build ?modes model = of_engine ?modes (Sparse_model.of_model model)
+
+(* OCaml's [Lazy] is not domain-safe: concurrent forcing raises
+   [Lazy.RacyLazy].  Callers fanning rom evaluators across a pool must
+   force the static tier on the submitting domain first — workers then
+   only read the already-forced value, which is safe. *)
+let prepare r = ignore (Lazy.force r.response : Sparse_response.t)
 let n_modes r = Vec.dim r.mu
 let engine r = r.engine
 let decay_rates r = Vec.copy r.mu

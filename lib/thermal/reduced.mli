@@ -31,6 +31,14 @@ val of_engine : ?modes:int -> Sparse_model.t -> t
     model's spec ({!Sparse_model.of_model}). *)
 val build : ?modes:int -> Model.t -> t
 
+(** [prepare r] forces the reduction's shared static tier (the
+    {!Sparse_response} tables behind the rom evaluators below).  Must be
+    called on the submitting domain before rom scores fan out across a
+    pool: [Lazy] is not domain-safe, and without it the first parallel
+    screened sweep races to force the tables from several workers at
+    once ([Lazy.RacyLazy]).  Idempotent and cheap once forced. *)
+val prepare : t -> unit
+
 (** [n_modes r] is the retained mode count. *)
 val n_modes : t -> int
 

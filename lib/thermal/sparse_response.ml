@@ -114,20 +114,22 @@ let rec take n = function
 
 let make engine =
   Mutex.lock engines_lock;
-  match List.find_opt (fun (e, _) -> e == engine) !engines with
-  | Some (_, resp) ->
-      Mutex.unlock engines_lock;
-      resp
-  | None ->
-      (* Built under the lock: serializing first use per engine keeps
-         exactly one response table (one stats stream) per platform.
-         The batch solve inside runs on the engine's pool; nested
-         submissions degrade to inline execution, so holding the lock
-         cannot deadlock the pool. *)
-      let resp = build engine in
-      engines := (engine, resp) :: take (engines_capacity - 1) !engines;
-      Mutex.unlock engines_lock;
-      resp
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock engines_lock)
+    (fun () ->
+      match List.find_opt (fun (e, _) -> e == engine) !engines with
+      | Some (_, resp) -> resp
+      | None ->
+          (* Built under the lock: serializing first use per engine keeps
+             exactly one response table (one stats stream) per platform.
+             The batch solve inside runs on the engine's pool; nested
+             submissions degrade to inline execution, so holding the lock
+             cannot deadlock the pool — and [Fun.protect] releases it if
+             the CG batch raises, so a failed build never wedges every
+             later [make]. *)
+          let resp = build engine in
+          engines := (engine, resp) :: take (engines_capacity - 1) !engines;
+          resp)
 
 let engine t = t.engine
 let n_nodes t = t.n

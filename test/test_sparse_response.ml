@@ -271,6 +271,25 @@ let test_screen_always_survives () =
     (Float.equal screened.(0) 50.);
   Alcotest.(check bool) "far slot pruned" true (Float.equal screened.(1) infinity)
 
+(* A NaN ROM score neither poisons the batch minimum nor gets pruned:
+   it survives to the exact tier while the rest of the batch screens
+   normally. *)
+let test_screen_nan_score_survives () =
+  let exact = [| 50.; 51.; 52.; 49. |] in
+  let rom = [| Float.nan; 51.; 52.; 49. |] in
+  let screened =
+    Core.Screen.select ~par:false ~margin:0.5 ~n:4
+      ~rom:(fun i -> rom.(i))
+      ~exact:(fun i -> exact.(i))
+      ()
+  in
+  Alcotest.(check bool) "NaN slot priced exactly" true
+    (Float.equal screened.(0) 50.);
+  Alcotest.(check bool) "batch minimum ignores the NaN" true
+    (Float.equal screened.(3) 49.);
+  Alcotest.(check bool) "far slot still pruned" true
+    (Float.equal screened.(1) infinity)
+
 (* Screened policy runs agree with unscreened ones end to end: the AO
    m-sweep under a sparse screening context returns the same schedule
    and peak as with screening disabled. *)
@@ -319,6 +338,8 @@ let () =
         [
           Alcotest.test_case "always-indices survive" `Quick
             test_screen_always_survives;
+          Alcotest.test_case "NaN ROM score survives to exact tier" `Quick
+            test_screen_nan_score_survives;
           Alcotest.test_case "screened AO = unscreened AO" `Quick
             test_screened_ao_matches_unscreened;
         ] );
