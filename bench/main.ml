@@ -370,6 +370,25 @@ let tests () =
               (Runtime.Governor.simulate p3g
                  (Runtime.Governor.Threshold { guard = 2. })
                  ~duration:1. ()))));
+    (* Epoch-loop throughput on the dense modal plant: 50 epochs of the
+       hysteresis controller, sensing and stepping included. *)
+    (let ev3 =
+       Core.Eval.create ~cache_size:0
+         (Workload.Configs.platform ~cores:3 ~levels:5 ~t_max:65.)
+     and cfg = { Runtime.Loop.default with Runtime.Loop.duration = 1. } in
+     Test.make ~name:"ext/epoch-loop-3x3"
+       (Staged.stage (fun () ->
+            ignore (Runtime.Loop.run ~config:cfg ev3 (Runtime.Controllers.threshold ())))));
+    (* Same loop on the 8x8 sparse-Krylov plant: what one control epoch
+       costs when the plant is a 64-core sheet. *)
+    (let ev64 =
+       Core.Eval.create ~cache_size:0 ~backend:Core.Eval.Sparse
+         (Core.Platform.sheet ~rows:8 ~cols:8 ~levels:(Power.Vf.table_iv 5)
+            ~t_max:80. ())
+     and cfg = { Runtime.Loop.default with Runtime.Loop.duration = 0.2 } in
+     Test.make ~name:"ext/epoch-loop-8x8"
+       (Staged.stage (fun () ->
+            ignore (Runtime.Loop.run ~config:cfg ev64 (Runtime.Controllers.threshold ())))));
   ]
 
 let run_bechamel ?(only = []) () =

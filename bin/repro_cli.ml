@@ -24,6 +24,7 @@ type ctx = {
   seed : int;  (** Random seed for generated schedules (figs. 4/5). *)
   m_max : int;  (** Largest oscillation count for the Fig. 5 sweep. *)
   t_max : float;  (** Temperature threshold for the Fig. 6 sweep. *)
+  duration : float;  (** Simulated seconds per cell of the race. *)
   csv_dir : string option;
   svg_dir : string option;
 }
@@ -212,6 +213,16 @@ let experiments =
           Experiments.Exp_pareto.print r;
           csv ctx "pareto_frontier.csv" (fun path -> Experiments.Exp_pareto.to_csv path r);
           svg ctx "pareto.svg" (fun () -> Experiments.Exp_pareto.to_svg r));
+    };
+    {
+      name = "race";
+      doc = "Online controllers vs offline schedules across sensing scenarios";
+      run =
+        (fun ctx ->
+          let r = Experiments.Exp_race.run ~duration:ctx.duration ~seed:ctx.seed () in
+          Experiments.Exp_race.print r;
+          csv ctx "race.csv" (fun path -> Experiments.Exp_race.to_csv path r);
+          svg ctx "race_throughput.svg" (fun () -> Experiments.Exp_race.to_svg r));
     };
     {
       name = "stacking3d";
@@ -620,6 +631,12 @@ let ctx_term =
       & info [ "t-max" ] ~docv:"CELSIUS"
           ~doc:"Peak-temperature threshold (degrees C) for the Fig. 6 sweep.")
   in
+  let duration =
+    Arg.(
+      value & opt float 6.
+      & info [ "duration" ] ~docv:"SECONDS"
+          ~doc:"Simulated seconds per cell of the $(b,race) experiment.")
+  in
   let csv_dir =
     Arg.(
       value
@@ -634,10 +651,10 @@ let ctx_term =
       & info [ "svg-dir" ] ~docv:"DIR"
           ~doc:"Also render the experiment's figure as SVG into $(docv).")
   in
-  let make step seed m_max t_max csv_dir svg_dir =
-    { step; seed; m_max; t_max; csv_dir; svg_dir }
+  let make step seed m_max t_max duration csv_dir svg_dir =
+    { step; seed; m_max; t_max; duration; csv_dir; svg_dir }
   in
-  Term.(const make $ step $ seed $ m_max $ t_max $ csv_dir $ svg_dir)
+  Term.(const make $ step $ seed $ m_max $ t_max $ duration $ csv_dir $ svg_dir)
 
 let () =
   let cmd_of_experiment e =

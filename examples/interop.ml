@@ -45,21 +45,24 @@ let () =
   let temps = Thermal.Ptrace.replay model trace ~interval:0.02 ~column_map:map in
   Printf.printf "replay: peak %.2f C over %.1fs\n" (Thermal.Trace.peak temps) 4.0;
 
-  (* 4. observer vs noisy sensors over the same replay. *)
-  let obs = Runtime.Observer.create model ~dt:0.02 ~gain:0.3 in
+  (* 4. observer vs noisy sensors over the same replay (the observer
+     runs on the backend seam, so the same code serves the sparse
+     plants). *)
+  let b = Thermal.Backend.of_model model in
+  let obs = Runtime.Observer.create b ~dt:0.02 ~gain:0.3 in
   let gaussian sigma =
     let u1 = Float.max 1e-12 (Random.State.float rng 1.) in
     sigma *. sqrt (-2. *. Float.log u1)
     *. Float.cos (2. *. Float.pi *. Random.State.float rng 1.)
   in
-  let truth = ref (Linalg.Vec.zeros (Thermal.Model.n_nodes model)) in
+  let truth = ref (b.Thermal.Backend.ambient_state ()) in
   let est = ref (Runtime.Observer.initial obs) in
   let raw = ref 0. and filtered = ref 0. and count = ref 0 in
   Array.iter
     (fun row ->
       let psi = Array.map (fun c -> row.(c)) map in
-      truth := Thermal.Model.step model ~dt:0.02 ~theta:!truth ~psi;
-      let true_temps = Thermal.Model.core_temps_of_theta model !truth in
+      truth := b.Thermal.Backend.step ~dt:0.02 ~state:!truth ~psi;
+      let true_temps = b.Thermal.Backend.core_temps !truth in
       let measured = Array.map (fun t -> t +. gaussian 1.0) true_temps in
       est := Runtime.Observer.update obs ~estimate:!est ~psi ~measured;
       let est_temps = Runtime.Observer.core_estimates obs !est in

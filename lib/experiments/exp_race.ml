@@ -1,0 +1,158 @@
+(* The race: every registered online controller against the offline
+   schedules, across sensing/workload scenarios, on one shared eval.
+
+   Scenarios stress exactly what separates closed-loop from open-loop
+   control: multiplicative power noise (the plant runs hotter/cooler
+   than any plan), Markov workload phases (demand the offline solve
+   never saw), and coarse noisy sensors (how much decision quality
+   survives a 2 C quantizer, with an observer filtering both noisy
+   scenarios).  One eval context is shared across every cell, so the
+   offline and receding-horizon AO arms replay each other's searches
+   from the memo tables. *)
+
+type cell = {
+  controller : string;
+  scenario : string;
+  stats : Runtime.Loop.stats;
+}
+
+type result = {
+  cells : cell list;
+  controllers : string list;
+  scenarios : string list;
+  duration : float;
+  backend : string;
+  cores : int;
+}
+
+let scenarios ~seed ~duration =
+  let base = { Runtime.Loop.default with Runtime.Loop.seed; duration } in
+  [
+    ("clean", base);
+    ( "noisy-power",
+      {
+        base with
+        Runtime.Loop.power_noise = 0.10;
+        sensor_noise = 0.5;
+        observer_gain = Some 0.3;
+      } );
+    ("phases", { base with Runtime.Loop.phases = Some Workload.Phases.default_phases });
+    ( "quantized",
+      {
+        base with
+        Runtime.Loop.sensor_noise = 1.0;
+        sensor_quant = 2.0;
+        observer_gain = Some 0.3;
+      } );
+  ]
+
+let run ?(cores = 3) ?(levels = 5) ?(t_max = 65.) ?(duration = 6.) ?(seed = 42)
+    ?(backend = Core.Eval.Dense) () =
+  let platform = Workload.Configs.platform ~cores ~levels ~t_max in
+  let eval = Core.Eval.create ~backend platform in
+  let controllers = Runtime.Controllers.all () in
+  let scen = scenarios ~seed ~duration in
+  let cells =
+    List.concat_map
+      (fun (c : Runtime.Controller.t) ->
+        List.map
+          (fun (sname, config) ->
+            {
+              controller = c.Runtime.Controller.name;
+              scenario = sname;
+              stats = Runtime.Loop.run ~config eval c;
+            })
+          scen)
+      controllers
+  in
+  {
+    cells;
+    controllers = List.map (fun (c : Runtime.Controller.t) -> c.Runtime.Controller.name) controllers;
+    scenarios = List.map fst scen;
+    duration;
+    backend = (Core.Eval.backend eval).Thermal.Backend.name;
+    cores;
+  }
+
+let find r ~controller ~scenario =
+  List.find
+    (fun c -> String.equal c.controller controller && String.equal c.scenario scenario)
+    r.cells
+
+let print r =
+  Exp_common.section
+    (Printf.sprintf
+       "Controller race: %d cores, %s plant, %.1f s per cell (throughput / peak C / violations)"
+       r.cores r.backend r.duration);
+  let t = Util.Table.create ("controller" :: r.scenarios) in
+  List.iter
+    (fun ctl ->
+      Util.Table.add_row t
+        (ctl
+        :: List.map
+             (fun s ->
+               let c = find r ~controller:ctl ~scenario:s in
+               Printf.sprintf "%.3f / %.1f / %d" c.stats.Runtime.Loop.throughput
+                 c.stats.Runtime.Loop.peak c.stats.Runtime.Loop.violations)
+             r.scenarios))
+    r.controllers;
+  Util.Table.print t
+
+let to_csv path r =
+  Util.Csv.write_labelled path
+    ~header:
+      [ "controller/scenario"; "throughput"; "peak"; "mean_temp"; "violations"; "switches"; "epochs" ]
+    (List.map
+       (fun c ->
+         ( c.controller ^ "/" ^ c.scenario,
+           [
+             c.stats.Runtime.Loop.throughput;
+             c.stats.Runtime.Loop.peak;
+             c.stats.Runtime.Loop.mean_temp;
+             float_of_int c.stats.Runtime.Loop.violations;
+             float_of_int c.stats.Runtime.Loop.switches;
+             float_of_int c.stats.Runtime.Loop.epochs;
+           ] ))
+       r.cells)
+
+let to_svg r =
+  let xs = List.mapi (fun i s -> (float_of_int i, s)) r.scenarios in
+  Util.Svg_plot.line_chart
+    ~title:
+      (Printf.sprintf "Controller race: throughput by scenario (%d cores, %s)"
+         r.cores r.backend)
+    ~x_label:
+      (Printf.sprintf "scenario (%s)"
+         (String.concat ", " (List.map (fun (i, s) -> Printf.sprintf "%g=%s" i s) xs)))
+    ~y_label:"throughput"
+    (List.map
+       (fun ctl ->
+         {
+           Util.Svg_plot.label = ctl;
+           points =
+             List.map
+               (fun (x, s) ->
+                 (x, (find r ~controller:ctl ~scenario:s).stats.Runtime.Loop.throughput))
+               xs;
+         })
+       r.controllers)
+
+let markdown r =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b ("| controller | " ^ String.concat " | " r.scenarios ^ " |\n");
+  Buffer.add_string b
+    ("|---|" ^ String.concat "|" (List.map (fun _ -> "---") r.scenarios) ^ "|\n");
+  List.iter
+    (fun ctl ->
+      Buffer.add_string b (Printf.sprintf "| `%s` |" ctl);
+      List.iter
+        (fun s ->
+          let c = find r ~controller:ctl ~scenario:s in
+          Buffer.add_string b
+            (Printf.sprintf " %.3f (%.1f C, %d viol) |"
+               c.stats.Runtime.Loop.throughput c.stats.Runtime.Loop.peak
+               c.stats.Runtime.Loop.violations))
+        r.scenarios;
+      Buffer.add_char b '\n')
+    r.controllers;
+  Buffer.contents b

@@ -1,0 +1,59 @@
+(** The controller race: every registered online controller
+    ({!Runtime.Controllers.all}) across sensing/workload scenarios on a
+    shared evaluation context — the online-versus-offline comparison
+    the offline policy tables cannot make.
+
+    Four scenarios: [clean] (perfect sensors, steady full load),
+    [noisy-power] (10% multiplicative power noise + 0.5 C sensor noise,
+    observer-filtered), [phases] (Markov workload phases), [quantized]
+    (1 C sensor noise snapped to a 2 C grid, observer-filtered). *)
+
+type cell = {
+  controller : string;
+  scenario : string;
+  stats : Runtime.Loop.stats;
+}
+
+type result = {
+  cells : cell list;  (** One per controller x scenario. *)
+  controllers : string list;  (** Registry order. *)
+  scenarios : string list;  (** Run order. *)
+  duration : float;  (** Simulated seconds per cell. *)
+  backend : string;  (** Plant backend name. *)
+  cores : int;
+}
+
+(** [scenarios ~seed ~duration] is the named scenario list and its loop
+    configurations. *)
+val scenarios : seed:int -> duration:float -> (string * Runtime.Loop.config) list
+
+(** [run ?cores ?levels ?t_max ?duration ?seed ?backend ()] races every
+    registered controller through every scenario (defaults: 3 cores, 5
+    levels, [t_max] 65 C, 6 s per cell, seed 42, dense plant).
+    Deterministic under a fixed seed at any pool size. *)
+val run :
+  ?cores:int ->
+  ?levels:int ->
+  ?t_max:float ->
+  ?duration:float ->
+  ?seed:int ->
+  ?backend:Core.Eval.backend_kind ->
+  unit ->
+  result
+
+(** [find r ~controller ~scenario] is the matching cell.
+    @raise Not_found when absent. *)
+val find : result -> controller:string -> scenario:string -> cell
+
+(** [print r] renders the throughput/peak/violations table. *)
+val print : result -> unit
+
+(** [to_csv path r] dumps one labelled row per cell. *)
+val to_csv : string -> result -> unit
+
+(** [to_svg r] is a throughput-by-scenario line chart, one series per
+    controller. *)
+val to_svg : result -> string
+
+(** [markdown r] is the README comparison table. *)
+val markdown : result -> string

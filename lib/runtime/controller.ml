@@ -1,0 +1,22 @@
+type env = {
+  platform : Core.Platform.t;
+  levels : float array;
+  dt : float;
+  eval : Core.Eval.t;
+}
+
+type observed = {
+  epoch : int;
+  time : float;
+  temps : Linalg.Vec.t;
+  utilization : float array;
+}
+
+type decide = observed -> int array -> unit
+
+type t = { name : string; doc : string; init : env -> decide }
+
+let level_down levels v =
+  let idx = ref 0 in
+  Array.iteri (fun k lv -> if lv <= v +. 1e-12 then idx := k) levels;
+  !idx

@@ -1,0 +1,52 @@
+(** First-class online DVFS controllers — the reactive counterpart of
+    {!Core.Solver}.
+
+    A controller is a name, a one-line doc string and an [init]
+    function: given the static environment (platform, voltage grid,
+    control interval, shared evaluation context) it returns a [decide]
+    closure holding whatever mutable state the policy needs — PI
+    integrators, adaptive gains, a cached offline schedule, a
+    receding-horizon plan.  Every control interval {!Loop} calls
+    [decide] with the observed epoch state and the closure rewrites the
+    per-core level indices in place.
+
+    The design mirrors {!Core.Solver}/{!Core.Registry}: policies are
+    values, {!Controllers.all} is the registry, and model-based
+    controllers price candidates through the same memoized {!Core.Eval}
+    the offline solvers use — so an online policy re-solving AO each
+    horizon replays the offline search from cache. *)
+
+type env = {
+  platform : Core.Platform.t;
+  levels : float array;
+      (** The platform's discrete voltage grid, ascending. *)
+  dt : float;  (** Control interval, seconds. *)
+  eval : Core.Eval.t;
+      (** Shared evaluation context; its backend is also the plant the
+          loop simulates against. *)
+}
+
+type observed = {
+  epoch : int;
+      (** Index of the epoch being decided (0 for the initial decision
+          from the ambient state). *)
+  time : float;  (** Start time of the epoch being decided, seconds. *)
+  temps : Linalg.Vec.t;
+      (** Sensed absolute core temperatures — noisy, quantized and/or
+          observer-filtered per the loop's sensor model.  Read-only. *)
+  utilization : float array;
+      (** Per-core utilization measured over the previous epoch, in
+          [0, 1] (all ones before the first epoch).  Read-only. *)
+}
+
+type decide = observed -> int array -> unit
+(** [decide obs level] rewrites [level] — the per-core level indices
+    currently commanded — into the command for the next epoch.  The
+    loop clamps indices to the platform grid afterwards. *)
+
+type t = { name : string; doc : string; init : env -> decide }
+
+(** [level_down levels v] is the index of the fastest grid level with
+    voltage [<= v + 1e-12] ([0] when even the lowest level exceeds [v])
+    — the shared continuous-command quantizer. *)
+val level_down : float array -> float -> int

@@ -1,0 +1,85 @@
+(** The online-controller registry — reactive classics, offline-replay
+    adapters and model-predictive arms, all as first-class
+    {!Controller.t} values ({!Core.Registry}'s counterpart for the
+    closed-loop world).
+
+    {!all} is what the [race] experiment and the CLI iterate; the
+    constructors below expose the tuning knobs.  Every controller is
+    deterministic given its observations, so a {!Loop} run is
+    reproducible under a fixed seed at any pool size. *)
+
+(** [threshold ?guard ()] steps each core down within [guard] degrees of
+    [T_max] and back up below [2 * guard] (ondemand-style hysteresis;
+    default guard 2 C).  Raises [Invalid_argument] on a non-positive
+    guard. *)
+val threshold : ?guard:float -> unit -> Controller.t
+
+(** [pid ?kp ?ki ?guard ()] drives one chip-wide continuous voltage
+    command from a PI law on the hottest sensor's distance to
+    [T_max - guard], quantized down to the grid (defaults
+    [kp = 0.05], [ki = 0.005], [guard = 1]). *)
+val pid : ?kp:float -> ?ki:float -> ?guard:float -> unit -> Controller.t
+
+(** [static fixed] holds the per-core level indices [fixed] forever.
+    Arity and range are validated against the bound platform when the
+    loop initializes the controller — [Invalid_argument] with a clear
+    message instead of an [Array.blit] bounds error mid-run. *)
+val static : int array -> Controller.t
+
+(** [integral ?guard ?gain ?gain_min ?gain_max ()] is per-core
+    adjustable-gain integral control (Rao et al.): each core integrates
+    its error toward [T_max - guard] with a gain that grows 1.5x while
+    the error sign persists and halves when it flips, clamped to
+    [[gain_min, gain_max]] (defaults 0.02 in [0.002, 0.2] V/K,
+    guard 1 C). *)
+val integral :
+  ?guard:float -> ?gain:float -> ?gain_min:float -> ?gain_max:float -> unit ->
+  Controller.t
+
+(** [tsp ?guard ()] tracks the thermal-safe power budget
+    ({!Core.Tsp.solve}, solved once at init through the shared eval):
+    each epoch every core picks the fastest level whose
+    utilization-scaled power fits the uniform budget, shedding one
+    level when its sensor is within [guard] (default 0.5 C) of
+    [T_max]. *)
+val tsp : ?guard:float -> unit -> Controller.t
+
+(** [offline ?name policy] replays any {!Core.Solver} outcome open-loop:
+    the policy is solved once at init on the shared eval; schedules are
+    sampled mid-epoch (switch points on the control grid replay
+    exactly; finer schedules alias), constant assignments are quantized
+    once and held. *)
+val offline : ?name:string -> Core.Solver.t -> Controller.t
+
+(** [offline_schedule ?name s] replays a fixed schedule [s] open-loop,
+    bypassing any solve — the parity-test harness.  Raises
+    [Invalid_argument] at init when [s]'s arity differs from the
+    platform's. *)
+val offline_schedule : ?name:string -> Sched.Schedule.t -> Controller.t
+
+(** [offline_ao ()] replays an epoch-aligned AO solve (base period of
+    40 control intervals, m capped at 8, so every mini-period spans at
+    least 5 epochs) — the registered offline arm of the race. *)
+val offline_ao : unit -> Controller.t
+
+(** [rh_ao ?resolve_every ?ratio_gain ()] is receding-horizon AO:
+    re-solve the epoch-aligned AO plan every [resolve_every] epochs
+    (default 50) through the shared eval — a cache replay after the
+    first solve — and each epoch trim every core's duty ratio by
+    [ratio_gain] (default 0.05 per kelvin) times the observed-minus-
+    predicted end-of-period temperature error. *)
+val rh_ao : ?resolve_every:int -> ?ratio_gain:float -> unit -> Controller.t
+
+(** [all ()] is the registered race line-up: [threshold], [pid],
+    [integral], [tsp], [offline-ao], [rh-ao] (fresh closures each
+    call — controllers carry mutable state once initialized). *)
+val all : unit -> Controller.t list
+
+(** [names ()] lists the registered controller names, registry order. *)
+val names : unit -> string list
+
+(** [find name] / [find_exn name] look a registered controller up by
+    name; [find_exn] raises [Invalid_argument] naming the known set. *)
+val find : string -> Controller.t option
+
+val find_exn : string -> Controller.t

@@ -11,120 +11,31 @@ type stats = {
   samples : int;
 }
 
-(* Box-Muller Gaussian sample. *)
-let gaussian rng sigma =
-  if sigma <= 0. then 0.
-  else
-    let u1 = Float.max 1e-12 (Random.State.float rng 1.) in
-    let u2 = Random.State.float rng 1. in
-    sigma *. sqrt (-2. *. Float.log u1) *. Float.cos (2. *. Float.pi *. u2)
-
-type controller_state = { mutable integral : float }
-
-let decide (p : Core.Platform.t) policy state ~levels ~level ~sensed =
-  let top = Array.length levels - 1 in
-  match policy with
-  | Static fixed -> Array.blit fixed 0 level 0 (Array.length fixed)
-  | Threshold { guard } ->
-      Array.iteri
-        (fun i t ->
-          if t > p.Core.Platform.t_max -. guard && level.(i) > 0 then
-            level.(i) <- level.(i) - 1
-          else if t < p.Core.Platform.t_max -. (2. *. guard) && level.(i) < top then
-            level.(i) <- level.(i) + 1)
-        sensed
-  | Pid { kp; ki; guard } ->
-      (* Chip-wide PI on the hottest sensor; the command is a continuous
-         voltage quantized down to the grid. *)
-      let hottest = Array.fold_left Float.max neg_infinity sensed in
-      let error = p.Core.Platform.t_max -. guard -. hottest in
-      state.integral <- state.integral +. error;
-      let v_cmd =
-        Power.Vf.lowest p.Core.Platform.levels
-        +. (kp *. error) +. (ki *. state.integral)
-      in
-      let v =
-        Float.max (Power.Vf.lowest p.Core.Platform.levels)
-          (Float.min (Power.Vf.highest p.Core.Platform.levels) v_cmd)
-      in
-      let quantized = Power.Vf.round_down p.Core.Platform.levels v in
-      let idx =
-        let found = ref 0 in
-        Array.iteri (fun k lv -> if Float.abs (lv -. quantized) < 1e-12 then found := k) levels;
-        !found
-      in
-      Array.fill level 0 (Array.length level) idx
-
 let simulate (p : Core.Platform.t) policy ?(control_interval = 20e-3) ?(duration = 8.)
     ?(sensor_noise = 0.) ?(use_observer = false) ?(substeps = 8) ?(seed = 0) () =
-  if control_interval <= 0. then invalid_arg "Governor.simulate: non-positive interval";
-  if duration <= 0. then invalid_arg "Governor.simulate: non-positive duration";
-  if sensor_noise < 0. then invalid_arg "Governor.simulate: negative sensor noise";
-  if substeps < 1 then invalid_arg "Governor.simulate: substeps < 1";
-  let model = p.Core.Platform.model in
-  let pm = p.Core.Platform.power in
-  let levels = Power.Vf.levels p.Core.Platform.levels in
-  let top = Array.length levels - 1 in
-  let n = Core.Platform.n_cores p in
-  (match policy with
-  | Static fixed ->
-      if Array.length fixed <> n then
-        invalid_arg "Governor.simulate: static assignment arity mismatch";
-      Array.iter
-        (fun l ->
-          if l < 0 || l > top then
-            invalid_arg "Governor.simulate: static level index out of range")
-        fixed
-  | Threshold _ | Pid _ -> ());
-  let rng = Random.State.make [| seed |] in
-  let level = Array.make n top in
-  let state = { integral = 0. } in
-  let observer =
-    if use_observer then Some (Observer.create model ~dt:control_interval ~gain:0.3)
-    else None
+  let controller =
+    match policy with
+    | Threshold { guard } -> Controllers.threshold ~guard ()
+    | Pid { kp; ki; guard } -> Controllers.pid ~kp ~ki ~guard ()
+    | Static fixed -> Controllers.static fixed
   in
-  let estimate =
-    ref (match observer with Some o -> Observer.initial o | None -> [||])
+  let eval = Core.Eval.create p in
+  let config =
+    {
+      Loop.default with
+      Loop.control_interval;
+      duration;
+      substeps;
+      seed;
+      sensor_noise;
+      observer_gain = (if use_observer then Some 0.2 else None);
+    }
   in
-  (* The plant is simulated in modal coordinates: one z_inf solve per
-     control decision (the power is constant inside an interval) and an
-     O(n) diagonal scale per substep, instead of a propagator lookup and
-     matvec per substep.  Model.step remains the reference path; the
-     observer still runs on it. *)
-  let eng = Thermal.Modal.make model in
-  let z = ref (Thermal.Modal.ambient_state eng) in
-  let sub_dt = control_interval /. float_of_int substeps in
-  let work = ref 0. and peak = ref neg_infinity in
-  let violations = ref 0 and switches = ref 0 in
-  let steps = int_of_float (Float.round (duration /. control_interval)) in
-  for _ = 1 to steps do
-    let voltages = Array.map (fun l -> levels.(l)) level in
-    let psi = Power.Power_model.psi_vector pm voltages in
-    let seg = Thermal.Modal.segment eng ~duration:sub_dt ~psi in
-    for _ = 1 to substeps do
-      z := Thermal.Modal.advance seg !z;
-      let t = Thermal.Modal.max_core_temp eng !z in
-      peak := Float.max !peak t;
-      if t > p.Core.Platform.t_max +. 1e-9 then incr violations
-    done;
-    work := !work +. (Array.fold_left ( +. ) 0. voltages *. control_interval);
-    let temps = Thermal.Modal.core_temps eng !z in
-    let measured = Array.map (fun t -> t +. gaussian rng sensor_noise) temps in
-    let sensed =
-      match observer with
-      | None -> measured
-      | Some o ->
-          estimate := Observer.update o ~estimate:!estimate ~psi ~measured;
-          Observer.core_estimates o !estimate
-    in
-    let before = Array.copy level in
-    decide p policy state ~levels ~level ~sensed;
-    Array.iteri (fun i l -> if l <> before.(i) then incr switches) level
-  done;
+  let s = Loop.run ~config eval controller in
   {
-    throughput = !work /. (duration *. float_of_int n);
-    peak = !peak;
-    violations = !violations;
-    switches = !switches;
-    samples = steps;
+    throughput = s.Loop.throughput;
+    peak = s.Loop.peak;
+    violations = s.Loop.violations;
+    switches = s.Loop.switches;
+    samples = s.Loop.epochs;
   }

@@ -6,9 +6,14 @@
     module makes that comparison executable.  A governor is a sampled
     controller: every [control_interval] it reads (possibly noisy) core
     temperatures and picks each core's DVFS level; between samples the
-    continuous dynamics run exactly (LTI stepping on the
-    {!Thermal.Modal} engine — O(n) per substep), so overshoot in the
-    controller's blind spot is measured honestly.
+    continuous dynamics run exactly, so overshoot in the controller's
+    blind spot is measured honestly.
+
+    This is the legacy single-call facade: the three policies are
+    {!Controllers} entries run through the generic {!Loop} simulator on
+    a dense-backend {!Core.Eval} context.  New code should use
+    {!Controller}/{!Controllers}/{!Loop} directly — more policies,
+    sparse plants, workload phases, sensor quantization.
 
     Three classic policies are provided:
     - {!Threshold}: per-core hysteresis stepping (ondemand-style) —
@@ -40,8 +45,8 @@ type stats = {
     - [sensor_noise]: standard deviation of Gaussian noise added to each
       sensor read, degrees C (default 0);
     - [use_observer]: filter the noisy sensor reads through a
-      {!Observer} before deciding (default [false]) — the closed-loop
-      payoff of model-based state estimation;
+      {!Observer} (gain 0.2) before deciding (default [false]) — the
+      closed-loop payoff of model-based state estimation;
     - [substeps]: fine integration steps per control interval used to
       measure the true peak (default 8);
     - [seed]: noise RNG seed (default 0).

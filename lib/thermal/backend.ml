@@ -5,6 +5,9 @@ type t = {
   ambient : float;
   ambient_state : unit -> Linalg.Vec.t;
   step : dt:float -> state:Linalg.Vec.t -> psi:Linalg.Vec.t -> Linalg.Vec.t;
+  step_into :
+    dt:float -> state:Linalg.Vec.t -> psi:Linalg.Vec.t -> dst:Linalg.Vec.t -> unit;
+  correct_cores : state:Linalg.Vec.t -> deltas:Linalg.Vec.t -> unit;
   core_temps : Linalg.Vec.t -> Linalg.Vec.t;
   max_core_temp : Linalg.Vec.t -> float;
   steady_core_temps : Linalg.Vec.t -> Linalg.Vec.t;
@@ -17,13 +20,41 @@ type t = {
 
 let of_model model =
   let eng = Modal.make model in
+  let n = Model.n_nodes model in
+  (* Modal images of a +1 K bump at each core node, solved eagerly at
+     wrap time (one matvec per core; [Lazy] is not domain-safe).  Reading
+     the corrected state back through the core rows of W recovers the
+     bump exactly: core_rows . W^{-1} e_node = e_core. *)
+  let core_cols =
+    Array.map
+      (fun node ->
+        let e = Linalg.Vec.zeros n in
+        e.(node) <- 1.;
+        Modal.to_modal eng e)
+      (Model.core_nodes model)
+  in
   {
     name = "dense-modal";
-    n_nodes = Model.n_nodes model;
+    n_nodes = n;
     n_cores = Model.n_cores model;
     ambient = Model.ambient model;
     ambient_state = (fun () -> Modal.ambient_state eng);
     step = (fun ~dt ~state ~psi -> Modal.step eng ~dt ~z:state ~psi);
+    step_into = (fun ~dt ~state ~psi ~dst -> Modal.step_into eng ~dt ~z:state ~psi ~dst);
+    correct_cores =
+      (fun ~state ~deltas ->
+        if Linalg.Vec.dim deltas <> Array.length core_cols then
+          invalid_arg "Backend.correct_cores: deltas arity differs from core count";
+        if Linalg.Vec.dim state <> n then
+          invalid_arg "Backend.correct_cores: state arity mismatch";
+        Array.iteri
+          (fun k col ->
+            let d = deltas.(k) in
+            if not (Float.equal d 0.) then
+              for j = 0 to n - 1 do
+                state.(j) <- state.(j) +. (d *. col.(j))
+              done)
+          core_cols);
     core_temps = Modal.core_temps eng;
     max_core_temp = Modal.max_core_temp eng;
     steady_core_temps = (fun psi -> Modal.core_temps eng (Modal.z_inf eng psi));
@@ -46,6 +77,11 @@ let of_sparse eng =
     ambient = Sparse_model.ambient eng;
     ambient_state = (fun () -> Sparse_model.ambient_state eng);
     step = Sparse_model.step eng;
+    step_into =
+      (fun ~dt ~state ~psi ~dst ->
+        let next = Sparse_model.step eng ~dt ~state ~psi in
+        Array.blit next 0 dst 0 (Sparse_model.n_nodes eng));
+    correct_cores = (fun ~state ~deltas -> Sparse_model.correct_cores eng ~state ~deltas);
     core_temps = Sparse_model.core_temps eng;
     max_core_temp = Sparse_model.max_core_temp eng;
     steady_core_temps = Sparse_model.steady_core_temps eng;
@@ -69,6 +105,11 @@ let of_response resp =
     ambient = Sparse_response.ambient resp;
     ambient_state = (fun () -> Sparse_model.ambient_state eng);
     step = Sparse_response.step resp;
+    step_into =
+      (fun ~dt ~state ~psi ~dst ->
+        let next = Sparse_response.step resp ~dt ~state ~psi in
+        Array.blit next 0 dst 0 (Sparse_model.n_nodes eng));
+    correct_cores = (fun ~state ~deltas -> Sparse_model.correct_cores eng ~state ~deltas);
     core_temps = Sparse_model.core_temps eng;
     max_core_temp = Sparse_model.max_core_temp eng;
     steady_core_temps = Sparse_response.steady_core_temps resp;

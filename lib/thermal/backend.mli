@@ -25,6 +25,18 @@ type t = {
   ambient_state : unit -> Linalg.Vec.t;  (** The all-ambient state. *)
   step : dt:float -> state:Linalg.Vec.t -> psi:Linalg.Vec.t -> Linalg.Vec.t;
       (** Exact LTI advance under constant per-core powers. *)
+  step_into :
+    dt:float -> state:Linalg.Vec.t -> psi:Linalg.Vec.t -> dst:Linalg.Vec.t -> unit;
+      (** {!field:step} writing into a caller-owned buffer [dst] (same
+          length as [state], physically distinct from it) — the epoch
+          loop's ping-pong hook.  Allocation-free on the dense backend;
+          the sparse backends fall back to [step] plus a blit. *)
+  correct_cores : state:Linalg.Vec.t -> deltas:Linalg.Vec.t -> unit;
+      (** In-place measured-state correction: add [deltas.(k)] kelvin to
+          core [k]'s temperature reading, mapped into the backend's
+          opaque state coordinates; off-core nodes are untouched.  The
+          restart hook observers correct estimates through — the only
+          way to edit a state without knowing its coordinate system. *)
   core_temps : Linalg.Vec.t -> Linalg.Vec.t;
       (** Absolute core temperatures of a state. *)
   max_core_temp : Linalg.Vec.t -> float;

@@ -244,6 +244,35 @@ let step t ~dt ~z ~psi =
   let zi = z_inf t psi in
   Array.init t.n (fun j -> zi.(j) +. (exp (t.lambda.(j) *. dt) *. (z.(j) -. zi.(j))))
 
+(* Allocation-free [step]: equilibrium superposed straight into [dst],
+   decay factors amortized through the per-domain duration table (epoch
+   loops step at one fixed dt, so after the first call every factor is a
+   table read).  The tallies flush per call — stepping happens outside
+   the streaming stable-status evaluation, so nothing else will. *)
+let step_into t ~dt ~z ~psi ~dst =
+  if dt < 0. then invalid_arg "Modal.step_into: negative duration";
+  if Vec.dim z <> t.n || Vec.dim dst <> t.n then
+    invalid_arg "Modal.step_into: bad state arity";
+  if z == dst then invalid_arg "Modal.step_into: dst must not alias z";
+  let s = Domain.DLS.get t.scratch_key in
+  let base = decay_row t s dt in
+  z_inf_into t dst psi;
+  let dvals = s.dvals in
+  for j = 0 to t.n - 1 do
+    let zi = Array.unsafe_get dst j in
+    Array.unsafe_set dst j
+      (zi
+      +. (Array.unsafe_get dvals (base + j) *. (Array.unsafe_get z j -. zi)))
+  done;
+  if s.tally_hits <> 0 then begin
+    ignore (Atomic.fetch_and_add t.exp_hits s.tally_hits);
+    s.tally_hits <- 0
+  end;
+  if s.tally_misses <> 0 then begin
+    ignore (Atomic.fetch_and_add t.exp_misses s.tally_misses);
+    s.tally_misses <- 0
+  end
+
 let core_temps t z =
   if Vec.dim z <> t.n then invalid_arg "Modal.core_temps: bad state arity";
   let temps = Mat.matvec t.core_rows z in

@@ -104,6 +104,16 @@ val decay_gain : t -> float -> Linalg.Vec.t * Linalg.Vec.t
     {!segment}/{!advance} when the same [(dt, psi)] recurs. *)
 val step : t -> dt:float -> z:Linalg.Vec.t -> psi:Linalg.Vec.t -> Linalg.Vec.t
 
+(** [step_into t ~dt ~z ~psi ~dst] writes {!step}'s result into [dst]
+    without allocating: the equilibrium superposes straight into [dst]
+    and the decay factors amortize through the per-domain duration
+    table, so a control loop stepping at one fixed [dt] pays [n]
+    multiply-adds per call.  Bit-identical to {!step}.  Raises
+    [Invalid_argument] when [dst] aliases [z], on arity mismatches, or
+    on a negative [dt]. *)
+val step_into :
+  t -> dt:float -> z:Linalg.Vec.t -> psi:Linalg.Vec.t -> dst:Linalg.Vec.t -> unit
+
 (** [core_temps t z] are the absolute core temperatures of modal state
     [z], read through the precomputed core rows of [W] — O(n_cores * n),
     no full basis transform. *)

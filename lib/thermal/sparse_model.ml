@@ -145,6 +145,19 @@ let step t ~dt ~state ~psi =
   if Vec.dim state <> t.n then invalid_arg "Sparse_model.step: state arity mismatch";
   advance t ~dt ~y_inf:(steady_state t psi) state
 
+(* Measured-state correction, in place: core temperatures read
+   c_sqrt_inv(i) * y_i + T_amb, so adding [deltas.(k)] kelvin to core
+   [k]'s reading is y_i += deltas.(k) * c_sqrt(i) at its node.  Off-core
+   nodes are untouched — exactly the Luenberger L = gain * H^T shape. *)
+let correct_cores t ~state ~deltas =
+  if Vec.dim state <> t.n then
+    invalid_arg "Sparse_model.correct_cores: state arity mismatch";
+  if Vec.dim deltas <> n_cores t then
+    invalid_arg "Sparse_model.correct_cores: deltas arity differs from core count";
+  Array.iteri
+    (fun k i -> state.(i) <- state.(i) +. (deltas.(k) *. t.c_sqrt.(i)))
+    t.spec.Spec.core_nodes
+
 let validate t profile =
   (match profile with [] -> invalid_arg "Sparse_model: empty profile" | _ -> ());
   List.iteri

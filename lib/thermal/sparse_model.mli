@@ -82,6 +82,13 @@ val steady_batch : ?pool:Util.Pool.t -> t -> Linalg.Vec.t list -> Linalg.Vec.t l
     under constant powers — one CG solve plus one [expmv]. *)
 val step : t -> dt:float -> state:Linalg.Vec.t -> psi:Linalg.Vec.t -> Linalg.Vec.t
 
+(** [correct_cores t ~state ~deltas] adds [deltas.(k)] kelvin to core
+    [k]'s temperature reading, in place on the symmetrized state
+    ([y_i += deltas.(k) * sqrt(C_i)] at the core's node); off-core nodes
+    are untouched.  The measured-state restart hook observers correct
+    through.  Raises [Invalid_argument] on arity mismatches. *)
+val correct_cores : t -> state:Linalg.Vec.t -> deltas:Linalg.Vec.t -> unit
+
 (** [advance t ~dt ~y_inf y] is the exact LTI advance toward an
     already-known equilibrium: [y_inf + e^{-dt M} (y - y_inf)], one
     [expmv] and no solve.  {!Sparse_response} feeds superposed

@@ -34,6 +34,26 @@ let voltage_for_utilization levels u =
   done;
   !chosen
 
+let sample_utilization rng ~phases ~n_cores ~epochs ~dt =
+  validate_phases phases;
+  if n_cores < 1 then invalid_arg "Phases.sample_utilization: no cores";
+  if epochs < 0 then invalid_arg "Phases.sample_utilization: negative epoch count";
+  if dt <= 0. then invalid_arg "Phases.sample_utilization: non-positive dt";
+  let phase_array = Array.of_list phases in
+  let n_phases = Array.length phase_array in
+  let current = Array.init n_cores (fun _ -> Random.State.int rng n_phases) in
+  let out = Array.make_matrix epochs n_cores 0. in
+  for e = 0 to epochs - 1 do
+    for i = 0 to n_cores - 1 do
+      let p = phase_array.(current.(i)) in
+      out.(e).(i) <- p.utilization;
+      (* Leave the phase with probability dt / mean_dwell. *)
+      if Random.State.float rng 1. < Float.min 1. (dt /. p.mean_dwell) then
+        current.(i) <- Random.State.int rng n_phases
+    done
+  done;
+  out
+
 let generate rng ~phases ~names ~duration ~dt ~power ~levels =
   validate_phases phases;
   if duration <= 0. || dt <= 0. then invalid_arg "Phases.generate: non-positive time";

@@ -36,6 +36,20 @@ val generate :
   levels:Power.Vf.level_set ->
   Thermal.Ptrace.t
 
+(** [sample_utilization rng ~phases ~n_cores ~epochs ~dt] samples the
+    same per-core Markov chains as {!generate} but returns the raw
+    utilizations — [epochs] rows of [n_cores] values in [0, 1] — for
+    callers (the {!Runtime.Loop} epoch simulator) that map utilization
+    to power themselves.  Raises [Invalid_argument] on a bad phase
+    list, no cores, a negative epoch count or non-positive [dt]. *)
+val sample_utilization :
+  Random.State.t ->
+  phases:phase list ->
+  n_cores:int ->
+  epochs:int ->
+  dt:float ->
+  float array array
+
 (** [mean_utilization phases] is the stationary mean utilization of the
     chain (phases weighted by mean dwell). *)
 val mean_utilization : phase list -> float

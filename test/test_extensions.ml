@@ -400,33 +400,37 @@ let test_sprint_infinite_when_sustainable () =
 
 let test_observer_converges_from_wrong_state () =
   (* Plant and observer start apart; with exact measurements the estimate
-     must converge to the true state, including at PASSIVE nodes the
-     sensors never see (use the layered model for those). *)
+     must converge to the true backend state, including the components
+     the sensors never read directly (use the layered model for its
+     passive sink nodes). *)
   let fp = Fp.grid ~rows:1 ~cols:2 ~core_width:4e-3 ~core_height:4e-3 in
   let model = Thermal.Hotspot.layered fp in
+  let b = Thermal.Backend.of_model model in
   (* The layered model's heat sink has a multi-second time constant; the
-     observer only corrects core nodes directly, so give the passive
-     nodes several sink time constants to converge. *)
+     observer only corrects core readings directly, so give the hidden
+     components several sink time constants to converge. *)
   let dt = 0.05 in
-  let obs = Runtime.Observer.create model ~dt ~gain:0.6 in
+  let obs = Runtime.Observer.create b ~dt ~gain:0.6 in
   let psi = [| 15.; 5. |] in
-  let truth = ref (Linalg.Vec.create (Thermal.Model.n_nodes model) 20.) in
+  let truth = ref (b.Thermal.Backend.ambient_state ()) in
+  (* Seed the estimate wrong: both core sensors read 8 K hot. *)
   let est = ref (Runtime.Observer.initial obs) in
+  b.Thermal.Backend.correct_cores ~state:!est ~deltas:[| 8.; 8. |];
   for _ = 1 to 1200 do
-    truth := Thermal.Model.step model ~dt ~theta:!truth ~psi;
-    let measured = Thermal.Model.core_temps_of_theta model !truth in
+    truth := b.Thermal.Backend.step ~dt ~state:!truth ~psi;
+    let measured = b.Thermal.Backend.core_temps !truth in
     est := Runtime.Observer.update obs ~estimate:!est ~psi ~measured
   done;
-  Alcotest.(check bool) "full state recovered (passive nodes too)" true
+  Alcotest.(check bool) "full state recovered (hidden components too)" true
     (Linalg.Vec.dist_inf !truth !est < 0.05)
 
 let test_observer_filters_noise () =
   (* With noisy sensors, the observer's core estimates must track the
      truth more tightly than the raw measurements do. *)
   let fp = Fp.grid ~rows:1 ~cols:3 ~core_width:4e-3 ~core_height:4e-3 in
-  let model = Thermal.Hotspot.core_level fp in
+  let b = Thermal.Backend.of_model (Thermal.Hotspot.core_level fp) in
   let dt = 0.01 in
-  let obs = Runtime.Observer.create model ~dt ~gain:0.25 in
+  let obs = Runtime.Observer.create b ~dt ~gain:0.25 in
   let rng = Random.State.make [| 12 |] in
   let gaussian sigma =
     let u1 = Float.max 1e-12 (Random.State.float rng 1.) in
@@ -434,12 +438,12 @@ let test_observer_filters_noise () =
     sigma *. sqrt (-2. *. Float.log u1) *. Float.cos (2. *. Float.pi *. u2)
   in
   let psi = Power.Power_model.psi_vector pm [| 1.3; 0.6; 1.0 |] in
-  let truth = ref (Linalg.Vec.zeros 3) in
+  let truth = ref (b.Thermal.Backend.ambient_state ()) in
   let est = ref (Runtime.Observer.initial obs) in
   let raw_err = ref 0. and obs_err = ref 0. and samples = ref 0 in
   for step = 1 to 600 do
-    truth := Thermal.Model.step model ~dt ~theta:!truth ~psi;
-    let true_temps = Thermal.Model.core_temps_of_theta model !truth in
+    truth := b.Thermal.Backend.step ~dt ~state:!truth ~psi;
+    let true_temps = b.Thermal.Backend.core_temps !truth in
     let measured = Array.map (fun t -> t +. gaussian 1.5) true_temps in
     est := Runtime.Observer.update obs ~estimate:!est ~psi ~measured;
     if step > 100 then begin
@@ -460,12 +464,12 @@ let test_observer_filters_noise () =
 
 let test_observer_validation () =
   let fp = Fp.grid ~rows:1 ~cols:2 ~core_width:4e-3 ~core_height:4e-3 in
-  let model = Thermal.Hotspot.core_level fp in
+  let b = Thermal.Backend.of_model (Thermal.Hotspot.core_level fp) in
   Alcotest.(check bool) "bad gain rejected" true
-    (match Runtime.Observer.create model ~dt:0.01 ~gain:1.5 with
+    (match Runtime.Observer.create b ~dt:0.01 ~gain:1.5 with
     | exception Invalid_argument _ -> true
     | _ -> false);
-  let obs = Runtime.Observer.create model ~dt:0.01 in
+  let obs = Runtime.Observer.create b ~dt:0.01 in
   Alcotest.(check bool) "measurement arity checked" true
     (match
        Runtime.Observer.update obs ~estimate:(Runtime.Observer.initial obs)
