@@ -333,6 +333,118 @@ let tests () =
      Test.make ~name:"kernel/sparse-response-build-256"
        (Staged.stage (fun () ->
             ignore (Thermal.Sparse_response.build eng256))));
+    (* Prepared-base delta scan at 64 cells (DESIGN.md §14): one TPT
+       adjust-style inner iteration priced the delta way — prepare the
+       base once, score all 64 single-core duty-cycle candidates off
+       it, exact-verify the winner (cache disabled).  Against the
+       kernel/ao-64cell-sparse arms above, this is the per-step cost
+       the delta tier leaves in the policy search. *)
+    (let eng64 =
+       Thermal.Sparse_model.of_spec
+         (Thermal.Grid_model.sheet_spec ~rows:8 ~cols:8 ())
+     in
+     let resp64 = Thermal.Sparse_response.make eng64 in
+     let low = Array.make 64 0.8 and high = Array.make 64 1.3 in
+     let high_ratio =
+       Array.init 64 (fun i -> 0.2 +. (0.6 *. float_of_int (i mod 8) /. 7.))
+     in
+     let cache = Sched.Peak.Cache.create ~max_entries:0 () in
+     Test.make ~name:"kernel/ao-64cell-delta"
+       (Staged.stage (fun () ->
+            Sched.Peak.response_two_mode_delta_base resp64 pm ~period:0.05
+              ~low ~high ~high_ratio;
+            let best = ref 0 and best_pk = ref infinity in
+            for j = 0 to 63 do
+              let pk =
+                Sched.Peak.response_two_mode_delta_peak resp64 pm ~core:j
+                  ~low:low.(j) ~high:high.(j)
+                  ~high_ratio:(Float.max 0. (high_ratio.(j) -. 0.05))
+              in
+              if pk < !best_pk then begin
+                best := j;
+                best_pk := pk
+              end
+            done;
+            let hr = Array.copy high_ratio in
+            hr.(!best) <- Float.max 0. (hr.(!best) -. 0.05);
+            ignore
+              (Sched.Peak.response_of_two_mode_cached cache resp64 pm
+                 ~period:0.05 ~low ~high ~high_ratio:hr))));
+    (* One candidate priced both ways off the same 64-cell response
+       engine: the delta arm scores a single-core duty change against a
+       base prepared at setup; the full arm re-superposes the whole
+       candidate with the cache disabled.  Their ratio is the
+       per-candidate win the prepared base buys. *)
+    (let eng64 =
+       Thermal.Sparse_model.of_spec
+         (Thermal.Grid_model.sheet_spec ~rows:8 ~cols:8 ())
+     in
+     let resp64 = Thermal.Sparse_response.make eng64 in
+     let low = Array.make 64 0.8 and high = Array.make 64 1.3 in
+     let high_ratio =
+       Array.init 64 (fun i -> 0.2 +. (0.6 *. float_of_int (i mod 8) /. 7.))
+     in
+     Sched.Peak.response_two_mode_delta_base resp64 pm ~period:0.05 ~low ~high
+       ~high_ratio;
+     Test.make ~name:"kernel/delta-vs-full-candidate/delta"
+       (Staged.stage (fun () ->
+            ignore
+              (Sched.Peak.response_two_mode_delta_peak resp64 pm ~core:17
+                 ~low:low.(17) ~high:high.(17)
+                 ~high_ratio:(high_ratio.(17) -. 0.05)))));
+    (let eng64 =
+       Thermal.Sparse_model.of_spec
+         (Thermal.Grid_model.sheet_spec ~rows:8 ~cols:8 ())
+     in
+     let resp64 = Thermal.Sparse_response.make eng64 in
+     let low = Array.make 64 0.8 and high = Array.make 64 1.3 in
+     let high_ratio =
+       Array.init 64 (fun i -> 0.2 +. (0.6 *. float_of_int (i mod 8) /. 7.))
+     in
+     let hr2 = Array.copy high_ratio in
+     hr2.(17) <- high_ratio.(17) -. 0.05;
+     let cache = Sched.Peak.Cache.create ~max_entries:0 () in
+     Test.make ~name:"kernel/delta-vs-full-candidate/full"
+       (Staged.stage (fun () ->
+            ignore
+              (Sched.Peak.response_of_two_mode_cached cache resp64 pm
+                 ~period:0.05 ~low ~high ~high_ratio:hr2))));
+    (* The headroom fill at 256 cells through the full Eval/Tpt stack
+       with the delta tier on: candidate scores come off the prepared
+       base, exact solves only for re-verified winners.  [t_max] sits
+       0.3 K above the seed config's peak so every run walks the same
+       short fill trajectory. *)
+    (let n = 256 in
+     let period = 0.05 in
+     let c0 =
+       {
+         Core.Tpt.period;
+         v_low = Array.make n 0.8;
+         v_high = Array.make n 1.3;
+         high_time =
+           Array.init n (fun i ->
+               0.2 *. period *. float_of_int (i mod 4) /. 3.);
+         offset = Array.make n 0.;
+       }
+     in
+     let probe =
+       Core.Platform.sheet ~rows:16 ~cols:16 ~levels:(Power.Vf.table_iv 5)
+         ~t_max:200. ()
+     in
+     let ev_probe =
+       Core.Eval.create ~backend:Core.Eval.Sparse ~cache_size:0 probe
+     in
+     let peak0 = Core.Tpt.peak probe ~eval:ev_probe c0 in
+     let p =
+       Core.Platform.sheet ~rows:16 ~cols:16 ~levels:(Power.Vf.table_iv 5)
+         ~t_max:(peak0 +. 0.3) ()
+     in
+     let ev = Core.Eval.create ~backend:Core.Eval.Sparse ~cache_size:0 p in
+     Test.make ~name:"kernel/fill-headroom-256-delta"
+       (Staged.stage (fun () ->
+            ignore
+              (Core.Tpt.fill_headroom p ~eval:ev ~par:false
+                 ~t_unit:(period /. 4.) ~delta_margin:1.0 c0))));
     (let profile3 = Sched.Peak.profile model3 pm (Sched.Schedule.two_mode ~period:0.1 ~low:[| 0.6; 0.6; 0.6 |] ~high:[| 1.3; 1.3; 1.3 |] ~high_ratio:[| 0.4; 0.5; 0.6 |]) in
      Test.make ~name:"ext/peak-refined-3core"
        (Staged.stage (fun () ->
@@ -346,7 +458,7 @@ let tests () =
        (Staged.stage (fun () ->
             ignore
               (Core.Solver.run
-                 ~params:{ Core.Solver.par = false; demands }
+                 ~params:{ Core.Solver.default_params with Core.Solver.par = false; demands }
                  demand ev))));
     (let demand = Core.Registry.find_exn "demand"
      and ev =
@@ -356,7 +468,7 @@ let tests () =
      Test.make ~name:"ext/demand-3core-par"
        (Staged.stage (fun () ->
             ignore
-              (Core.Solver.run ~params:{ Core.Solver.par = true; demands } demand ev))));
+              (Core.Solver.run ~params:{ Core.Solver.default_params with Core.Solver.par = true; demands } demand ev))));
     (* Fixed cost of one pool round-trip over trivial work: the
        cross-over point below which a sweep should stay sequential. *)
     (let xs = Array.init 64 (fun i -> i) in

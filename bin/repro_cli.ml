@@ -480,7 +480,7 @@ let run_scale ~sizes ~dense_limit ~power_w =
    (memo tables, ROM screening, superposition engine).  "Candidates"
    counts every priced schedule: exact-tier memo lookups plus
    ROM-screened scores. *)
-let run_scale_policy ~name ~sizes ~levels ~t_max ~seq =
+let run_scale_policy ~name ~sizes ~levels ~t_max ~seq ~delta_margin =
   let policy = Core.Registry.find_exn name in
   Printf.printf "%s on the sparse backend — %s\n\n" policy.Core.Solver.name
     policy.Core.Solver.doc;
@@ -488,12 +488,14 @@ let run_scale_policy ~name ~sizes ~levels ~t_max ~seq =
     Util.Table.create
       [
         "grid"; "cores"; "wall (s)"; "cands"; "cand/s"; "cache hit";
-        "screen (scored->exact)"; "response (builds/superpose/solves)";
+        "screen (scored->exact)"; "delta (cached/scored/exact)";
+        "response (builds/superpose/solves)";
       ]
   in
   List.iter
     (fun (rows, cols) ->
       Core.Screen.reset_stats ();
+      Core.Tpt.reset_delta_stats ();
       let platform =
         Core.Platform.sheet ~rows ~cols ~levels:(Power.Vf.table_iv levels)
           ~t_max ()
@@ -502,7 +504,11 @@ let run_scale_policy ~name ~sizes ~levels ~t_max ~seq =
         Core.Eval.create ~backend:Core.Eval.Sparse ~screen_margin:0.5 platform
       in
       let params =
-        { Core.Solver.default_params with Core.Solver.par = not seq }
+        {
+          Core.Solver.default_params with
+          Core.Solver.par = not seq;
+          delta_margin;
+        }
       in
       let o = Core.Solver.run ~params policy ev in
       let stats = Core.Eval.stats ev in
@@ -513,12 +519,19 @@ let run_scale_policy ~name ~sizes ~levels ~t_max ~seq =
         + stats.Core.Eval.stepup.Sched.Peak.Cache.misses
       in
       let scr = Core.Screen.stats () in
-      let cands = lookups + scr.Core.Screen.scored in
+      let dlt = Core.Tpt.delta_stats () in
+      let cands = lookups + scr.Core.Screen.scored + dlt.Core.Tpt.scored in
       let screen_cell =
         if scr.Core.Screen.scored = 0 then "-"
         else
           Printf.sprintf "%d->%d" scr.Core.Screen.scored
             scr.Core.Screen.survivors
+      in
+      let delta_cell =
+        if dlt.Core.Tpt.scored = 0 && dlt.Core.Tpt.cached = 0 then "-"
+        else
+          Printf.sprintf "%d/%d/%d" dlt.Core.Tpt.cached dlt.Core.Tpt.scored
+            dlt.Core.Tpt.exact
       in
       let response_cell =
         match Core.Eval.sparse_response_stats ev with
@@ -540,6 +553,7 @@ let run_scale_policy ~name ~sizes ~levels ~t_max ~seq =
            else "-");
           Printf.sprintf "%.0f%%" (100. *. Core.Eval.hit_rate ev);
           screen_cell;
+          delta_cell;
           response_cell;
         ])
     sizes;
@@ -593,9 +607,20 @@ let scale_cmd =
       & info [ "seq" ]
           ~doc:"With $(b,--policy), run the search sequentially (par = false).")
   in
-  let run sizes dense_limit power_w policy levels t_max seq =
+  let delta_margin_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "delta-margin" ] ~docv:"KELVIN"
+          ~doc:
+            "With $(b,--policy), staleness margin for the TPT loops' \
+             prepared-base delta tier (0 = exact per-core scans).  Winners \
+             are always re-verified exactly; the margin only bounds which \
+             stale candidate scores are re-priced after an accepted step.")
+  in
+  let run sizes dense_limit power_w policy levels t_max seq delta_margin =
     match policy with
-    | Some name -> run_scale_policy ~name ~sizes ~levels ~t_max ~seq
+    | Some name ->
+        run_scale_policy ~name ~sizes ~levels ~t_max ~seq ~delta_margin
     | None -> run_scale ~sizes ~dense_limit ~power_w
   in
   Cmd.v
@@ -605,7 +630,7 @@ let scale_cmd =
           core sheets, or (--policy) a policy-search throughput sweep")
     Term.(
       const run $ sizes_arg $ dense_limit_arg $ power_arg $ policy_arg
-      $ levels_arg $ t_max_arg $ seq_flag)
+      $ levels_arg $ t_max_arg $ seq_flag $ delta_margin_arg)
 
 (* ------------------------------------------------------------ Cmdliner *)
 

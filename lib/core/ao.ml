@@ -48,7 +48,7 @@ let config_for_m (p : Platform.t) ~base_period ~v_low ~v_high ~ratio ?deltas m =
   }
 
 let solve ?eval ?(base_period = 0.1) ?(m_cap = 512) ?t_unit ?(fill = false)
-    ?(adjust = `Greedy) ?(par = true) (p : Platform.t) =
+    ?(adjust = `Greedy) ?(par = true) ?(delta_margin = 0.) (p : Platform.t) =
   let n = Platform.n_cores p in
   let ideal = Ideal.solve p in
   (* Neighbouring modes and the throughput-preserving ratio of Eq. (11). *)
@@ -137,19 +137,23 @@ let solve ?eval ?(base_period = 0.1) ?(m_cap = 512) ?t_unit ?(fill = false)
   let config0 = config_for_m p ~base_period ~v_low ~v_high ~ratio !best_m in
   let config, steps =
     match adjust with
-    | `Greedy -> Tpt.adjust_to_constraint p ?eval ?t_unit ~par config0
+    | `Greedy ->
+        Tpt.adjust_to_constraint p ?eval ?t_unit ~par ~delta_margin config0
     | `Bisection -> Tpt.adjust_by_bisection p ?eval config0
   in
   (* Theorem 1 is only approximate under strong coupling: re-verify with
      the dense evaluator and, if the cheap search undershot, keep
      adjusting against the dense peak (a no-op when already feasible). *)
+  (* The safety pass stays exact: [dense:true] disables the delta tier
+     anyway (its evaluators only price the aligned fused path). *)
   let config, safety_steps =
     if Tpt.peak p ~dense:true config > p.t_max +. 1e-9 then
       Tpt.adjust_to_constraint p ?eval ?t_unit ~dense:true ~par config
     else (config, 0)
   in
   let config, fill_steps =
-    if fill then Tpt.fill_headroom p ?eval ?t_unit ~par config else (config, 0)
+    if fill then Tpt.fill_headroom p ?eval ?t_unit ~par ~delta_margin config
+    else (config, 0)
   in
   let steps = steps + safety_steps in
   Log.debug (fun f -> f "TPT adjustment: %d exchanges (+%d dense)" steps safety_steps);
@@ -176,7 +180,10 @@ let policy =
       (fun ev (prm : Solver.params) ->
         Solver.timed_outcome ev (fun () ->
             let p = Eval.platform ev in
-            let r = solve ~eval:ev ~par:prm.Solver.par p in
+            let r =
+              solve ~eval:ev ~par:prm.Solver.par
+                ~delta_margin:prm.Solver.delta_margin p
+            in
             {
               Solver.voltages = Solver.delivered_speeds p r.schedule;
               schedule = Some r.schedule;

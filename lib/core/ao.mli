@@ -53,6 +53,7 @@ val solve :
   ?fill:bool ->
   ?adjust:[ `Greedy | `Bisection ] ->
   ?par:bool ->
+  ?delta_margin:float ->
   Platform.t ->
   result
 

@@ -134,6 +134,43 @@ let two_mode_end_core_temps t ~period ~low ~high ~high_ratio =
       Sched.Peak.backend_two_mode_end_core_temps (Lazy.force t.backend)
         t.platform.Platform.power ~period ~low ~high ~high_ratio
 
+(* -------------------------------------- prepared-base delta scans *)
+
+(* The delta evaluators are per-domain and uncached by design: delta
+   scores are within Krylov/rounding tolerance of the exact paths but
+   not bit-identical, so they must never enter the exact memo tables.
+   Callers (the TPT loops) re-verify winners through [two_mode_peak]. *)
+
+let two_mode_delta_base t ~period ~low ~high ~high_ratio =
+  match t.kind with
+  | Dense ->
+      Sched.Peak.two_mode_delta_base ~engine:(Lazy.force t.engine)
+        t.platform.Platform.model t.platform.Platform.power ~period ~low ~high
+        ~high_ratio
+  | Sparse ->
+      Sched.Peak.response_two_mode_delta_base (Lazy.force t.response)
+        t.platform.Platform.power ~period ~low ~high ~high_ratio
+
+let two_mode_delta_peak t ~core ~low ~high ~high_ratio =
+  match t.kind with
+  | Dense ->
+      Sched.Peak.two_mode_delta_peak ~engine:(Lazy.force t.engine)
+        t.platform.Platform.model t.platform.Platform.power ~core ~low ~high
+        ~high_ratio
+  | Sparse ->
+      Sched.Peak.response_two_mode_delta_peak (Lazy.force t.response)
+        t.platform.Platform.power ~core ~low ~high ~high_ratio
+
+let two_mode_delta_temp_at t ~at ~core ~low ~high ~high_ratio =
+  match t.kind with
+  | Dense ->
+      Sched.Peak.two_mode_delta_temp_at ~engine:(Lazy.force t.engine)
+        t.platform.Platform.model t.platform.Platform.power ~at ~core ~low
+        ~high ~high_ratio
+  | Sparse ->
+      Sched.Peak.response_two_mode_delta_temp_at (Lazy.force t.response)
+        t.platform.Platform.power ~at ~core ~low ~high ~high_ratio
+
 (* ---------------------------------------------- two-tier screening *)
 
 let screening t =

@@ -128,6 +128,46 @@ val two_mode_end_core_temps :
   high_ratio:float array ->
   Linalg.Vec.t
 
+(** {1 Prepared-base delta scans}
+
+    The TPT-loop per-core scan hot path (DESIGN.md §14): capture the
+    current config's drive once, then price candidates that change a
+    single core's duty cycle without a full re-superposition — O(n) per
+    candidate on the dense engine, O(m · n_cores) on the sparse one.
+    Per-domain state (prepare and evaluate on the same domain) and
+    deliberately uncached: delta scores agree with {!two_mode_peak} to
+    ≤ 1e-9 but are not bit-identical, so they must never enter the
+    exact memo tables — the loops re-verify any winner exactly before
+    acting on it. *)
+
+(** [two_mode_delta_base t ~period ~low ~high ~high_ratio] prepares the
+    base config on this domain, on the context's backend engine. *)
+val two_mode_delta_base :
+  t ->
+  period:float ->
+  low:float array ->
+  high:float array ->
+  high_ratio:float array ->
+  unit
+
+(** [two_mode_delta_peak t ~core ~low ~high ~high_ratio] is the stable
+    end-of-period peak of the candidate equal to the prepared base
+    except core [core] runs at ([low], [high], [high_ratio]). *)
+val two_mode_delta_peak :
+  t -> core:int -> low:float -> high:float -> high_ratio:float -> float
+
+(** [two_mode_delta_temp_at t ~at ~core ~low ~high ~high_ratio] is the
+    same candidate's end-of-period temperature at core [at] — the
+    hottest-core read the adjustment scan scores candidates by. *)
+val two_mode_delta_temp_at :
+  t ->
+  at:int ->
+  core:int ->
+  low:float ->
+  high:float ->
+  high_ratio:float ->
+  float
+
 (** {1 Two-tier ROM screening}
 
     A [Sparse] context carries a Lanczos-reduced screening model

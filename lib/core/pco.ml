@@ -25,10 +25,10 @@ let rom_scan_peak ?eval (p : Platform.t) c =
         (Tpt.schedule_of_config c)
 
 let solve ?eval ?base_period ?m_cap ?t_unit ?(offsets_per_core = 8) ?(rounds = 1)
-    ?(par = true) (p : Platform.t) =
+    ?(par = true) ?(delta_margin = 0.) (p : Platform.t) =
   if offsets_per_core < 1 then invalid_arg "Pco.solve: offsets_per_core < 1";
   if rounds < 1 then invalid_arg "Pco.solve: rounds < 1";
-  let ao = Ao.solve ?eval ?base_period ?m_cap ?t_unit ~par p in
+  let ao = Ao.solve ?eval ?base_period ?m_cap ?t_unit ~par ~delta_margin p in
   (* [eval] is shadowed by the per-candidate closure inside the grid
      loop; keep the context reachable under another name. *)
   let eval_ctx = eval in
@@ -84,7 +84,11 @@ let solve ?eval ?base_period ?m_cap ?t_unit ?(offsets_per_core = 8) ?(rounds = 1
   done;
   (* De-phasing can only have lowered the peak; convert the headroom back
      into throughput. *)
-  let filled, fill_steps = Tpt.fill_headroom p ?eval ?t_unit ~par !config in
+  (* The delta tier only prices aligned configs, so it self-disables
+     here whenever the phase search actually staggered a core. *)
+  let filled, fill_steps =
+    Tpt.fill_headroom p ?eval ?t_unit ~par ~delta_margin !config
+  in
   let schedule = Tpt.schedule_of_config filled in
   {
     config = filled;
@@ -107,7 +111,10 @@ let policy =
       (fun ev (prm : Solver.params) ->
         Solver.timed_outcome ev (fun () ->
             let p = Eval.platform ev in
-            let r = solve ~eval:ev ~par:prm.Solver.par p in
+            let r =
+              solve ~eval:ev ~par:prm.Solver.par
+                ~delta_margin:prm.Solver.delta_margin p
+            in
             {
               Solver.voltages = Solver.delivered_speeds p r.schedule;
               schedule = Some r.schedule;

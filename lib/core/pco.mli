@@ -42,6 +42,7 @@ val solve :
   ?offsets_per_core:int ->
   ?rounds:int ->
   ?par:bool ->
+  ?delta_margin:float ->
   Platform.t ->
   result
 

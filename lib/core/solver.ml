@@ -1,9 +1,13 @@
 type details = ..
 type details += No_details
 
-type params = { par : bool; demands : float array option }
+type params = {
+  par : bool;
+  demands : float array option;
+  delta_margin : float;
+}
 
-let default_params = { par = true; demands = None }
+let default_params = { par = true; demands = None; delta_margin = 0. }
 
 type outcome = {
   voltages : float array;

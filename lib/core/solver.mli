@@ -30,9 +30,14 @@ type params = {
       (** Per-core net-speed demands for the [demand] policy (ignored by
           the others).  [None] lets the adapter derive the ideal
           continuous assignment as the demand vector. *)
+  delta_margin : float;
+      (** Staleness margin (kelvin) for the TPT loops' prepared-base
+          delta tier ({!Tpt.adjust_to_constraint}); [0.] (the default)
+          keeps the exact per-core scans.  Only AO and PCO read it. *)
 }
 
-(** [default_params] = [{ par = true; demands = None }]. *)
+(** [default_params] =
+    [{ par = true; demands = None; delta_margin = 0. }]. *)
 val default_params : params
 
 type outcome = {

@@ -81,15 +81,33 @@ val rom_peak : Platform.t -> ?eval:Eval.t -> config -> float
     all-low config) if every core reaches zero high time while still
     violating — callers should have checked {!Platform.feasible}.
     [par] (default [true]) fans each step's per-core candidate
-    evaluations across the shared {!Util.Pool}; the selection reduction
-    stays sequential, so the result is identical at any pool size.
-    [eval] memoizes the step-up peak evaluations as in {!peak}. *)
+    evaluations across the context's {!Util.Pool} when the batch
+    carries enough floating-point volume (cores * nodes, the same gate
+    AO's m sweep uses); the selection reduction stays sequential, so
+    the result is identical at any pool size.  [eval] memoizes the
+    step-up peak evaluations as in {!peak}.
+
+    [delta_margin] (kelvin, default [0.] — off) opts the per-core scan
+    into the prepared-base delta tier (DESIGN.md §14) when [c] is
+    aligned, [dense] is [false] and [eval] wraps this platform: each
+    step prepares the current config's drive once on the context's
+    engine and prices candidates as single-core deltas, keeping stale
+    scores across accepted steps for candidates more than
+    [delta_margin] above the best stale score.  The chosen winner is
+    always re-verified with a full exact evaluation before acceptance,
+    and the termination test only ever reads exact values — the margin
+    trades greedy-choice fidelity, never constraint soundness.  Like
+    PR 7's [screen_margin] it is opt-in because nothing estimates the
+    score drift an accepted step causes at runtime; at [0.] the loop is
+    bit-identical to the exact scan.  Raises [Invalid_argument] on a
+    negative margin. *)
 val adjust_to_constraint :
   Platform.t ->
   ?eval:Eval.t ->
   ?t_unit:float ->
   ?dense:bool ->
   ?par:bool ->
+  ?delta_margin:float ->
   config ->
   config * int
 
@@ -107,10 +125,37 @@ val adjust_by_bisection :
 (** [fill_headroom platform ?t_unit c] converts low time back to high
     time while the peak stays below [t_max], greedily choosing the core
     with the best throughput-gain-per-degree index; stops when no single
-    exchange fits.  Returns the new config and exchange count.  [par]
-    and [eval] are as in {!adjust_to_constraint}. *)
+    exchange fits.  Returns the new config and exchange count.  [par],
+    [eval] and [delta_margin] are as in {!adjust_to_constraint} — on
+    the delta tier candidates are priced as single-core deltas and the
+    arg-best is re-picked until it is backed by an exact evaluation, so
+    feasibility (and the threaded base peak) only ever read exact
+    values. *)
 val fill_headroom :
-  Platform.t -> ?eval:Eval.t -> ?t_unit:float -> ?par:bool -> config -> config * int
+  Platform.t ->
+  ?eval:Eval.t ->
+  ?t_unit:float ->
+  ?par:bool ->
+  ?delta_margin:float ->
+  config ->
+  config * int
+
+(** {1 Delta-tier funnel}
+
+    Process-wide counters of the [delta_margin] scans, mirroring the
+    ROM screening funnel: per-core candidate slots that kept a stale
+    score across an accepted step ([cached]), slots freshly priced
+    through the prepared-base delta evaluators ([scored]), and full
+    exact evaluations spent verifying winners ([exact]).  [scale
+    --policy] reports the split per platform size. *)
+
+type delta_stats = { cached : int; scored : int; exact : int }
+
+(** [delta_stats ()] snapshots the funnel counters. *)
+val delta_stats : unit -> delta_stats
+
+(** [reset_delta_stats ()] zeroes the funnel counters. *)
+val reset_delta_stats : unit -> unit
 
 (** [throughput platform c] is the net chip-wide throughput of the
     config's schedule, charging the platform's [tau] per transition. *)

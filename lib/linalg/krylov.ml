@@ -269,6 +269,122 @@ let funmv ?(tol = 1e-13) ?(m_max = 256) apply ~f v =
     Option.get !result
   end
 
+(* ------------------------------------------------------ prepared f(A)v *)
+
+(* A reusable Lanczos factorization of [A] on a fixed start vector [v].
+   The basis depends only on [(apply, v)] — never on [f] — so one
+   preparation serves every smooth function evaluated against it; the
+   basis is grown lazily, on demand, and each [prepared_coeffs] call
+   re-walks the checkpoint ladder from the bottom with funmv's plateau
+   rule, so the accepted size for a given [f] is deterministic and
+   independent of which other functions were evaluated first. *)
+type prepared = {
+  p_apply : Vec.t -> Vec.t;
+  p_st : lanczos_state option;  (* [None] iff the start vector is zero *)
+  p_beta0 : float;
+  p_n : int;
+  p_m_cap : int;
+  p_tol : float;
+  (* Memoized eigendecompositions of T_m at visited checkpoint sizes —
+     f-independent, so they are shared across every [f].  Mutable growth
+     state: a [prepared] value is NOT domain-safe; confine each one to a
+     single domain (store per-domain, e.g. in Domain.DLS scratch). *)
+  mutable p_eigs : (int * Sym_eig.t) list;
+}
+
+let prepare ?(tol = 1e-13) ?(m_max = 256) apply v =
+  let n = Array.length v in
+  let beta0 = Vec.norm2 v in
+  let m_cap = Stdlib.min n (Stdlib.max 2 m_max) in
+  let st =
+    if Float.equal beta0 0. then None
+    else Some (lanczos_start ~m_cap (Vec.scale (1. /. beta0) v))
+  in
+  { p_apply = apply; p_st = st; p_beta0 = beta0; p_n = n; p_m_cap = m_cap;
+    p_tol = tol; p_eigs = [] }
+
+let prepared_eig p st m =
+  match List.assoc_opt m p.p_eigs with
+  | Some e -> e
+  | None ->
+      let e = Sym_eig.decompose (tridiagonal st m) in
+      p.p_eigs <- (m, e) :: p.p_eigs;
+      e
+
+(* y = f(T_m) e1 from the memoized decomposition. *)
+let prepared_coeffs_at p st m f =
+  let { Sym_eig.eigenvalues; eigenvectors } = prepared_eig p st m in
+  let y = Array.make m 0. in
+  for l = 0 to m - 1 do
+    let w = f eigenvalues.(l) *. Mat.get eigenvectors 0 l in
+    for i = 0 to m - 1 do
+      y.(i) <- y.(i) +. (w *. Mat.get eigenvectors i l)
+    done
+  done;
+  y
+
+(* Accepted coefficient vector for [f]: walk checkpoints m = 4, 8, ...
+   (funmv's ladder) growing the basis as needed, and accept at the
+   smallest size where two consecutive checkpoints agree to [tol]
+   relative — or exactly, on an invariant subspace.  Returns [(m, y)]. *)
+let prepared_coeffs p st ~f =
+  let grow_to m =
+    while st.steps < m && not st.invariant do
+      lanczos_step ~apply:p.p_apply st
+    done
+  in
+  let rec walk m prev streak =
+    grow_to m;
+    let m_eff = Stdlib.min m st.steps in
+    let y = prepared_coeffs_at p st m_eff f in
+    if st.invariant && st.steps <= m then (m_eff, y)
+    else begin
+      let delta = ref 0. and scale = ref 0. in
+      for i = 0 to m_eff - 1 do
+        let yp = if i < Array.length prev then prev.(i) else 0. in
+        let d = y.(i) -. yp in
+        delta := !delta +. (d *. d);
+        scale := !scale +. (y.(i) *. y.(i))
+      done;
+      let streak =
+        if Float.sqrt !delta <= p.p_tol *. Float.sqrt !scale then streak + 1
+        else 0
+      in
+      if streak >= 2 then (m_eff, y)
+      else if m_eff >= p.p_m_cap then
+        failwith
+          (Printf.sprintf
+             "Krylov.prepared: no convergence in %d steps (n = %d)" p.p_m_cap
+             p.p_n)
+      else walk (m + 4) y streak
+    end
+  in
+  walk 4 [||] 0
+
+let prepared_apply p ~f =
+  match p.p_st with
+  | None -> Vec.zeros p.p_n
+  | Some st ->
+      let m, y = prepared_coeffs p st ~f in
+      lanczos_combine st ~n:p.p_n m p.p_beta0 y
+
+let prepared_apply_at p ~f ~idx dst =
+  let k = Array.length idx in
+  if Array.length dst < k then
+    invalid_arg "Krylov.prepared_apply_at: destination too short";
+  (match p.p_st with
+  | None -> Array.fill dst 0 k 0.
+  | Some st ->
+      let m, y = prepared_coeffs p st ~f in
+      for l = 0 to k - 1 do
+        let node = idx.(l) in
+        let acc = ref 0. in
+        for i = 0 to m - 1 do
+          acc := !acc +. (y.(i) *. st.qs.(i).(node))
+        done;
+        dst.(l) <- p.p_beta0 *. !acc
+      done)
+
 (* ------------------------------------------- shift-invert eigenpairs *)
 
 (* Deterministic replacement start vector used when a Krylov block

@@ -80,6 +80,44 @@ val funmv :
   Vec.t ->
   Vec.t
 
+(** A reusable Lanczos factorization on a {e fixed} start vector: the
+    basis depends only on [(apply, v)], never on the function being
+    evaluated, so one preparation amortizes across many [f]s — the
+    delta-evaluation workload, where every candidate applies a different
+    spectral weight to the same per-core unit vector.  The basis is
+    grown lazily and the small tridiagonal eigendecompositions are
+    memoized per checkpoint size (also f-independent).
+
+    NOT domain-safe: a [prepared] value carries mutable growth state.
+    Confine each one to a single domain (the response engine stores them
+    in per-domain [Domain.DLS] scratch). *)
+type prepared
+
+(** [prepare ?tol ?m_max apply v] captures the operator and start vector
+    without running any Lanczos steps.  [tol] (default [1e-13]) and
+    [m_max] (default 256) mirror {!funmv}'s convergence contract.  A
+    zero [v] yields a preparation whose every evaluation is zero. *)
+val prepare :
+  ?tol:float -> ?m_max:int -> (Vec.t -> Vec.t) -> Vec.t -> prepared
+
+(** [prepared_apply p ~f] is [f(A) v] using the prepared basis.  The
+    accepted basis size for a given [f] follows exactly {!funmv}'s
+    checkpoint ladder and plateau rule (smallest [m ∈ {4, 8, ...}] with
+    two consecutive agreements to [tol] relative; invariant subspaces
+    are exact), re-walked from the bottom on every call — so the result
+    is deterministic in [(apply, v, f, tol)] and independent of which
+    other functions were evaluated against [p] before.  Raises [Failure]
+    if [m_max] steps do not converge. *)
+val prepared_apply : prepared -> f:(float -> float) -> Vec.t
+
+(** [prepared_apply_at p ~f ~idx dst] writes [(f(A) v).(idx.(l))] into
+    [dst.(l)] for each [l] — the restricted read that makes a delta
+    candidate O(m · |idx|) instead of O(m · n).  Same convergence
+    contract as {!prepared_apply}.  Raises [Invalid_argument] when [dst]
+    is shorter than [idx]. *)
+val prepared_apply_at :
+  prepared -> f:(float -> float) -> idx:int array -> Vec.t -> unit
+
 (** [smallest_eigs ?tol ?m_max ~n ~k solve] computes the [k] smallest
     eigenpairs of an SPD operator [A] given only [solve : b ↦ A⁻¹ b]
     (shift-invert at zero: the slow thermal modes are the {e dominant}

@@ -545,6 +545,66 @@ let response_of_two_mode_cached cache resp pm ~period ~low ~high ~high_ratio =
         v
   end
 
+(* ------------------------------------ prepared-base delta evaluators *)
+
+(* Voltage-to-psi conversion shared with the exact decomposed paths
+   above ([Power.Power_model.psi] on the span's voltage), handed to the
+   engines' prepared-base API.  Base/delta state is per-domain: prepare
+   and evaluate on the same domain. *)
+
+let two_mode_delta_base ?engine model pm ~period ~low ~high ~high_ratio =
+  let eng = resolve_engine ?engine model in
+  let n = Array.length low in
+  if Array.length high <> n || Array.length high_ratio <> n then
+    invalid_arg "Peak.two_mode_delta_base: array length mismatch";
+  Thermal.Modal.base_begin eng ~t_p:period;
+  for i = 0 to n - 1 do
+    Thermal.Modal.base_feed eng ~core:i
+      ~psi_low:(Power.Power_model.psi pm low.(i))
+      ~psi_high:(Power.Power_model.psi pm high.(i))
+      ~high_ratio:high_ratio.(i)
+  done;
+  ignore (Thermal.Modal.base_solve eng : float array)
+
+let two_mode_delta_peak ?engine model pm ~core ~low ~high ~high_ratio =
+  let eng = resolve_engine ?engine model in
+  Thermal.Modal.delta_peak eng ~core
+    ~psi_low:(Power.Power_model.psi pm low)
+    ~psi_high:(Power.Power_model.psi pm high)
+    ~high_ratio
+
+let two_mode_delta_temp_at ?engine model pm ~at ~core ~low ~high ~high_ratio =
+  let eng = resolve_engine ?engine model in
+  Thermal.Modal.delta_core_temp eng ~at ~core
+    ~psi_low:(Power.Power_model.psi pm low)
+    ~psi_high:(Power.Power_model.psi pm high)
+    ~high_ratio
+
+let response_two_mode_delta_base resp pm ~period ~low ~high ~high_ratio =
+  let n = Array.length low in
+  if Array.length high <> n || Array.length high_ratio <> n then
+    invalid_arg "Peak.response_two_mode_delta_base: array length mismatch";
+  R.base_begin resp ~t_p:period;
+  for i = 0 to n - 1 do
+    R.base_feed resp ~core:i
+      ~psi_low:(Power.Power_model.psi pm low.(i))
+      ~psi_high:(Power.Power_model.psi pm high.(i))
+      ~high_ratio:high_ratio.(i)
+  done;
+  ignore (R.base_solve resp : float array)
+
+let response_two_mode_delta_peak resp pm ~core ~low ~high ~high_ratio =
+  R.delta_peak resp ~core
+    ~psi_low:(Power.Power_model.psi pm low)
+    ~psi_high:(Power.Power_model.psi pm high)
+    ~high_ratio
+
+let response_two_mode_delta_temp_at resp pm ~at ~core ~low ~high ~high_ratio =
+  R.delta_core_temp resp ~at ~core
+    ~psi_low:(Power.Power_model.psi pm low)
+    ~psi_high:(Power.Power_model.psi pm high)
+    ~high_ratio
+
 (* ROM screening scores.  Same decomposition, same span midpoints, but
    priced on the Lanczos-reduced model — O(n_cores^2 + k n_cores), zero
    Krylov work.  NEVER cached: the exact memo tables must only ever hold

@@ -321,6 +321,93 @@ val response_of_two_mode_cached :
   high_ratio:float array ->
   float
 
+(** {1 Prepared-base delta evaluators}
+
+    The TPT-loop scan hot path (DESIGN.md §14): capture an aligned
+    two-mode config's drive once ([*_delta_base]), then price candidates
+    that change a {e single} core's duty cycle in O(n) (dense modal) or
+    O(m · n_cores) (sparse response) each — no full re-superposition, no
+    funmv stream.  Base/delta state is per-domain scratch: prepare and
+    evaluate on the same domain, and re-prepare after the config itself
+    changes.  Delta scores agree with the exact two-mode evaluators to
+    the differential suite's 1e-9, but are NOT bit-identical and must
+    never enter the exact memo tables — search loops re-verify any
+    winner through the cached exact entry points before acting on it. *)
+
+(** [two_mode_delta_base ?engine model pm ~period ~low ~high
+    ~high_ratio] prepares the base config on this domain's dense modal
+    engine. *)
+val two_mode_delta_base :
+  ?engine:Thermal.Modal.t ->
+  Thermal.Model.t ->
+  Power.Power_model.t ->
+  period:float ->
+  low:float array ->
+  high:float array ->
+  high_ratio:float array ->
+  unit
+
+(** [two_mode_delta_peak ?engine model pm ~core ~low ~high ~high_ratio]
+    is the end-of-period stable peak of the candidate equal to the
+    prepared base except core [core] runs at ([low], [high],
+    [high_ratio]). *)
+val two_mode_delta_peak :
+  ?engine:Thermal.Modal.t ->
+  Thermal.Model.t ->
+  Power.Power_model.t ->
+  core:int ->
+  low:float ->
+  high:float ->
+  high_ratio:float ->
+  float
+
+(** [two_mode_delta_temp_at ?engine model pm ~at ~core ~low ~high
+    ~high_ratio] is the same candidate's end-of-period temperature at
+    core [at] — the hottest-core read the adjustment scan scores by. *)
+val two_mode_delta_temp_at :
+  ?engine:Thermal.Modal.t ->
+  Thermal.Model.t ->
+  Power.Power_model.t ->
+  at:int ->
+  core:int ->
+  low:float ->
+  high:float ->
+  high_ratio:float ->
+  float
+
+(** [response_two_mode_delta_base resp pm ...] /
+    [response_two_mode_delta_peak] / [response_two_mode_delta_temp_at]
+    — the same three entry points on a sparse superposition engine
+    (per-core prepared Lanczos bases; see
+    {!Thermal.Sparse_response.base_begin}). *)
+val response_two_mode_delta_base :
+  Thermal.Sparse_response.t ->
+  Power.Power_model.t ->
+  period:float ->
+  low:float array ->
+  high:float array ->
+  high_ratio:float array ->
+  unit
+
+val response_two_mode_delta_peak :
+  Thermal.Sparse_response.t ->
+  Power.Power_model.t ->
+  core:int ->
+  low:float ->
+  high:float ->
+  high_ratio:float ->
+  float
+
+val response_two_mode_delta_temp_at :
+  Thermal.Sparse_response.t ->
+  Power.Power_model.t ->
+  at:int ->
+  core:int ->
+  low:float ->
+  high:float ->
+  high_ratio:float ->
+  float
+
 (** [rom_of_two_mode rom pm ~period ~low ~high ~high_ratio] is the
     approximate stable-status peak of the fused two-mode candidate on
     the reduced model — the screening score.  Never cached. *)

@@ -6,6 +6,8 @@ type stats = {
   superpose_evals : int;
   exp_hits : int;
   exp_misses : int;
+  base_solves : int;
+  delta_evals : int;
 }
 
 (* Per-domain scratch, sized to the engine.  Pool workers each see
@@ -32,6 +34,21 @@ type scratch = {
   mutable tally_misses : int;  (* engine's atomics once per solve *)
   z_cur : float array;  (* dense-scan cursor (exact segment boundaries) *)
   z_smp : float array;  (* dense-scan sub-step walker *)
+  (* ---- prepared-base delta state (base_begin / base_feed / base_solve
+     and the delta evaluators): the per-core two-mode drive parameters
+     of the prepared base config, its stable status, and candidate scratch.
+     Deliberately separate from the streaming arrays above, so exact
+     [stable_*] evaluations interleaved between delta candidates (the
+     TPT loops' winner verification) never clobber the prepared base. *)
+  base_cl : float array;  (* nc: psi_low + beta T_amb *)
+  base_ch : float array;  (* nc: psi_high + beta T_amb *)
+  base_mode : int array;  (* nc: -1 all-low, +1 all-high, 0 interior *)
+  base_ll : float array;  (* nc: leading low duration (interior cores) *)
+  z_base : float array;  (* n: the base config's stable status *)
+  z_tmp : float array;  (* n: per-core drive scratch *)
+  z_cand : float array;  (* n: delta candidate stable status *)
+  mutable base_t_p : float;  (* period; 0. = no base being prepared *)
+  mutable base_ready : bool;  (* base_solve completed *)
 }
 
 let decay_slots = 1024 (* power of two; see [decay_slot] *)
@@ -56,6 +73,8 @@ type t = {
   superpose_evals : int Atomic.t;
   exp_hits : int Atomic.t;
   exp_misses : int Atomic.t;
+  base_solves : int Atomic.t;
+  delta_evals : int Atomic.t;
 }
 
 let build_count = Atomic.make 0
@@ -103,10 +122,21 @@ let build model =
             tally_misses = 0;
             z_cur = Array.make n 0.;
             z_smp = Array.make n 0.;
+            base_cl = Array.make n_cores 0.;
+            base_ch = Array.make n_cores 0.;
+            base_mode = Array.make n_cores min_int;
+            base_ll = Array.make n_cores 0.;
+            z_base = Array.make n 0.;
+            z_tmp = Array.make n 0.;
+            z_cand = Array.make n 0.;
+            base_t_p = 0.;
+            base_ready = false;
           });
     superpose_evals = Atomic.make 0;
     exp_hits = Atomic.make 0;
     exp_misses = Atomic.make 0;
+    base_solves = Atomic.make 0;
+    delta_evals = Atomic.make 0;
   }
 
 (* Engines are cached per model (physical identity): the unit-response
@@ -155,6 +185,8 @@ let stats t =
     superpose_evals = Atomic.get t.superpose_evals;
     exp_hits = Atomic.get t.exp_hits;
     exp_misses = Atomic.get t.exp_misses;
+    base_solves = Atomic.get t.base_solves;
+    delta_evals = Atomic.get t.delta_evals;
   }
 
 (* ------------------------------------------------ superposed responses *)
@@ -387,6 +419,219 @@ let scan_feed t ~samples ~duration ~psi =
       +. Array.unsafe_get s.dvals (full_base + t.n + j) *. Array.unsafe_get s.z_eq j)
   done;
   !best +. t.ambient
+
+(* ------------------------------------------- prepared-base deltas *)
+
+(* Delta candidate evaluation (DESIGN.md §14).  Per-core two-mode drive
+   over one period, from zero state:
+
+     interior:  w_i = cl . D_{T-ll} . g_ll + ch . g_{T-ll}
+     all-low:   w_i = cl . g_T          all-high: w_i = ch . g_T
+
+   with D_dt = e^{lambda dt}, g_dt = -expm1(lambda dt), cl/ch = psi +
+   beta T_amb and ll the leading low duration.  The accumulated drive
+   of a whole config is d = sum_i u_i . w_i (u_i the modal unit
+   responses), so z_base = d / g_T — and a candidate that changes only
+   core j's terms is z_base + u_j . (w_j' - w_j) / g_T: O(n) per
+   candidate instead of a full O(n . n_cores) re-superposition.  When
+   only the duty cycle moves (the TPT loops never change voltages), the
+   difference is evaluated cancellation-free:
+
+     w' - w = (cl - ch) (D_{T-ll'} - D_{T-ll})
+            = +-(cl - ch) . D_{T-max(ll,ll')} . g_{|ll - ll'|}
+
+   The prepared base lives in per-domain scratch arrays DISJOINT from
+   the streaming stable_* state, so the exact winner verification the
+   TPT loops interleave between candidates cannot clobber it. *)
+
+let flush_tallies t (s : scratch) =
+  if s.tally_hits <> 0 then begin
+    ignore (Atomic.fetch_and_add t.exp_hits s.tally_hits);
+    s.tally_hits <- 0
+  end;
+  if s.tally_misses <> 0 then begin
+    ignore (Atomic.fetch_and_add t.exp_misses s.tally_misses);
+    s.tally_misses <- 0
+  end
+
+(* Replicates [Sched.Peak.two_mode_decompose]'s ratio validation and
+   boundary snapping (which itself replicates [Schedule.two_mode]), so
+   the prepared-base path agrees with the exact decomposed path on
+   which spans exist.  Returns [(mode, ll)] with mode -1 = all-low
+   (ll = t_p), +1 = all-high (ll = 0), 0 = interior. *)
+let two_mode_core_shape ~t_p ~high_ratio =
+  if high_ratio < -1e-12 || high_ratio > 1. +. 1e-12 then
+    invalid_arg
+      (Printf.sprintf "Modal: high_ratio %.6g not in [0,1]" high_ratio);
+  let lh = Float.max 0. (Float.min t_p (high_ratio *. t_p)) in
+  let ll = t_p -. lh in
+  if lh <= 1e-12 then (-1, t_p)
+  else if ll <= 1e-12 then (1, 0.)
+  else (0, ll)
+
+let base_begin t ~t_p =
+  if t_p <= 0. then invalid_arg "Modal.base_begin: non-positive period";
+  let s = Domain.DLS.get t.scratch_key in
+  s.base_t_p <- t_p;
+  s.base_ready <- false;
+  Array.fill s.base_mode 0 (Array.length s.base_mode) min_int
+
+let base_feed t ~core ~psi_low ~psi_high ~high_ratio =
+  let s = Domain.DLS.get t.scratch_key in
+  if s.base_t_p <= 0. then
+    invalid_arg "Modal.base_feed: no base_begin on this domain";
+  if core < 0 || core >= Array.length s.base_mode then
+    invalid_arg "Modal.base_feed: core index out of range";
+  let mode, ll = two_mode_core_shape ~t_p:s.base_t_p ~high_ratio in
+  s.base_cl.(core) <- psi_low +. t.beta_tamb;
+  s.base_ch.(core) <- psi_high +. t.beta_tamb;
+  s.base_mode.(core) <- mode;
+  s.base_ll.(core) <- ll
+
+(* One core's periodic drive into [dst].  Rows are fetched one at a
+   time and fully consumed before the next fetch: the direct-mapped
+   table may map two of the durations needed here to the same slot. *)
+let w_into t (s : scratch) dst ~cl ~ch ~mode ~ll =
+  let t_p = s.base_t_p in
+  let n = t.n in
+  let dvals = s.dvals in
+  if mode <> 0 then begin
+    let c = if mode < 0 then cl else ch in
+    let b = decay_row t s t_p in
+    for j = 0 to n - 1 do
+      Array.unsafe_set dst j (c *. Array.unsafe_get dvals (b + n + j))
+    done
+  end
+  else begin
+    let b_low = decay_row t s ll in
+    for j = 0 to n - 1 do
+      Array.unsafe_set dst j (cl *. Array.unsafe_get dvals (b_low + n + j))
+    done;
+    let b_high = decay_row t s (t_p -. ll) in
+    for j = 0 to n - 1 do
+      Array.unsafe_set dst j
+        ((Array.unsafe_get dvals (b_high + j) *. Array.unsafe_get dst j)
+        +. (ch *. Array.unsafe_get dvals (b_high + n + j)))
+    done
+  end
+
+let base_solve t =
+  let s = Domain.DLS.get t.scratch_key in
+  if s.base_t_p <= 0. then
+    invalid_arg "Modal.base_solve: no base_begin on this domain";
+  let nc = Array.length s.base_mode in
+  for i = 0 to nc - 1 do
+    if s.base_mode.(i) = min_int then
+      invalid_arg
+        (Printf.sprintf "Modal.base_solve: core %d was never base_feed" i)
+  done;
+  Array.fill s.z_base 0 t.n 0.;
+  for i = 0 to nc - 1 do
+    w_into t s s.z_tmp ~cl:s.base_cl.(i) ~ch:s.base_ch.(i)
+      ~mode:s.base_mode.(i) ~ll:s.base_ll.(i);
+    let u = t.unit_rz.(i) in
+    for j = 0 to t.n - 1 do
+      Array.unsafe_set s.z_base j
+        (Array.unsafe_get s.z_base j
+        +. (Array.unsafe_get u j *. Array.unsafe_get s.z_tmp j))
+    done
+  done;
+  let b = decay_row t s s.base_t_p in
+  for j = 0 to t.n - 1 do
+    Array.unsafe_set s.z_base j
+      (Array.unsafe_get s.z_base j /. Array.unsafe_get s.dvals (b + t.n + j))
+  done;
+  s.base_ready <- true;
+  Atomic.incr t.base_solves;
+  flush_tallies t s;
+  s.z_base
+
+let delta_into t (s : scratch) ~core ~psi_low ~psi_high ~high_ratio =
+  if not s.base_ready then
+    invalid_arg "Modal.delta: no solved base on this domain";
+  if core < 0 || core >= Array.length s.base_mode then
+    invalid_arg "Modal.delta: core index out of range";
+  let t_p = s.base_t_p in
+  let n = t.n in
+  let mode', ll' = two_mode_core_shape ~t_p ~high_ratio in
+  let cl' = psi_low +. t.beta_tamb and ch' = psi_high +. t.beta_tamb in
+  let cl = s.base_cl.(core) and ch = s.base_ch.(core) in
+  (* Effective leading-low duration: snapped modes are exactly t_p / 0,
+     so the same-voltage difference below needs no mode cases. *)
+  let le mode ll = if mode < 0 then t_p else if mode > 0 then 0. else ll in
+  let l0 = le s.base_mode.(core) s.base_ll.(core) in
+  let l1 = le mode' ll' in
+  let dvals = s.dvals in
+  if Float.equal cl' cl && Float.equal ch' ch then begin
+    if Float.equal l1 l0 then Array.blit s.z_base 0 s.z_cand 0 n
+    else begin
+      let big = Float.max l0 l1 and small = Float.min l0 l1 in
+      let c = if l1 > l0 then cl -. ch else ch -. cl in
+      let b_gap = decay_row t s (big -. small) in
+      for j = 0 to n - 1 do
+        Array.unsafe_set s.z_tmp j
+          (c *. Array.unsafe_get dvals (b_gap + n + j))
+      done;
+      (* D_{t_p - big} = 1 exactly when big = t_p (snapped all-low side);
+         skipping the fetch also avoids a dt = 0 table key, whose bit
+         pattern collides with the empty-slot sentinel. *)
+      if t_p -. big > 0. then begin
+        let b_dec = decay_row t s (t_p -. big) in
+        for j = 0 to n - 1 do
+          Array.unsafe_set s.z_tmp j
+            (Array.unsafe_get s.z_tmp j *. Array.unsafe_get dvals (b_dec + j))
+        done
+      end;
+      let u = t.unit_rz.(core) in
+      let b_t = decay_row t s t_p in
+      for j = 0 to n - 1 do
+        Array.unsafe_set s.z_cand j
+          (Array.unsafe_get s.z_base j
+          +. Array.unsafe_get u j *. Array.unsafe_get s.z_tmp j
+             /. Array.unsafe_get dvals (b_t + n + j))
+      done
+    end
+  end
+  else begin
+    (* Voltage change too (not exercised by the TPT loops, which only
+       move duty cycles): subtract the old drive, add the new. *)
+    w_into t s s.z_tmp ~cl:cl' ~ch:ch' ~mode:mode' ~ll:ll';
+    w_into t s s.z_eq ~cl ~ch ~mode:s.base_mode.(core) ~ll:s.base_ll.(core);
+    let u = t.unit_rz.(core) in
+    let b_t = decay_row t s t_p in
+    for j = 0 to n - 1 do
+      Array.unsafe_set s.z_cand j
+        (Array.unsafe_get s.z_base j
+        +. Array.unsafe_get u j
+           *. (Array.unsafe_get s.z_tmp j -. Array.unsafe_get s.z_eq j)
+           /. Array.unsafe_get dvals (b_t + n + j))
+    done
+  end;
+  Atomic.incr t.delta_evals;
+  flush_tallies t s
+
+let delta_solve t ~core ~psi_low ~psi_high ~high_ratio =
+  let s = Domain.DLS.get t.scratch_key in
+  delta_into t s ~core ~psi_low ~psi_high ~high_ratio;
+  s.z_cand
+
+let delta_peak t ~core ~psi_low ~psi_high ~high_ratio =
+  let s = Domain.DLS.get t.scratch_key in
+  delta_into t s ~core ~psi_low ~psi_high ~high_ratio;
+  max_core_temp t s.z_cand
+
+let delta_core_temp t ~at ~core ~psi_low ~psi_high ~high_ratio =
+  let { Mat.rows; cols; data } = t.core_rows in
+  if at < 0 || at >= rows then
+    invalid_arg "Modal.delta_core_temp: core index out of range";
+  let s = Domain.DLS.get t.scratch_key in
+  delta_into t s ~core ~psi_low ~psi_high ~high_ratio;
+  let off = at * cols in
+  let acc = ref 0. in
+  for j = 0 to cols - 1 do
+    acc := !acc +. (Array.unsafe_get data (off + j) *. Array.unsafe_get s.z_cand j)
+  done;
+  !acc +. t.ambient
 
 (* --------------------------------------------------------- segments *)
 

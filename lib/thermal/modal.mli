@@ -44,6 +44,8 @@ type stats = {
   superpose_evals : int;  (** Superposition equilibrium evaluations. *)
   exp_hits : int;  (** Decay/gain lookups answered from the table. *)
   exp_misses : int;  (** Decay/gain lookups that computed. *)
+  base_solves : int;  (** Prepared-base builds ({!base_solve}). *)
+  delta_evals : int;  (** Delta candidate evaluations. *)
 }
 
 (** [make model] returns the engine of [model], building it (one LU
@@ -159,6 +161,66 @@ val scan_begin : t -> unit
     scanning freshly built {!segment}s.  Raises [Invalid_argument] on a
     non-positive [duration] or [samples]. *)
 val scan_feed : t -> samples:int -> duration:float -> psi:Linalg.Vec.t -> float
+
+(** {2 Prepared-base delta evaluation}
+
+    The TPT-loop hot path (DESIGN.md §14): capture an aligned two-mode
+    config's accumulated drive once ({!base_begin} / {!base_feed} per
+    core / {!base_solve}), then evaluate candidates that change a
+    {e single} core's duty cycle or voltages in O(n) each — the base
+    stable status plus one rescaled unit response — instead of a full
+    O(n · n_cores) re-superposition.  Same-voltage deltas (the TPT
+    loops only move duty cycles) are evaluated cancellation-free
+    through an [expm1]-backed gain factor.
+
+    The prepared base lives in per-domain scratch DISJOINT from the
+    streaming [stable_*] state: exact evaluations interleaved between
+    delta candidates (winner verification) do not disturb it.  Like all
+    DLS state, a base prepared on one domain is invisible on others —
+    prepare and evaluate on the same domain.  Boundary snapping
+    replicates the exact decomposed path's 1e-12 clamps, so delta and
+    full evaluations agree to the differential suite's 1e-9. *)
+
+(** [base_begin t ~t_p] starts preparing a base config with period
+    [t_p] on this domain.  Raises [Invalid_argument] on a non-positive
+    period. *)
+val base_begin : t -> t_p:float -> unit
+
+(** [base_feed t ~core ~psi_low ~psi_high ~high_ratio] records core
+    [core]'s two-mode terms: low/high power draws (pre-leakage, as
+    {!Power.Power_model.psi} returns them) and the high-time fraction.
+    Every core must be fed exactly once before {!base_solve}.  Raises
+    [Invalid_argument] without a preceding {!base_begin}, on an
+    out-of-range core, or a ratio outside [[-1e-12, 1 + 1e-12]]. *)
+val base_feed :
+  t -> core:int -> psi_low:float -> psi_high:float -> high_ratio:float -> unit
+
+(** [base_solve t] solves the prepared base's stable status and arms the
+    delta evaluators; returns this domain's scratch base vector (valid
+    until the next [base_begin] on this domain).  Raises
+    [Invalid_argument] if some core was never fed. *)
+val base_solve : t -> Linalg.Vec.t
+
+(** [delta_solve t ~core ~psi_low ~psi_high ~high_ratio] is the stable
+    status of the candidate equal to the prepared base except for core
+    [core]'s terms — O(n), allocation-free, returned in this domain's
+    scratch (valid until the next delta or base call).  Raises
+    [Invalid_argument] without a solved base on this domain. *)
+val delta_solve :
+  t -> core:int -> psi_low:float -> psi_high:float -> high_ratio:float ->
+  Linalg.Vec.t
+
+(** [delta_peak t ~core ~psi_low ~psi_high ~high_ratio] is the hottest
+    end-of-period core temperature of the delta candidate. *)
+val delta_peak :
+  t -> core:int -> psi_low:float -> psi_high:float -> high_ratio:float -> float
+
+(** [delta_core_temp t ~at ~core ~psi_low ~psi_high ~high_ratio] is the
+    delta candidate's end-of-period temperature at core [at] — the
+    hottest-core read the TPT adjustment scan scores candidates by. *)
+val delta_core_temp :
+  t -> at:int -> core:int -> psi_low:float -> psi_high:float ->
+  high_ratio:float -> float
 
 type segment
 (** A precomputed constant-power interval: duration, the decay factors

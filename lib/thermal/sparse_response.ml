@@ -2,7 +2,13 @@ module Vec = Linalg.Vec
 module Sparse = Linalg.Sparse
 module Krylov = Linalg.Krylov
 
-type stats = { builds : int; superpose_evals : int; stable_solves : int }
+type stats = {
+  builds : int;
+  superpose_evals : int;
+  stable_solves : int;
+  base_solves : int;
+  delta_evals : int;
+}
 
 (* Same tolerance as Sparse_model: three orders of magnitude under the
    1e-9 differential bound, so superposed evaluations never drift a
@@ -21,6 +27,23 @@ type scratch = {
   d : float array;  (* accumulated periodic drive over one period *)
   y_eq : float array;  (* superposed equilibrium of the current segment *)
   y_cur : float array;  (* dense-scan cursor (exact segment boundaries) *)
+  (* ---- prepared-base delta state (base_begin / base_feed / base_solve
+     and the delta evaluators).  Disjoint from the streaming arrays
+     above, so exact stable_* evaluations interleaved between delta
+     candidates never clobber the prepared base.  [bases] holds one
+     lazily grown Lanczos factorization per core unit response — the
+     basis is f-independent, so one preparation serves every duty-cycle
+     weight evaluated against it.  Krylov.prepared is mutable and NOT
+     domain-safe, which is exactly why it lives here in DLS. *)
+  base_cl : float array;  (* nc: psi_low + beta T_amb *)
+  base_ch : float array;  (* nc: psi_high + beta T_amb *)
+  base_mode : int array;  (* nc: -1 all-low, +1 all-high, 0 interior *)
+  base_ll : float array;  (* nc: leading low duration (interior cores) *)
+  y_base : float array;  (* n: the base config's stable status *)
+  w_nodes : float array;  (* nc: candidate delta read at the core nodes *)
+  bases : Krylov.prepared option array;  (* nc, grown on demand *)
+  mutable base_t_p : float;  (* period; 0. = no base being prepared *)
+  mutable base_ready : bool;  (* base_solve completed *)
 }
 
 type t = {
@@ -38,9 +61,13 @@ type t = {
      indexed by driving core i — the constant-voltage steady peak needs
      only these entries. *)
   apply : Vec.t -> Vec.t;  (* the SPD operator M, shared read-only *)
+  core_nodes : int array;  (* node index of each core, shared read-only *)
+  c_sqrt_inv_cores : float array;  (* c^{-1/2} at each core's node *)
   scratch_key : scratch Domain.DLS.key;
   superpose_evals : int Atomic.t;
   stable_solves : int Atomic.t;
+  base_solves : int Atomic.t;
+  delta_evals : int Atomic.t;
 }
 
 let build_count = Atomic.make 0
@@ -85,15 +112,28 @@ let build engine =
           Array.init nc (fun i -> ci *. units.(i).(node)))
         spec.Spec.core_nodes;
     apply = Sparse.spmv (Sparse_model.operator engine);
+    core_nodes = spec.Spec.core_nodes;
+    c_sqrt_inv_cores = Array.map c_sqrt_inv_at spec.Spec.core_nodes;
     scratch_key =
       Domain.DLS.new_key (fun () ->
           {
             d = Array.make n 0.;
             y_eq = Array.make n 0.;
             y_cur = Array.make n 0.;
+            base_cl = Array.make nc 0.;
+            base_ch = Array.make nc 0.;
+            base_mode = Array.make nc min_int;
+            base_ll = Array.make nc 0.;
+            y_base = Array.make n 0.;
+            w_nodes = Array.make nc 0.;
+            bases = Array.make nc None;
+            base_t_p = 0.;
+            base_ready = false;
           });
     superpose_evals = Atomic.make 0;
     stable_solves = Atomic.make 0;
+    base_solves = Atomic.make 0;
+    delta_evals = Atomic.make 0;
   }
 
 (* Engines are cached per sparse engine (physical identity): the
@@ -141,6 +181,8 @@ let stats t =
     builds = Atomic.get build_count;
     superpose_evals = Atomic.get t.superpose_evals;
     stable_solves = Atomic.get t.stable_solves;
+    base_solves = Atomic.get t.base_solves;
+    delta_evals = Atomic.get t.delta_evals;
   }
 
 (* ------------------------------------------------ superposed responses *)
@@ -240,6 +282,207 @@ let stable_solve t ~t_p =
   Krylov.funmv ~tol:cg_tol t.apply
     ~f:(fun lam -> 1. /. -.Float.expm1 (-.t_p *. lam))
     s.d
+
+(* ------------------------------------------- prepared-base deltas *)
+
+(* Delta candidate evaluation (DESIGN.md §14), sparse flavour.  The
+   periodic drive of a two-mode config factors per core as a spectral
+   weight on that core's unit response: for an interior core with
+   leading low duration ll and trailing high duration dh = t_p - ll,
+
+     w_i(lam) = -cl . e^{-dh lam} . expm1(-ll lam) - ch . expm1(-dh lam)
+
+   (cl/ch = psi + beta T_amb), and the stable status is
+
+     y* = (I - e^{-t_p M})^{-1} d = sum_i h_i(M) u_i,
+     h_i(lam) = w_i(lam) / (1 - e^{-t_p lam}).
+
+   Snapped all-low/all-high cores collapse to the constant h = cl / ch
+   — their contribution is c . u_i with no matrix function at all.  A
+   prepared Lanczos basis per unit response ({!Krylov.prepare}) makes
+   every h_i(M) u_i an O(m) coefficient solve plus an O(m n) combine —
+   no funmv stream — and a candidate changing only core j's duty cycle
+   needs only the core-node reads of
+
+     dh_j(lam) = +-(cl - ch) e^{-(t_p - max(ll,ll')) lam}
+                 . (-expm1(-|ll - ll'| lam)) / (1 - e^{-t_p lam})
+
+   applied to u_j: O(m . n_cores) per candidate, no new basis. *)
+
+(* Replicates [Sched.Peak.two_mode_decompose]'s ratio validation and
+   boundary snapping (as [Modal.two_mode_core_shape] does for the dense
+   engine), so the prepared-base path agrees with the exact decomposed
+   path on which spans exist. *)
+let two_mode_core_shape ~t_p ~high_ratio =
+  if high_ratio < -1e-12 || high_ratio > 1. +. 1e-12 then
+    invalid_arg
+      (Printf.sprintf "Sparse_response: high_ratio %.6g not in [0,1]"
+         high_ratio);
+  let lh = Float.max 0. (Float.min t_p (high_ratio *. t_p)) in
+  let ll = t_p -. lh in
+  if lh <= 1e-12 then (-1, t_p)
+  else if ll <= 1e-12 then (1, 0.)
+  else (0, ll)
+
+(* h_i for an interior core; [lam] ranges over Ritz values of the SPD
+   operator, all positive, so the denominator never vanishes. *)
+let[@inline] h_interior ~cl ~ch ~ll ~t_p lam =
+  let dh = t_p -. ll in
+  (-.(cl *. exp (-.dh *. lam) *. Float.expm1 (-.ll *. lam))
+  -. (ch *. Float.expm1 (-.dh *. lam)))
+  /. -.Float.expm1 (-.t_p *. lam)
+
+let h_of ~cl ~ch ~mode ~ll ~t_p lam =
+  if mode < 0 then cl
+  else if mode > 0 then ch
+  else h_interior ~cl ~ch ~ll ~t_p lam
+
+let get_basis t (s : scratch) i =
+  match s.bases.(i) with
+  | Some b -> b
+  | None ->
+      let b = Krylov.prepare ~tol:cg_tol t.apply t.units.(i) in
+      s.bases.(i) <- Some b;
+      b
+
+let base_begin t ~t_p =
+  if t_p <= 0. then
+    invalid_arg "Sparse_response.base_begin: non-positive period";
+  let s = Domain.DLS.get t.scratch_key in
+  s.base_t_p <- t_p;
+  s.base_ready <- false;
+  Array.fill s.base_mode 0 t.nc min_int
+
+let base_feed t ~core ~psi_low ~psi_high ~high_ratio =
+  let s = Domain.DLS.get t.scratch_key in
+  if s.base_t_p <= 0. then
+    invalid_arg "Sparse_response.base_feed: no base_begin on this domain";
+  if core < 0 || core >= t.nc then
+    invalid_arg "Sparse_response.base_feed: core index out of range";
+  let mode, ll = two_mode_core_shape ~t_p:s.base_t_p ~high_ratio in
+  s.base_cl.(core) <- psi_low +. t.beta_tamb;
+  s.base_ch.(core) <- psi_high +. t.beta_tamb;
+  s.base_mode.(core) <- mode;
+  s.base_ll.(core) <- ll
+
+let base_solve t =
+  let s = Domain.DLS.get t.scratch_key in
+  if s.base_t_p <= 0. then
+    invalid_arg "Sparse_response.base_solve: no base_begin on this domain";
+  for i = 0 to t.nc - 1 do
+    if s.base_mode.(i) = min_int then
+      invalid_arg
+        (Printf.sprintf "Sparse_response.base_solve: core %d was never base_feed"
+           i)
+  done;
+  let t_p = s.base_t_p in
+  Array.fill s.y_base 0 t.n 0.;
+  for i = 0 to t.nc - 1 do
+    let mode = s.base_mode.(i) in
+    if mode <> 0 then begin
+      (* Snapped core: h is the constant cl/ch — a plain axpy. *)
+      let c = if mode < 0 then s.base_cl.(i) else s.base_ch.(i) in
+      let u = t.units.(i) in
+      for j = 0 to t.n - 1 do
+        Array.unsafe_set s.y_base j
+          (Array.unsafe_get s.y_base j +. (c *. Array.unsafe_get u j))
+      done
+    end
+    else begin
+      let cl = s.base_cl.(i) and ch = s.base_ch.(i) and ll = s.base_ll.(i) in
+      let w =
+        Krylov.prepared_apply (get_basis t s i)
+          ~f:(fun lam -> h_interior ~cl ~ch ~ll ~t_p lam)
+      in
+      for j = 0 to t.n - 1 do
+        Array.unsafe_set s.y_base j
+          (Array.unsafe_get s.y_base j +. Array.unsafe_get w j)
+      done
+    end
+  done;
+  s.base_ready <- true;
+  Atomic.incr t.base_solves;
+  s.y_base
+
+(* Candidate delta at the core nodes, into [s.w_nodes]. *)
+let delta_nodes t (s : scratch) ~core ~psi_low ~psi_high ~high_ratio =
+  if not s.base_ready then
+    invalid_arg "Sparse_response.delta: no solved base on this domain";
+  if core < 0 || core >= t.nc then
+    invalid_arg "Sparse_response.delta: core index out of range";
+  let t_p = s.base_t_p in
+  let mode', ll' = two_mode_core_shape ~t_p ~high_ratio in
+  let cl' = psi_low +. t.beta_tamb and ch' = psi_high +. t.beta_tamb in
+  let cl = s.base_cl.(core) and ch = s.base_ch.(core) in
+  let le mode ll = if mode < 0 then t_p else if mode > 0 then 0. else ll in
+  let l0 = le s.base_mode.(core) s.base_ll.(core) in
+  let l1 = le mode' ll' in
+  (if Float.equal cl' cl && Float.equal ch' ch then begin
+     if Float.equal l1 l0 then Array.fill s.w_nodes 0 t.nc 0.
+     else begin
+       let big = Float.max l0 l1 and small = Float.min l0 l1 in
+       let c = if l1 > l0 then cl -. ch else ch -. cl in
+       let tail = t_p -. big and gap = big -. small in
+       let f lam =
+         c *. exp (-.tail *. lam)
+         *. -.Float.expm1 (-.gap *. lam)
+         /. -.Float.expm1 (-.t_p *. lam)
+       in
+       Krylov.prepared_apply_at (get_basis t s core) ~f ~idx:t.core_nodes
+         s.w_nodes
+     end
+   end
+   else begin
+     (* Voltage change too: the general difference of spectral weights. *)
+     let mode = s.base_mode.(core) and ll = s.base_ll.(core) in
+     let f lam =
+       h_of ~cl:cl' ~ch:ch' ~mode:mode' ~ll:ll' ~t_p lam
+       -. h_of ~cl ~ch ~mode ~ll ~t_p lam
+     in
+     Krylov.prepared_apply_at (get_basis t s core) ~f ~idx:t.core_nodes
+       s.w_nodes
+   end);
+  Atomic.incr t.delta_evals
+
+let delta_solve t ~core ~psi_low ~psi_high ~high_ratio =
+  let s = Domain.DLS.get t.scratch_key in
+  delta_nodes t s ~core ~psi_low ~psi_high ~high_ratio;
+  (* Full-vector variant for differential tests: recompute the delta's
+     whole node image through the same prepared basis. *)
+  let t_p = s.base_t_p in
+  let mode', ll' = two_mode_core_shape ~t_p ~high_ratio in
+  let cl' = psi_low +. t.beta_tamb and ch' = psi_high +. t.beta_tamb in
+  let cl = s.base_cl.(core) and ch = s.base_ch.(core) in
+  let mode = s.base_mode.(core) and ll = s.base_ll.(core) in
+  let f lam =
+    h_of ~cl:cl' ~ch:ch' ~mode:mode' ~ll:ll' ~t_p lam
+    -. h_of ~cl ~ch ~mode ~ll ~t_p lam
+  in
+  let w = Krylov.prepared_apply (get_basis t s core) ~f in
+  Array.mapi (fun j wj -> s.y_base.(j) +. wj) w
+
+let delta_peak t ~core ~psi_low ~psi_high ~high_ratio =
+  let s = Domain.DLS.get t.scratch_key in
+  delta_nodes t s ~core ~psi_low ~psi_high ~high_ratio;
+  let best = ref neg_infinity in
+  for k = 0 to t.nc - 1 do
+    let v =
+      t.c_sqrt_inv_cores.(k)
+      *. (s.y_base.(t.core_nodes.(k)) +. s.w_nodes.(k))
+      +. t.ambient
+    in
+    best := Float.max !best v
+  done;
+  !best
+
+let delta_core_temp t ~at ~core ~psi_low ~psi_high ~high_ratio =
+  if at < 0 || at >= t.nc then
+    invalid_arg "Sparse_response.delta_core_temp: core index out of range";
+  let s = Domain.DLS.get t.scratch_key in
+  delta_nodes t s ~core ~psi_low ~psi_high ~high_ratio;
+  t.c_sqrt_inv_cores.(at)
+  *. (s.y_base.(t.core_nodes.(at)) +. s.w_nodes.(at))
+  +. t.ambient
 
 (* --------------------------------------------------------- profiles *)
 

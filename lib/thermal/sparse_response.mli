@@ -32,6 +32,8 @@ type stats = {
   builds : int;  (** Engines constructed process-wide. *)
   superpose_evals : int;  (** Superposed equilibrium evaluations. *)
   stable_solves : int;  (** Streaming stable-status fixed points solved. *)
+  base_solves : int;  (** Prepared-base builds ({!base_solve}). *)
+  delta_evals : int;  (** Delta candidate evaluations. *)
 }
 
 (** [build eng] solves the unit responses and assembles the tables —
@@ -98,6 +100,58 @@ val stable_feed : t -> duration:float -> psi:Linalg.Vec.t -> unit
     accumulated drive and returns the stable state at the period
     boundary (a fresh vector). *)
 val stable_solve : t -> t_p:float -> Linalg.Vec.t
+
+(** {1 Prepared-base delta evaluation}
+
+    The TPT-loop hot path (DESIGN.md §14), sparse flavour: a two-mode
+    config's stable status factors per core as a spectral weight
+    [h_i(M)] applied to that core's unit response, so the base solves
+    once through per-core prepared Lanczos bases ({!Linalg.Krylov.prepare}
+    — f-independent, grown lazily, reused by every candidate) and a
+    candidate changing one core's duty cycle needs only the core-node
+    reads of a rank-one spectral correction: O(m · n_cores) per
+    candidate, no funmv stream, no new basis.
+
+    All state (including the prepared bases, which are mutable and not
+    domain-safe) lives in per-domain [Domain.DLS] scratch, disjoint
+    from the streaming [stable_*] arrays — prepare and evaluate on the
+    same domain; exact evaluations interleaved between deltas do not
+    disturb the base. *)
+
+(** [base_begin t ~t_p] starts preparing a base config with period
+    [t_p] on this domain. *)
+val base_begin : t -> t_p:float -> unit
+
+(** [base_feed t ~core ~psi_low ~psi_high ~high_ratio] records core
+    [core]'s two-mode terms (boundary snapping replicates the exact
+    decomposed path's 1e-12 clamps).  Every core must be fed before
+    {!base_solve}. *)
+val base_feed :
+  t -> core:int -> psi_low:float -> psi_high:float -> high_ratio:float -> unit
+
+(** [base_solve t] solves the prepared base's stable status and arms the
+    delta evaluators; returns this domain's scratch base vector. *)
+val base_solve : t -> Linalg.Vec.t
+
+(** [delta_solve t ~core ~psi_low ~psi_high ~high_ratio] is the full
+    stable status (fresh vector) of the candidate equal to the prepared
+    base except for core [core]'s terms — the differential-test
+    entry point; the search loops use the peak/temp reads below. *)
+val delta_solve :
+  t -> core:int -> psi_low:float -> psi_high:float -> high_ratio:float ->
+  Linalg.Vec.t
+
+(** [delta_peak t ~core ~psi_low ~psi_high ~high_ratio] is the hottest
+    end-of-period core temperature of the delta candidate, from
+    core-node reads only. *)
+val delta_peak :
+  t -> core:int -> psi_low:float -> psi_high:float -> high_ratio:float -> float
+
+(** [delta_core_temp t ~at ~core ~psi_low ~psi_high ~high_ratio] is the
+    delta candidate's end-of-period temperature at core [at]. *)
+val delta_core_temp :
+  t -> at:int -> core:int -> psi_low:float -> psi_high:float ->
+  high_ratio:float -> float
 
 (** {1 Profile evaluators}
 

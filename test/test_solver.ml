@@ -230,7 +230,7 @@ let test_parity_demand () =
   with_pools (fun tag pool ->
       let o =
         Solver.run
-          ~params:{ Solver.par = true; demands = Some demands }
+          ~params:{ Solver.default_params with Solver.par = true; demands = Some demands }
           (Core.Registry.find_exn "demand") (Eval.create ~pool p)
       in
       check_bits (tag ^ " peak") direct.Core.Demand.peak o.Solver.peak;
