@@ -12,25 +12,31 @@ type t = {
       (* ROM-screening margin in kelvin; 0 disables screening.  Only a
          [Sparse] context ever screens — [Dense] contexts report no
          screening regardless. *)
-  engine : Thermal.Modal.t Lazy.t;
+  (* The deferred engines below are [Util.Once] cells, not [Lazy]:
+     evaluation contexts are shared across pool workers, and with ?par
+     policies a worker can be the first caller to need an engine.
+     [Lazy.force] racing across domains raises [Lazy.RacyLazy] — the
+     crash class fosc-race's R8 flags — while [Once.get] single-flights
+     the build under a mutex and is one atomic read thereafter. *)
+  engine : Thermal.Modal.t Util.Once.t;
       (* The platform's response engine.  [Thermal.Modal.make] memoizes
          per model, so forcing this returns the same engine every direct
          (eval-less) call resolves — all paths superpose over identical
          unit-response tables and stay bit-compatible.  Never forced by a
          [Sparse] context's evaluators, so sparse solves skip the O(n³)
          eigensolve entirely. *)
-  sparse : Thermal.Sparse_model.t Lazy.t;
+  sparse : Thermal.Sparse_model.t Util.Once.t;
       (* The Krylov engine of the model's spec, assembled on the
          context's pool — shared by the response engine, the reduction
          and the backend view, so all three superpose/project over one
          operator. *)
-  response : Thermal.Sparse_response.t Lazy.t;
+  response : Thermal.Sparse_response.t Util.Once.t;
       (* Superposition tables over [sparse] ([Thermal.Sparse_response.make]
          memoizes per engine).  Never forced by a [Dense] context. *)
-  rom : Thermal.Reduced.t Lazy.t;
+  rom : Thermal.Reduced.t Util.Once.t;
       (* The Lanczos-reduced screening model over [sparse].  Never
          forced by a [Dense] context. *)
-  backend : Thermal.Backend.t Lazy.t;
+  backend : Thermal.Backend.t Util.Once.t;
       (* The uniform-interface view of whichever engine [kind] selects.
          For [Dense] this wraps the same modal engine as [engine]; for
          [Sparse] it wraps the response engine, so backend evaluators
@@ -48,9 +54,13 @@ let create ?pool ?(cache_size = 1024) ?(backend = Dense) ?(screen_margin = 0.)
     invalid_arg "Eval.create: negative screen_margin";
   let pool = match pool with Some p -> p | None -> Util.Pool.get () in
   let sparse =
-    lazy (Thermal.Sparse_model.of_model ~pool platform.Platform.model)
+    Util.Once.make (fun () ->
+        Thermal.Sparse_model.of_model ~pool platform.Platform.model)
   in
-  let response = lazy (Thermal.Sparse_response.make (Lazy.force sparse)) in
+  let response =
+    Util.Once.make (fun () ->
+        Thermal.Sparse_response.make (Util.Once.get sparse))
+  in
   {
     platform;
     pool;
@@ -58,80 +68,87 @@ let create ?pool ?(cache_size = 1024) ?(backend = Dense) ?(screen_margin = 0.)
     stepup_cache = Sched.Peak.Cache.create ~max_entries:cache_size ();
     kind = backend;
     screen_margin;
-    engine = lazy (Thermal.Modal.make platform.Platform.model);
+    engine =
+      Util.Once.make (fun () -> Thermal.Modal.make platform.Platform.model);
     sparse;
     response;
-    rom = lazy (Thermal.Reduced.of_engine (Lazy.force sparse));
+    rom =
+      Util.Once.make (fun () ->
+          Thermal.Reduced.of_engine (Util.Once.get sparse));
     backend =
       (match backend with
-      | Dense -> lazy (Thermal.Backend.of_model platform.Platform.model)
-      | Sparse -> lazy (Thermal.Backend.of_response (Lazy.force response)));
+      | Dense ->
+          Util.Once.make (fun () ->
+              Thermal.Backend.of_model platform.Platform.model)
+      | Sparse ->
+          Util.Once.make (fun () ->
+              Thermal.Backend.of_response (Util.Once.get response)));
   }
 
 let platform t = t.platform
 let pool t = t.pool
 let kind t = t.kind
-let engine t = Lazy.force t.engine
-let backend t = Lazy.force t.backend
+let engine t = Util.Once.get t.engine
+let backend t = Util.Once.get t.backend
 
 let steady_peak t voltages =
   match t.kind with
   | Dense ->
-      Sched.Peak.steady_constant_cached ~engine:(Lazy.force t.engine)
+      Sched.Peak.steady_constant_cached ~engine:(Util.Once.get t.engine)
         t.steady_cache t.platform.Platform.model t.platform.Platform.power
         voltages
   | Sparse ->
       Sched.Peak.backend_steady_constant_cached t.steady_cache
-        (Lazy.force t.backend) t.platform.Platform.power voltages
+        (Util.Once.get t.backend) t.platform.Platform.power voltages
 
 let step_up_peak t s =
   match t.kind with
   | Dense ->
-      Sched.Peak.of_step_up_cached ~engine:(Lazy.force t.engine) t.stepup_cache
+      Sched.Peak.of_step_up_cached ~engine:(Util.Once.get t.engine) t.stepup_cache
         t.platform.Platform.model t.platform.Platform.power s
   | Sparse ->
       Sched.Peak.backend_of_step_up_cached t.stepup_cache
-        (Lazy.force t.backend) t.platform.Platform.power s
+        (Util.Once.get t.backend) t.platform.Platform.power s
 
 let two_mode_peak t ~period ~low ~high ~high_ratio =
   match t.kind with
   | Dense ->
-      Sched.Peak.of_two_mode_cached ~engine:(Lazy.force t.engine) t.stepup_cache
+      Sched.Peak.of_two_mode_cached ~engine:(Util.Once.get t.engine) t.stepup_cache
         t.platform.Platform.model t.platform.Platform.power ~period ~low ~high
         ~high_ratio
   | Sparse ->
       (* The fused streaming path: superposed equilibria, no schedule
          materialization, same digest as the generic backend path. *)
       Sched.Peak.response_of_two_mode_cached t.stepup_cache
-        (Lazy.force t.response) t.platform.Platform.power ~period ~low ~high
+        (Util.Once.get t.response) t.platform.Platform.power ~period ~low ~high
         ~high_ratio
 
 let any_peak t ?(samples_per_segment = 32) s =
   match t.kind with
   | Dense ->
-      Sched.Peak.of_any ~engine:(Lazy.force t.engine) t.platform.Platform.model
+      Sched.Peak.of_any ~engine:(Util.Once.get t.engine) t.platform.Platform.model
         t.platform.Platform.power ~samples_per_segment s
   | Sparse ->
-      Sched.Peak.backend_of_any (Lazy.force t.backend)
+      Sched.Peak.backend_of_any (Util.Once.get t.backend)
         t.platform.Platform.power ~samples_per_segment s
 
 let stable_end_core_temps t s =
   match t.kind with
   | Dense ->
-      Sched.Peak.stable_end_core_temps ~engine:(Lazy.force t.engine)
+      Sched.Peak.stable_end_core_temps ~engine:(Util.Once.get t.engine)
         t.platform.Platform.model t.platform.Platform.power s
   | Sparse ->
-      Sched.Peak.backend_stable_end_core_temps (Lazy.force t.backend)
+      Sched.Peak.backend_stable_end_core_temps (Util.Once.get t.backend)
         t.platform.Platform.power s
 
 let two_mode_end_core_temps t ~period ~low ~high ~high_ratio =
   match t.kind with
   | Dense ->
-      Sched.Peak.two_mode_end_core_temps ~engine:(Lazy.force t.engine)
+      Sched.Peak.two_mode_end_core_temps ~engine:(Util.Once.get t.engine)
         t.platform.Platform.model t.platform.Platform.power ~period ~low ~high
         ~high_ratio
   | Sparse ->
-      Sched.Peak.backend_two_mode_end_core_temps (Lazy.force t.backend)
+      Sched.Peak.backend_two_mode_end_core_temps (Util.Once.get t.backend)
         t.platform.Platform.power ~period ~low ~high ~high_ratio
 
 (* -------------------------------------- prepared-base delta scans *)
@@ -144,31 +161,31 @@ let two_mode_end_core_temps t ~period ~low ~high ~high_ratio =
 let two_mode_delta_base t ~period ~low ~high ~high_ratio =
   match t.kind with
   | Dense ->
-      Sched.Peak.two_mode_delta_base ~engine:(Lazy.force t.engine)
+      Sched.Peak.two_mode_delta_base ~engine:(Util.Once.get t.engine)
         t.platform.Platform.model t.platform.Platform.power ~period ~low ~high
         ~high_ratio
   | Sparse ->
-      Sched.Peak.response_two_mode_delta_base (Lazy.force t.response)
+      Sched.Peak.response_two_mode_delta_base (Util.Once.get t.response)
         t.platform.Platform.power ~period ~low ~high ~high_ratio
 
 let two_mode_delta_peak t ~core ~low ~high ~high_ratio =
   match t.kind with
   | Dense ->
-      Sched.Peak.two_mode_delta_peak ~engine:(Lazy.force t.engine)
+      Sched.Peak.two_mode_delta_peak ~engine:(Util.Once.get t.engine)
         t.platform.Platform.model t.platform.Platform.power ~core ~low ~high
         ~high_ratio
   | Sparse ->
-      Sched.Peak.response_two_mode_delta_peak (Lazy.force t.response)
+      Sched.Peak.response_two_mode_delta_peak (Util.Once.get t.response)
         t.platform.Platform.power ~core ~low ~high ~high_ratio
 
 let two_mode_delta_temp_at t ~at ~core ~low ~high ~high_ratio =
   match t.kind with
   | Dense ->
-      Sched.Peak.two_mode_delta_temp_at ~engine:(Lazy.force t.engine)
+      Sched.Peak.two_mode_delta_temp_at ~engine:(Util.Once.get t.engine)
         t.platform.Platform.model t.platform.Platform.power ~at ~core ~low
         ~high ~high_ratio
   | Sparse ->
-      Sched.Peak.response_two_mode_delta_temp_at (Lazy.force t.response)
+      Sched.Peak.response_two_mode_delta_temp_at (Util.Once.get t.response)
         t.platform.Platform.power ~at ~core ~low ~high ~high_ratio
 
 (* ---------------------------------------------- two-tier screening *)
@@ -178,14 +195,16 @@ let screening t =
   | Dense -> None
   | Sparse ->
       if t.screen_margin > 0. then begin
-        (* Force the screening models on the submitting domain NOW:
-           OCaml's [Lazy] is not domain-safe, and a screened sweep's
-           first ROM scores may otherwise race to force [response]/[rom]
-           from several pool workers at once.  [Reduced.prepare] covers
-           the reduction's own inner static-tier lazy, which forcing
-           [t.rom] alone would leave for the workers to race on. *)
-        ignore (Lazy.force t.response : Thermal.Sparse_response.t);
-        Thermal.Reduced.prepare (Lazy.force t.rom);
+        (* Force the screening models on the submitting domain NOW.
+           The context's own cells are domain-safe [Util.Once] values,
+           but [Reduced] keeps a true [Lazy] for its inner static tier
+           (forced once per reduction, on this domain, per the
+           [@fosc.forced_before_parallel] contract): [Reduced.prepare]
+           must run here so pool workers only ever read the
+           already-forced value.  Forcing up front also keeps the first
+           ROM scores from serializing behind the builds. *)
+        ignore (Util.Once.get t.response : Thermal.Sparse_response.t);
+        Thermal.Reduced.prepare (Util.Once.get t.rom);
         Some t.screen_margin
       end
       else None
@@ -197,14 +216,14 @@ let rom_two_mode_peak t ~period ~low ~high ~high_ratio =
          exact evaluation, which keeps callers backend-blind. *)
       two_mode_peak t ~period ~low ~high ~high_ratio
   | Sparse ->
-      Sched.Peak.rom_of_two_mode (Lazy.force t.rom) t.platform.Platform.power
+      Sched.Peak.rom_of_two_mode (Util.Once.get t.rom) t.platform.Platform.power
         ~period ~low ~high ~high_ratio
 
 let rom_any_peak t ?(samples_per_segment = 32) s =
   match t.kind with
   | Dense -> any_peak t ~samples_per_segment s
   | Sparse ->
-      Sched.Peak.rom_of_any (Lazy.force t.rom) t.platform.Platform.power
+      Sched.Peak.rom_of_any (Util.Once.get t.rom) t.platform.Platform.power
         ~samples_per_segment s
 
 let stats t =
@@ -217,11 +236,11 @@ let sparse_response_stats t =
   match t.kind with
   | Dense -> None
   | Sparse ->
-      if Lazy.is_val t.response then
-        Some (Thermal.Sparse_response.stats (Lazy.force t.response))
+      if Util.Once.is_forced t.response then
+        Some (Thermal.Sparse_response.stats (Util.Once.get t.response))
       else None
 
-let response_stats t = Thermal.Modal.stats (Lazy.force t.engine)
+let response_stats t = Thermal.Modal.stats (Util.Once.get t.engine)
 
 let hit_rate t =
   let s = stats t in

@@ -181,8 +181,10 @@ val two_mode_delta_temp_at :
 (** [screening t] is [Some margin] when this context wants two-tier
     screened sweeps ([Sparse] backend, positive [screen_margin]),
     [None] otherwise.  Forces the screening models on the calling
-    domain before returning, so pool workers never race to build them
-    ([Lazy] is not domain-safe). *)
+    domain before returning: the context's own cells are domain-safe
+    {!Util.Once} values, but {!Thermal.Reduced} keeps an inner [Lazy]
+    tier that must be forced here, on the submitting domain, before any
+    pool worker can reach it. *)
 val screening : t -> float option
 
 (** [rom_two_mode_peak t ~period ~low ~high ~high_ratio] is the

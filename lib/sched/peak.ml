@@ -103,9 +103,14 @@ module Cache = struct
     Mutex.lock t.lock;
     if not (Hashtbl.mem t.table key) then begin
       if Hashtbl.length t.table >= t.max_entries then begin
-        let victim = Queue.pop t.order in
-        Hashtbl.remove t.table victim;
-        t.evictions <- t.evictions + 1
+        (* [take_opt], not [pop]: the bare lock/unlock pair is only
+           sound because nothing in this section can raise, and [pop]
+           raises [Empty] if the order queue ever desyncs. *)
+        match Queue.take_opt t.order with
+        | Some victim ->
+            Hashtbl.remove t.table victim;
+            t.evictions <- t.evictions + 1
+        | None -> ()
       end;
       Hashtbl.add t.table key v;
       Queue.push key t.order
@@ -174,7 +179,11 @@ let two_mode_scratch n =
     s.consts <- Array.make n 0;
     s.psi <- Array.make n 0.
   end;
-  s
+  (s
+  [@fosc.dls_ok
+    "accessor hands this domain's scratch to same-domain callers only; every \
+     caller finishes with it before returning (nothing stores or returns it \
+     further)"])
 
 (* Fill [s] with the merged state-interval decomposition; returns the
    kept boundary-point count.  Replicates [Schedule.two_mode]'s ratio

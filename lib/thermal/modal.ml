@@ -157,18 +157,20 @@ let rec take n = function
 
 let make model =
   Mutex.lock engines_lock;
-  match List.find_opt (fun (m, _) -> m == model) !engines with
-  | Some (_, eng) ->
-      Mutex.unlock engines_lock;
-      eng
-  | None ->
-      (* Built under the lock: construction is a handful of cached-LU
-         solves, and serializing first use per model keeps exactly one
-         engine (one stats stream, one exp table) per platform. *)
-      let eng = build model in
-      engines := (model, eng) :: take (engines_capacity - 1) !engines;
-      Mutex.unlock engines_lock;
-      eng
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock engines_lock)
+    (fun () ->
+      match List.find_opt (fun (m, _) -> m == model) !engines with
+      | Some (_, eng) -> eng
+      | None ->
+          (* Built under the lock: construction is a handful of
+             cached-LU solves (which can raise on a degenerate model,
+             hence the [Fun.protect]), and serializing first use per
+             model keeps exactly one engine (one stats stream, one exp
+             table) per platform. *)
+          let eng = build model in
+          engines := (model, eng) :: take (engines_capacity - 1) !engines;
+          eng)
 
 let model t = t.model
 let n_modes t = t.n
@@ -366,7 +368,11 @@ let stable_solve t ~t_p =
     ignore (Atomic.fetch_and_add t.exp_misses s.tally_misses);
     s.tally_misses <- 0
   end;
-  s.z_star
+  (s.z_star
+  [@fosc.dls_ok
+    "documented borrow of this domain's scratch (see modal.mli): valid until \
+     the next stable_begin/feed/solve on the same domain, never shared \
+     across domains"])
 
 (* ------------------------------------------- streaming dense scan *)
 
@@ -544,7 +550,11 @@ let base_solve t =
   s.base_ready <- true;
   Atomic.incr t.base_solves;
   flush_tallies t s;
-  s.z_base
+  (s.z_base
+  [@fosc.dls_ok
+    "documented borrow of this domain's scratch (see modal.mli): valid until \
+     the next base or delta call on the same domain, never shared across \
+     domains"])
 
 let delta_into t (s : scratch) ~core ~psi_low ~psi_high ~high_ratio =
   if not s.base_ready then
@@ -613,7 +623,11 @@ let delta_into t (s : scratch) ~core ~psi_low ~psi_high ~high_ratio =
 let delta_solve t ~core ~psi_low ~psi_high ~high_ratio =
   let s = Domain.DLS.get t.scratch_key in
   delta_into t s ~core ~psi_low ~psi_high ~high_ratio;
-  s.z_cand
+  (s.z_cand
+  [@fosc.dls_ok
+    "documented borrow of this domain's scratch (see modal.mli): valid until \
+     the next base or delta call on the same domain, never shared across \
+     domains"])
 
 let delta_peak t ~core ~psi_low ~psi_high ~high_ratio =
   let s = Domain.DLS.get t.scratch_key in

@@ -1,6 +1,11 @@
 module Mat = Linalg.Mat
 module Vec = Linalg.Vec
 
+(* A propagator memo slot: [Building] is the single-flight claim — the
+   claiming domain computes e^{A dt} outside the lock while racers wait
+   on [cache_cond] instead of duplicating the O(n^3) build. *)
+type propagator_slot = Built of Mat.t | Building
+
 type t = {
   ambient : float;
   leak_beta : float;
@@ -17,12 +22,15 @@ type t = {
   (* Propagator memo: e^{A dt} keyed by the bits of dt.  The policy loops
      (AO's m sweep, the TPT adjustment, peak scans) reuse a handful of
      interval lengths thousands of times.  Guarded by a mutex so models
-     may be shared across domains.  [cache_order] tracks insertion order
-     so a full memo sheds its oldest entries instead of being dumped
-     wholesale. *)
-  propagator_cache : (int64, Mat.t) Hashtbl.t; [@fosc.guarded "mutex"]
+     may be shared across domains; first-use misses are single-flight
+     (a [Building] slot plus [cache_cond]) so two domains racing on the
+     same fresh [dt] never both pay the O(n^3) construction.
+     [cache_order] tracks insertion order so a full memo sheds its
+     oldest entries instead of being dumped wholesale. *)
+  propagator_cache : (int64, propagator_slot) Hashtbl.t; [@fosc.guarded "mutex"]
   cache_order : int64 Queue.t; [@fosc.guarded "mutex"]
   cache_lock : Mutex.t;
+  cache_cond : Condition.t;
 }
 
 let make ~ambient ~leak_beta ~capacitance ~conductance ~core_nodes () =
@@ -81,6 +89,7 @@ let make ~ambient ~leak_beta ~capacitance ~conductance ~core_nodes () =
     propagator_cache = Hashtbl.create 64;
     cache_order = Queue.create ();
     cache_lock = Mutex.create ();
+    cache_cond = Condition.create ();
   }
 
 let n_nodes m = Vec.dim m.capacitance
@@ -133,34 +142,64 @@ let cache_capacity = 512
 
 let propagator m dt =
   let key = Int64.bits_of_float dt in
+  (* Single-flight miss handling: the first domain to miss on [key]
+     plants a [Building] claim and computes e^{A dt} outside the lock;
+     concurrent callers for the same [dt] wait on [cache_cond] instead
+     of duplicating the O(n^3) build, and callers for other keys are
+     never blocked. *)
   Mutex.lock m.cache_lock;
-  let cached = Hashtbl.find_opt m.propagator_cache key in
-  Mutex.unlock m.cache_lock;
-  match cached with
-  | Some p -> p
-  | None ->
-      (* The build runs outside the lock, so two domains racing on the
-         same fresh [dt] may both pay the O(n^3) construction.  That race
-         is benign: both compute the identical matrix, the second insert
-         is skipped below, and callers only ever observe a fully built
-         propagator.  Holding the lock across the build would serialize
-         every first-use miss instead. *)
-      let p = compute_propagator m dt in
+  let outcome =
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock m.cache_lock)
+      (fun () ->
+        let rec await () =
+          match Hashtbl.find_opt m.propagator_cache key with
+          | Some (Built p) -> `Value p
+          | Some Building ->
+              Condition.wait m.cache_cond m.cache_lock;
+              await ()
+          | None ->
+              Hashtbl.replace m.propagator_cache key Building;
+              `Claimed
+        in
+        await ())
+  in
+  match outcome with
+  | `Value p -> p
+  | `Claimed ->
+      let p =
+        try compute_propagator m dt
+        with exn ->
+          (* Release the claim so waiters retry (and may rebuild)
+             instead of sleeping forever behind a dead slot. *)
+          Mutex.lock m.cache_lock;
+          Hashtbl.remove m.propagator_cache key;
+          Condition.broadcast m.cache_cond;
+          Mutex.unlock m.cache_lock;
+          raise exn
+      in
       Mutex.lock m.cache_lock;
-      if not (Hashtbl.mem m.propagator_cache key) then begin
-        (* Bound the memo: schedules use a handful of distinct lengths,
-           but a pathological caller should not leak memory.  Evict the
-           oldest entries one by one rather than dumping the whole memo,
-           so the hot interval lengths of the current loop stay cached. *)
-        while Hashtbl.length m.propagator_cache >= cache_capacity do
-          match Queue.take_opt m.cache_order with
-          | Some oldest -> Hashtbl.remove m.propagator_cache oldest
-          | None -> Hashtbl.reset m.propagator_cache
-        done;
-        Hashtbl.replace m.propagator_cache key p;
-        Queue.push key m.cache_order
-      end;
-      Mutex.unlock m.cache_lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock m.cache_lock)
+        (fun () ->
+          (* Bound the memo: schedules use a handful of distinct
+             lengths, but a pathological caller should not leak memory.
+             Only [Built] keys ever enter [cache_order], so eviction can
+             never remove an in-flight [Building] claim; if the queue
+             drains first the remaining entries are all claims and the
+             loop must stop, not reset the table. *)
+          let rec evict () =
+            if Hashtbl.length m.propagator_cache >= cache_capacity then
+              match Queue.take_opt m.cache_order with
+              | Some oldest ->
+                  Hashtbl.remove m.propagator_cache oldest;
+                  evict ()
+              | None -> ()
+          in
+          evict ();
+          Hashtbl.replace m.propagator_cache key (Built p);
+          Queue.push key m.cache_order;
+          Condition.broadcast m.cache_cond);
       p
 
 let step m ~dt ~theta ~psi =

@@ -26,6 +26,10 @@ type t = {
      T_amb)) and the core-temperature read of mode j's contribution. *)
   beta_tamb : float;
   response : Sparse_response.t Lazy.t;
+      [@fosc.forced_before_parallel
+        "callers must run [prepare] on the submitting domain before handing \
+         the reduction to pool workers (Core.Eval.screening does); workers \
+         then only ever read the already-forced cell"]
   (* The static (quasi-steady) tier of the screening evaluators: forced
      on first ROM evaluation, shared per engine via
      [Sparse_response.make]. *)

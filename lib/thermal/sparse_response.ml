@@ -402,7 +402,11 @@ let base_solve t =
   done;
   s.base_ready <- true;
   Atomic.incr t.base_solves;
-  s.y_base
+  (s.y_base
+  [@fosc.dls_ok
+    "documented borrow of this domain's scratch (see sparse_response.mli): \
+     valid until the next base or delta call on the same domain, never \
+     shared across domains"])
 
 (* Candidate delta at the core nodes, into [s.w_nodes]. *)
 let delta_nodes t (s : scratch) ~core ~psi_low ~psi_high ~high_ratio =

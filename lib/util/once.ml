@@ -1,0 +1,49 @@
+(* A domain-safe once-cell.
+
+   [Stdlib.Lazy] is not safe to force concurrently from several domains:
+   a race on the first force raises [Lazy.RacyLazy] (or [Undefined]),
+   which is exactly the crash class fosc-race's R8 exists to catch.
+   [Once.t] is the drop-in replacement for shared deferred state that
+   pool workers may touch first: the first caller to [get] runs the
+   thunk under a mutex (single-flight — concurrent callers wait and
+   then read the same value), and every later [get] is one [Atomic.get]
+   on the fast path.
+
+   Exception semantics differ deliberately from [Lazy]: a raising thunk
+   leaves the cell unforced (the exception propagates to that caller
+   and the next [get] retries) instead of poisoning it forever. *)
+
+type 'a t = {
+  cell : 'a option Atomic.t;
+  lock : Mutex.t;
+  mutable thunk : (unit -> 'a) option; [@fosc.guarded "mutex"]
+      (* dropped once forced so captured inputs become collectable *)
+}
+
+let make thunk = { cell = Atomic.make None; lock = Mutex.create (); thunk = Some thunk }
+
+let of_val v = { cell = Atomic.make (Some v); lock = Mutex.create (); thunk = None }
+
+let is_forced t = match Atomic.get t.cell with Some _ -> true | None -> false
+
+let get t =
+  match Atomic.get t.cell with
+  | Some v -> v
+  | None ->
+      Mutex.lock t.lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.lock)
+        (fun () ->
+          (* Re-check under the lock: a concurrent forcer may have won. *)
+          match Atomic.get t.cell with
+          | Some v -> v
+          | None ->
+              let f =
+                match t.thunk with
+                | Some f -> f
+                | None -> assert false (* unforced cells always hold their thunk *)
+              in
+              let v = f () in
+              Atomic.set t.cell (Some v);
+              t.thunk <- None;
+              v)

@@ -1,0 +1,23 @@
+(** A domain-safe once-cell: the deferred-initialization shape of
+    [Stdlib.Lazy] without its cross-domain first-force race
+    ([Lazy.RacyLazy]).  Used for shared engine/backend state that pool
+    workers may be the first to touch (see [Core.Eval]). *)
+
+type 'a t
+
+(** [make f] is an unforced cell; the first [get] runs [f] exactly once
+    (single-flight under a private mutex — concurrent callers block and
+    read the winner's value).  If [f] raises, the cell stays unforced
+    and the next [get] retries, unlike [Lazy]'s permanent poisoning. *)
+val make : (unit -> 'a) -> 'a t
+
+(** [of_val v] is an already-forced cell holding [v]. *)
+val of_val : 'a -> 'a t
+
+(** [get t] forces the cell if needed and returns its value.  Safe to
+    call from any domain at any time. *)
+val get : 'a t -> 'a
+
+(** [is_forced t] is [true] once a [get] has completed.  Safe from any
+    domain; a [false] may be stale by the time the caller acts on it. *)
+val is_forced : 'a t -> bool

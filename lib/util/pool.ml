@@ -97,17 +97,21 @@ let participate t job =
 
 let rec worker_loop t last_epoch =
   Mutex.lock t.lock;
-  let rec await () =
-    if t.stopped then None
-    else
-      match t.current with
-      | Some (epoch, job) when epoch <> last_epoch -> Some (epoch, job)
-      | _ ->
-          Condition.wait t.work_available t.lock;
-          await ()
+  let next =
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.lock)
+      (fun () ->
+        let rec await () =
+          if t.stopped then None
+          else
+            match t.current with
+            | Some (epoch, job) when epoch <> last_epoch -> Some (epoch, job)
+            | _ ->
+                Condition.wait t.work_available t.lock;
+                await ()
+        in
+        await ())
   in
-  let next = await () in
-  Mutex.unlock t.lock;
   match next with
   | None -> ()
   | Some (epoch, job) ->
@@ -154,14 +158,18 @@ let run_job t ~chunk ~length run =
 
 let shutdown t =
   Mutex.lock t.submit_lock;
-  Mutex.lock t.lock;
-  t.stopped <- true;
-  Condition.broadcast t.work_available;
-  Mutex.unlock t.lock;
-  let workers = t.workers in
-  t.workers <- [];
-  List.iter Domain.join workers;
-  Mutex.unlock t.submit_lock
+  (* [Domain.join] re-raises whatever killed a worker, so the outer
+     section must release [submit_lock] on that path too. *)
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.submit_lock)
+    (fun () ->
+      Mutex.lock t.lock;
+      t.stopped <- true;
+      Condition.broadcast t.work_available;
+      Mutex.unlock t.lock;
+      let workers = t.workers in
+      t.workers <- [];
+      List.iter Domain.join workers)
 
 let global =
   lazy
@@ -173,6 +181,10 @@ let global =
 [@@fosc.unguarded
   "first force happens on the submitting domain before any worker exists; a \
    concurrent second force raises Lazy.Undefined rather than corrupting"]
+[@@fosc.forced_before_parallel
+  "the pool singleton is forced via [get] on the submitting domain before any \
+   worker domain can exist, so no parallel region ever performs the first \
+   force"]
 
 let get () = Lazy.force global
 

@@ -1,0 +1,42 @@
+(* Clean fixture: the blessed pattern for each race rule.  Must produce
+   zero findings. *)
+
+module Pool = struct
+  let map f xs = List.map f xs
+end
+
+let counter = Atomic.make 0
+let guarded : (int, int) Hashtbl.t = Hashtbl.create 8 [@@fosc.guarded "mutex"]
+let glock = Mutex.create ()
+
+(* R7: raise-capable section under Fun.protect. *)
+let locked_add k v =
+  Mutex.lock glock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock glock)
+    (fun () -> Hashtbl.replace guarded k v)
+
+(* R7: straight-line whitelisted section with a bare pair. *)
+let bare_ok () =
+  Mutex.lock glock;
+  let n = Hashtbl.length guarded in
+  Mutex.unlock glock;
+  n
+
+let scratch_key = Domain.DLS.new_key (fun () -> Array.make 8 0.)
+
+(* R9: scratch stays domain-local; only a copy escapes. *)
+let solve x =
+  let s = Domain.DLS.get scratch_key in
+  s.(0) <- x;
+  Array.copy s
+
+let run xs =
+  Pool.map
+    (fun x ->
+      Atomic.incr counter;
+      locked_add x x;
+      (solve (float_of_int x)).(0))
+    xs
+
+let totals () = (Atomic.get counter, bare_ok ())

@@ -1,0 +1,17 @@
+(* Regression model of Thermal.Reduced's inner lazy tier before this
+   repo adopted the forced-before-parallel contract: a shared record
+   field forced inside a pool closure.  Two workers first-forcing
+   [rom.tables] concurrently raise Lazy.RacyLazy — the exact crash
+   class the real code prevents by calling [Reduced.prepare] on the
+   submitting domain and annotating the field.  fosc-race must flag
+   the unannotated force. *)
+
+module Pool = struct
+  let map f xs = List.map f xs
+end
+
+type rom = { tables : float array Lazy.t }
+
+let make () = { tables = lazy (Array.make 4 0.) }
+
+let scores rom xs = Pool.map (fun i -> (Lazy.force rom.tables).(i)) xs

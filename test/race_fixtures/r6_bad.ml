@@ -1,0 +1,11 @@
+(* R6 fixture: a pool closure reaching unguarded module-level mutable
+   state.  The mini Pool module normalizes to the same "Pool.map" key
+   as Util.Pool, so the analyzer treats [work] as a parallel entry. *)
+
+module Pool = struct
+  let map f xs = List.map f xs
+end
+
+let tally : (int, int) Hashtbl.t = Hashtbl.create 16
+
+let work xs = Pool.map (fun x -> Hashtbl.replace tally x x; x + 1) xs

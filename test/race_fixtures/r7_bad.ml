@@ -1,0 +1,18 @@
+(* R7 fixture: a bare lock/unlock pair broken by a raise-capable
+   section.  [Hashtbl.find] raises [Not_found], leaving [lock] held;
+   the _opt variant below is the whitelisted non-raising shape. *)
+
+let lock = Mutex.create ()
+let table : (int, int) Hashtbl.t = Hashtbl.create 8
+
+let bad_find k =
+  Mutex.lock lock;
+  let v = Hashtbl.find table k in
+  Mutex.unlock lock;
+  v
+
+let good_find k =
+  Mutex.lock lock;
+  let v = Hashtbl.find_opt table k in
+  Mutex.unlock lock;
+  v

@@ -1,0 +1,19 @@
+(* R8 fixture: first force of a shared lazy inside a parallel region —
+   two workers racing on it raise Lazy.RacyLazy.  The second entry
+   carries the waiver annotation and must stay silent. *)
+
+module Pool = struct
+  let map f xs = List.map f xs
+end
+
+let table = lazy (Array.init 4 float_of_int)
+
+let scores xs = Pool.map (fun i -> (Lazy.force table).(i)) xs
+
+let waived xs =
+  Pool.map
+    (fun i ->
+      (Lazy.force table
+      [@fosc.forced_before_parallel "fixture: the tests force it first"])
+        .(i))
+    xs

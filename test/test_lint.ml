@@ -1,14 +1,17 @@
-(* fosc-lint self-test: every fixture under lint_fixtures/ must produce
+(* fosc-lint / fosc-race self-test: every fixture under lint_fixtures/
+   (parsetree pass) and race_fixtures/ (typedtree pass) must produce
    exactly the expected findings (rule ids and line numbers), the scope
-   flag must gate R2/R4, and the live repo must lint clean. *)
+   flag must gate R2/R4, and the live repo must come out clean under
+   both passes. *)
 
 let exe = "../tool/lint/fosc_lint.exe"
+let race_exe = "../tool/lint/fosc_race.exe"
 
-(* Runs fosc-lint and returns (exit code, output lines). *)
-let run ?(scope_lib = false) paths =
+(* Runs a lint executable and returns (exit code, output lines). *)
+let run_tool ?(scope_lib = false) tool paths =
   let out = Filename.temp_file "fosc_lint" ".out" in
   let cmd =
-    Printf.sprintf "%s%s %s > %s 2>&1" exe
+    Printf.sprintf "%s%s %s > %s 2>&1" tool
       (if scope_lib then " --scope lib" else "")
       (String.concat " " paths) out
   in
@@ -23,6 +26,9 @@ let run ?(scope_lib = false) paths =
   close_in ic;
   Sys.remove out;
   (code, lines)
+
+let run ?scope_lib paths = run_tool ?scope_lib exe paths
+let run_race paths = run_tool race_exe paths
 
 (* "path:LINE:COL: [RULE] msg" -> (LINE, RULE); other lines dropped. *)
 let findings_of lines =
@@ -83,6 +89,34 @@ let test_repo_clean () =
   Alcotest.(check (list finding)) "repo findings" [] (findings_of lines);
   Alcotest.(check int) "repo exit code" 0 code
 
+(* ------------------------------------------------- fosc-race (R6-R9) *)
+
+let check_race_fixture name expected () =
+  let code, lines = run_race [ "race_fixtures/" ^ name ] in
+  Alcotest.(check int) "exit code" (if expected = [] then 0 else 1) code;
+  Alcotest.(check (list finding)) "findings" expected (findings_of lines)
+
+(* Exact line/rule assertions: a shifted finding means the analyzer
+   started anchoring somewhere else, which is a behavior change. *)
+let race_fixture_cases =
+  [
+    ("r6_bad.cmt", [ (11, "R6") ]);
+    ("r7_bad.cmt", [ (9, "R7") ]);
+    ("r8_bad.cmt", [ (11, "R8") ]);
+    ("r9_bad.cmt", [ (19, "R9"); (23, "R9") ]);
+    (* Regression guard for the pre-PR Thermal.Reduced shape: a shared
+       lazy record field forced inside a pool closure (Lazy.RacyLazy
+       class).  The live code now prepares on the submitting domain and
+       annotates the field; this fixture keeps the detector honest. *)
+    ("lazy_regression.cmt", [ (17, "R8") ]);
+    ("clean.cmt", []);
+  ]
+
+let test_race_repo_clean () =
+  let code, lines = run_race [ "../lib" ] in
+  Alcotest.(check (list finding)) "race findings" [] (findings_of lines);
+  Alcotest.(check int) "race exit code" 0 code
+
 let () =
   Alcotest.run "lint"
     [
@@ -96,4 +130,14 @@ let () =
         [ Alcotest.test_case "R2/R4 gated by lib scope" `Quick test_scope_gating ]
       );
       ("repo", [ Alcotest.test_case "live repo lints clean" `Quick test_repo_clean ]);
+      ( "race fixtures",
+        List.map
+          (fun (name, expected) ->
+            Alcotest.test_case name `Quick (check_race_fixture name expected))
+          race_fixture_cases );
+      ( "race repo",
+        [
+          Alcotest.test_case "live lib cmts race-clean" `Quick
+            test_race_repo_clean;
+        ] );
     ]

@@ -1,0 +1,94 @@
+(* Loading and normalizing dune's .cmt output for fosc-race.
+
+   The second lint pass works on typedtrees, not parsetrees: every
+   identifier in a .cmt is already resolved to a [Path.t], so a call to
+   [Util.Pool.map] looks the same whether the source wrote [Pool.map]
+   under an open, an alias, or the full dotted path.  The cost is that
+   paths come in dune's wrapped-library spelling ([Core__Tpt.foo],
+   [Stdlib.Lazy.force]), which this module normalizes to short
+   "Mod.name" keys before anything downstream compares them.
+
+   Normalization rules (established empirically against this repo's
+   5.1.1 build):
+   - components are split on '.'; a leading "Stdlib" is dropped;
+   - a component containing "__" is a dune-mangled unit name: keep the
+     suffix after the last "__" and re-capitalize it ([core__Tpt] and
+     [Core__Tpt] both become [Tpt]);
+   - the comparison key is the LAST TWO components joined with '.'
+     ("Util.Pool.map" -> "Pool.map", "Stdlib.Lazy.force" ->
+     "Lazy.force"), or the single component for bare idents.
+
+   Keying on the last two components deliberately conflates same-named
+   modules from different libraries; for this repo's module namespace
+   that collision set is empty, and the approximation is documented in
+   DESIGN.md §15. *)
+
+type unit_info = {
+  modname : string;  (* demangled unit module name, e.g. "Tpt" *)
+  source : string;  (* workspace-relative source path from the cmt *)
+  structure : Typedtree.structure;
+}
+
+let demangle comp =
+  let n = String.length comp in
+  let rec last_sep i best =
+    if i + 1 >= n then best
+    else if comp.[i] = '_' && comp.[i + 1] = '_' then last_sep (i + 1) (Some i)
+    else last_sep (i + 1) best
+  in
+  match last_sep 0 None with
+  | None -> comp
+  | Some i ->
+      let suffix = String.sub comp (i + 2) (n - i - 2) in
+      if suffix = "" then comp else String.capitalize_ascii suffix
+
+let norm_components path =
+  Path.name path |> String.split_on_char '.'
+  |> List.filter_map (fun c ->
+         if c = "" || c = "Stdlib" then None else Some (demangle c))
+
+(* The last two components of a normalized path, joined: the key every
+   map in callgraph/race_rules is indexed by. *)
+let key_of_components comps =
+  match List.rev comps with
+  | [] -> ""
+  | [ x ] -> x
+  | x :: y :: _ -> y ^ "." ^ x
+
+let key_of_path p = key_of_components (norm_components p)
+
+(* Walk [root] for .cmt files.  Unlike the parsetree pass this must
+   descend into dot-directories: dune keeps cmts under
+   lib/<dir>/.<lib>.objs/byte/. *)
+let rec walk_cmts acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort compare
+    |> List.fold_left
+         (fun acc entry ->
+           if entry = "_build" then acc
+           else walk_cmts acc (Filename.concat path entry))
+         acc
+  else if Filename.check_suffix path ".cmt" then path :: acc
+  else acc
+
+let load_file path =
+  match Cmt_format.read_cmt path with
+  | exception _ -> None
+  | cmt -> (
+      match cmt.Cmt_format.cmt_annots with
+      | Cmt_format.Implementation structure ->
+          let source =
+            match cmt.Cmt_format.cmt_sourcefile with
+            | Some s -> s
+            | None -> path
+          in
+          Some { modname = demangle cmt.Cmt_format.cmt_modname; source; structure }
+      | _ -> None)
+
+(* Load every implementation cmt under the given roots (directories are
+   walked recursively; .cmt paths are taken as-is).  Wrapper units that
+   dune synthesizes (module aliases like [Core]) load fine and simply
+   contribute no interesting bindings. *)
+let load roots =
+  let files = List.fold_left walk_cmts [] roots |> List.sort compare in
+  List.filter_map load_file files

@@ -32,7 +32,7 @@ let () =
     usage
 
 let skip_dir name =
-  name = "_build" || name = "lint_fixtures"
+  name = "_build" || name = "lint_fixtures" || name = "race_fixtures"
   || (String.length name > 0 && name.[0] = '.')
 
 let rec walk acc path =

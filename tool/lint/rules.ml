@@ -554,13 +554,19 @@ let check_attrs ~path (src_ast : H.ast) =
                 "[@fosc.guarded] needs a discipline string: \"mutex\", \
                  \"atomic\" or \"dls\""
               :: !out)
-    | "fosc.unguarded" | "fosc.nondeterministic" -> (
+    | "fosc.unguarded" | "fosc.nondeterministic" | "fosc.forced_before_parallel"
+    | "fosc.dls_ok" | "fosc.lock_ok" -> (
         match string_payload a with
         | Some s when String.trim s <> "" -> ()
         | _ ->
             out :=
               finding path a.attr_loc
-                (if a.attr_name.txt = "fosc.unguarded" then "R2" else "R4")
+                (match a.attr_name.txt with
+                | "fosc.unguarded" -> "R2"
+                | "fosc.nondeterministic" -> "R4"
+                | "fosc.forced_before_parallel" -> "R8"
+                | "fosc.dls_ok" -> "R9"
+                | _ -> "R7")
                 (Printf.sprintf "[@%s] needs a non-empty reason string"
                    a.attr_name.txt)
               :: !out)
@@ -577,7 +583,8 @@ let check_attrs ~path (src_ast : H.ast) =
           finding path a.attr_loc "attr"
             (Printf.sprintf
                "unknown fosc.* attribute [@%s]; known: fosc.guarded, \
-                fosc.unguarded, fosc.nondeterministic, fosc.digest_sensitive"
+                fosc.unguarded, fosc.nondeterministic, fosc.digest_sensitive, \
+                fosc.forced_before_parallel, fosc.dls_ok, fosc.lock_ok"
                name)
           :: !out
     | _ -> ());
